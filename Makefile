@@ -1,0 +1,49 @@
+# Convenience targets for the reproduction. Everything is stdlib Go;
+# no external dependencies.
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/network/ ./internal/dht/
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerates bench_output.txt (every table/figure benchmark).
+bench:
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Short fuzz sessions over the three fuzz targets.
+fuzz:
+	$(GO) test -fuzz=FuzzDistanceEquivalence -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzUnmarshalMessage -fuzztime=30s ./internal/network/
+	$(GO) test -fuzz=FuzzParseRoundTrip -fuzztime=30s ./internal/word/
+
+# Regenerates every experiment table (EXPERIMENTS.md source data).
+experiments:
+	$(GO) run ./cmd/dbstats -table all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/loadbalance
+	$(GO) run ./examples/faulttolerance
+	$(GO) run ./examples/embedding
+	$(GO) run ./examples/selfrouting
+	$(GO) run ./examples/dht
+	$(GO) run ./examples/sorting
+
+clean:
+	$(GO) clean -testcache

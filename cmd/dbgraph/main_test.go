@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummary(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-d", "2", "-k", "3", "-undirected"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"vertices: 8", "edges:    13", "diameter: 3", "2×deg3", "connected: true"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDOTFormat(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-d", "2", "-k", "3", "-format", "dot"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "digraph") || !strings.Contains(b.String(), `"010"`) {
+		t.Errorf("dot output:\n%s", b.String())
+	}
+}
+
+func TestAdjFormat(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-d", "2", "-k", "3", "-format", "adj"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "010: 100 101") {
+		t.Errorf("adjacency output:\n%s", b.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-format", "nope"}, &b); err == nil {
+		t.Error("accepted unknown format")
+	}
+	if err := run([]string{"-d", "1"}, &b); err == nil {
+		t.Error("accepted d=1")
+	}
+	if err := run([]string{"-d", "2", "-k", "64"}, &b); err == nil {
+		t.Error("accepted overflowing graph")
+	}
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBidirectionalWithVerify(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-d", "2", "-from", "0110", "-to", "1001", "-verify"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Theorem 2", "Algorithm 2", "Algorithm 4", "verified against BFS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnidirectional(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-from", "000", "-to", "111", "-unidirectional", "-verify"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "Property 1") || !strings.Contains(b.String(), "Algorithm 1") {
+		t.Errorf("output:\n%s", b.String())
+	}
+	if !strings.Contains(b.String(), "distance (Property 1):    3") {
+		t.Errorf("expected distance 3:\n%s", b.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-from", "01"}, &b); err == nil {
+		t.Error("accepted missing -to")
+	}
+	if err := run([]string{"-from", "01", "-to", "012"}, &b); err == nil {
+		t.Error("accepted bad digit for base")
+	}
+	if err := run([]string{"-from", "01", "-to", "011"}, &b); err == nil {
+		t.Error("accepted length mismatch")
+	}
+	if err := run([]string{"-d", "99", "-from", "01", "-to", "10"}, &b); err == nil {
+		t.Error("accepted bad base")
+	}
+}
+
+func TestRunLargeKSkipsNothing(t *testing.T) {
+	// Large k routes fine without -verify.
+	var b strings.Builder
+	from := strings.Repeat("01", 32)
+	to := strings.Repeat("10", 32)
+	if err := run([]string{"-from", from, "-to", to}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "walk") {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+func TestRunVerifyTooLarge(t *testing.T) {
+	var b strings.Builder
+	from := strings.Repeat("01", 32)
+	to := strings.Repeat("10", 32)
+	if err := run([]string{"-from", from, "-to", to, "-verify"}, &b); err == nil {
+		t.Error("verify accepted 2^64-vertex graph")
+	}
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSequenceMethods(t *testing.T) {
+	want := map[string]string{
+		"fkm":    "0000100110101111",
+		"euler":  "", // construction-specific; just verified
+		"greedy": "",
+	}
+	for method, expect := range want {
+		var b strings.Builder
+		if err := run([]string{"-d", "2", "-n", "4", "-method", method}, &b); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		out := b.String()
+		if !strings.Contains(out, "B(2,4)") || !strings.Contains(out, "16 symbols") {
+			t.Errorf("%s output:\n%s", method, out)
+		}
+		if expect != "" && !strings.Contains(out, expect) {
+			t.Errorf("%s: expected %s in:\n%s", method, expect, out)
+		}
+	}
+}
+
+func TestCycles(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-d", "2", "-n", "3", "-cycles", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "distinct Hamiltonian cycles") || !strings.Contains(out, "cycle 2:") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-method", "nope"}, &b); err == nil {
+		t.Error("accepted unknown method")
+	}
+	if err := run([]string{"-d", "1"}, &b); err == nil {
+		t.Error("accepted d=1")
+	}
+	if err := run([]string{"-d", "2", "-n", "70"}, &b); err == nil {
+		t.Error("accepted overflowing order")
+	}
+}

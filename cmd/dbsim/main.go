@@ -1,0 +1,176 @@
+// Command dbsim drives the de Bruijn network simulator: it builds
+// DN(d,k), optionally fails sites, runs a traffic workload under a
+// wildcard policy, and reports delivery and load statistics.
+//
+//	dbsim -d 2 -k 8 -messages 10000
+//	dbsim -d 2 -k 8 -policy least-loaded -workload hotspot
+//	dbsim -d 2 -k 6 -fail 000111,010101 -adaptive
+//	dbsim -d 2 -k 8 -engine cluster      # concurrent goroutine engine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/network"
+	"repro/internal/word"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dbsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dbsim", flag.ContinueOnError)
+	d := fs.Int("d", 2, "alphabet size")
+	k := fs.Int("k", 8, "word length (diameter)")
+	uni := fs.Bool("unidirectional", false, "uni-directional network (Algorithm 1 routes)")
+	policyName := fs.String("policy", "first", "wildcard policy: first | random | least-loaded")
+	workloadName := fs.String("workload", "uniform", "workload: uniform | hotspot | bit-reversal")
+	messages := fs.Int("messages", 10000, "number of messages")
+	seed := fs.Int64("seed", 1, "random seed")
+	failList := fs.String("fail", "", "comma-separated site addresses to fail")
+	adaptive := fs.Bool("adaptive", false, "reroute around failed sites")
+	engine := fs.String("engine", "sync", "sync (deterministic) | cluster (goroutine per site)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *engine == "cluster" {
+		return runCluster(out, *d, *k, *uni, *messages, *seed)
+	}
+	if *engine != "sync" {
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+
+	var policy network.Policy
+	switch *policyName {
+	case "first":
+		policy = network.PolicyFirst{}
+	case "random":
+		policy = network.PolicyRandom{}
+	case "least-loaded":
+		policy = network.PolicyLeastLoaded{}
+	default:
+		return fmt.Errorf("unknown policy %q", *policyName)
+	}
+
+	n, err := network.New(network.Config{
+		D: *d, K: *k,
+		Unidirectional: *uni,
+		Policy:         policy,
+		Seed:           *seed,
+		Adaptive:       *adaptive,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *failList != "" {
+		for _, addr := range strings.Split(*failList, ",") {
+			w, err := word.Parse(*d, strings.TrimSpace(addr))
+			if err != nil {
+				return fmt.Errorf("parsing -fail %q: %w", addr, err)
+			}
+			if err := n.FailSite(w); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintf(out, "failed sites: %d\n", n.FailedSites())
+	}
+
+	var wl network.Workload
+	switch *workloadName {
+	case "uniform":
+		wl = network.Uniform{D: *d, K: *k}
+	case "hotspot":
+		target, err := word.Zeros(*d, *k)
+		if err != nil {
+			return err
+		}
+		wl = network.Hotspot{D: *d, K: *k, Target: target, Fraction: 0.3}
+	case "bit-reversal":
+		wl = network.BitReversal{D: *d, K: *k}
+	default:
+		return fmt.Errorf("unknown workload %q", *workloadName)
+	}
+
+	sum, err := network.RunWorkload(n, wl, *messages)
+	if err != nil {
+		return err
+	}
+	dir := "bi-directional"
+	if *uni {
+		dir = "uni-directional"
+	}
+	fmt.Fprintf(out, "DN(%d,%d) %s, %d sites, policy %s, workload %s\n",
+		*d, *k, dir, n.NumSites(), policy.Name(), wl.Name())
+	fmt.Fprintf(out, "messages:   %d\n", sum.Messages)
+	fmt.Fprintf(out, "delivered:  %d\n", sum.Delivered)
+	fmt.Fprintf(out, "dropped:    %d\n", sum.Dropped)
+	fmt.Fprintf(out, "rerouted:   %d\n", sum.Rerouted)
+	fmt.Fprintf(out, "mean hops:  %.4f (diameter %d)\n", sum.MeanHops, *k)
+	fmt.Fprintf(out, "max hops:   %d\n", sum.MaxHops)
+	fmt.Fprintf(out, "max link load:  %d\n", sum.Net.MaxLinkLoad)
+	fmt.Fprintf(out, "mean link load: %.4f\n", sum.Net.MeanLinkLoad)
+	fmt.Fprintf(out, "load gini:      %.4f\n", sum.Net.LoadGini)
+	fmt.Fprintf(out, "max site load:  %d\n", sum.Net.MaxSiteLoad)
+	return nil
+}
+
+func runCluster(out io.Writer, d, k int, uni bool, messages int, seed int64) error {
+	c, err := network.NewCluster(network.ClusterConfig{
+		D: d, K: k,
+		Unidirectional: uni,
+		Seed:           seed,
+		MaxInflight:    256,
+		RandomWildcard: true,
+	})
+	if err != nil {
+		return err
+	}
+	c.Start()
+	defer c.Stop()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < messages; i++ {
+		src := word.Random(d, k, rng)
+		dst := word.Random(d, k, rng)
+		if err := c.Send(src, dst, fmt.Sprintf("m%d", i)); err != nil {
+			return err
+		}
+	}
+	c.Drain()
+	delivered, dropped, totalHops, maxHops := 0, 0, 0, 0
+	for _, del := range c.Deliveries() {
+		if del.Delivered {
+			delivered++
+			totalHops += del.Hops
+			if del.Hops > maxHops {
+				maxHops = del.Hops
+			}
+		} else {
+			dropped++
+		}
+	}
+	sites, err := word.Count(d, k)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "DN(%d,%d) concurrent cluster, %d goroutine sites\n", d, k, sites)
+	fmt.Fprintf(out, "messages:  %d\n", messages)
+	fmt.Fprintf(out, "delivered: %d\n", delivered)
+	fmt.Fprintf(out, "dropped:   %d\n", dropped)
+	if delivered > 0 {
+		fmt.Fprintf(out, "mean hops: %.4f\n", float64(totalHops)/float64(delivered))
+	}
+	fmt.Fprintf(out, "max hops:  %d\n", maxHops)
+	fmt.Fprintf(out, "max link load: %d\n", c.MaxLinkLoad())
+	return nil
+}

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSyncEngineUniform(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-d", "2", "-k", "5", "-messages", "200"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "delivered:  200") || !strings.Contains(out, "dropped:    0") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestPoliciesAndWorkloads(t *testing.T) {
+	for _, policy := range []string{"first", "random", "least-loaded"} {
+		for _, wl := range []string{"uniform", "hotspot", "bit-reversal"} {
+			var b strings.Builder
+			args := []string{"-d", "2", "-k", "4", "-messages", "50", "-policy", policy, "-workload", wl}
+			if err := run(args, &b); err != nil {
+				t.Fatalf("%s/%s: %v", policy, wl, err)
+			}
+			if !strings.Contains(b.String(), "policy "+policy) {
+				t.Errorf("%s/%s output:\n%s", policy, wl, b.String())
+			}
+		}
+	}
+}
+
+func TestFailAndAdaptive(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-d", "2", "-k", "4", "-messages", "100", "-fail", "0011,1100", "-adaptive"}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "failed sites: 2") {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+func TestClusterEngine(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-engine", "cluster", "-d", "2", "-k", "4", "-messages", "100"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "concurrent cluster, 16 goroutine sites") || !strings.Contains(out, "delivered: 100") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestUnidirectionalFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-unidirectional", "-d", "2", "-k", "4", "-messages", "50"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "uni-directional") {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-policy", "nope"}, &b); err == nil {
+		t.Error("accepted unknown policy")
+	}
+	if err := run([]string{"-workload", "nope"}, &b); err == nil {
+		t.Error("accepted unknown workload")
+	}
+	if err := run([]string{"-engine", "nope"}, &b); err == nil {
+		t.Error("accepted unknown engine")
+	}
+	if err := run([]string{"-fail", "xyz"}, &b); err == nil {
+		t.Error("accepted unparsable failure address")
+	}
+	if err := run([]string{"-d", "1"}, &b); err == nil {
+		t.Error("accepted d=1")
+	}
+}

@@ -1,0 +1,131 @@
+// Command dbstats regenerates the paper's quantitative artefacts:
+//
+//	dbstats -table eq5        # E3: equation (5) vs exact directed mean
+//	dbstats -table fig2       # E4: Figure 2, undirected average distance
+//	dbstats -table census     # E1: degree census + diameter per graph
+//	dbstats -table crossover  # E6: Algorithm 2 vs Algorithm 4 timing
+//	dbstats -table policy     # E7: wildcard policy load balance
+//	dbstats -table fault      # E8: fault tolerance sweep
+//	dbstats -table dist       # distance distributions of one DG(d,k)
+//	dbstats -table moore      # E10: diameter vs Moore bound (§1 claim)
+//	dbstats -table broadcast  # E11: flood vs tree dissemination
+//	dbstats -table diversity  # E12: shortest-path multiplicity
+//	dbstats -table all        # everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dbstats:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dbstats", flag.ContinueOnError)
+	table := fs.String("table", "all", "eq5 | fig2 | census | crossover | policy | fault | dist | all")
+	maxK := fs.Int("maxk", 10, "largest diameter for eq5/fig2 sweeps")
+	d := fs.Int("d", 2, "alphabet size for -table dist")
+	k := fs.Int("k", 5, "diameter for -table dist")
+	samples := fs.Int("samples", 20000, "sample count for large fig2 points")
+	seed := fs.Int64("seed", 1, "random seed")
+	messages := fs.Int("messages", 5000, "messages for -table policy")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	printers := map[string]func() (*stats.Table, error){
+		"eq5": func() (*stats.Table, error) {
+			return experiments.Eq5Table([]int{2, 3, 4, 5, 8}, *maxK)
+		},
+		"fig2": func() (*stats.Table, error) {
+			return experiments.Figure2Table([]int{2, 3, 4, 5, 8}, *maxK, *samples, *seed)
+		},
+		"census": func() (*stats.Table, error) {
+			return experiments.CensusTable(
+				[]graph.Kind{graph.Directed, graph.Undirected},
+				[][2]int{{2, 3}, {2, 5}, {2, 7}, {3, 3}, {3, 4}, {4, 3}, {5, 2}})
+		},
+		"crossover": func() (*stats.Table, error) {
+			return experiments.CrossoverTable([]int{4, 8, 16, 32, 64, 128, 256, 512, 1024}, 200, *seed)
+		},
+		"policy": func() (*stats.Table, error) {
+			return experiments.PolicyTable(2, 8, *messages, *seed)
+		},
+		"fault": func() (*stats.Table, error) {
+			return experiments.FaultTable([][2]int{{2, 3}, {2, 4}, {3, 2}, {3, 3}, {4, 2}})
+		},
+		"dist": func() (*stats.Table, error) {
+			return experiments.DistributionTable(*d, *k)
+		},
+		"moore": func() (*stats.Table, error) {
+			return experiments.OptimalityTable([][2]int{{2, 4}, {2, 8}, {2, 12}, {3, 4}, {3, 6}, {4, 3}, {4, 5}, {8, 3}})
+		},
+		"broadcast": func() (*stats.Table, error) {
+			return experiments.BroadcastTable([][2]int{{2, 4}, {2, 6}, {2, 8}, {3, 3}, {3, 4}, {4, 3}})
+		},
+		"diversity": func() (*stats.Table, error) {
+			return experiments.DiversityTable([][2]int{{2, 3}, {2, 4}, {2, 5}, {2, 6}, {3, 3}, {3, 4}})
+		},
+		"latency": func() (*stats.Table, error) {
+			return experiments.LatencyTable(2, 8, []int{250, 1000, 4000}, *seed)
+		},
+		"dht": func() (*stats.Table, error) {
+			return experiments.DHTTable(16, []int{8, 32, 128, 512, 2048}, 400, *seed)
+		},
+		"loadcurve": func() (*stats.Table, error) {
+			return experiments.LoadCurveTable(2, 8, []float64{0.02, 0.05, 0.10, 0.20, 0.35, 0.50}, 200, *seed)
+		},
+		"stretch": func() (*stats.Table, error) {
+			return experiments.StretchTable(2, 8, []int{0, 1, 2, 4, 8, 16}, 2000, *seed)
+		},
+	}
+	titles := map[string]string{
+		"eq5":       "E3 — directed average distance: equation (5) vs exact",
+		"fig2":      "E4 — Figure 2: undirected average distance δ̄(d,k)",
+		"census":    "E1 — degree census and diameter (Figure 1 structure)",
+		"crossover": "E6 — Algorithm 2 (O(k²)) vs Algorithm 4 (O(k)) crossover",
+		"policy":    "E7 — wildcard policy load balance (uniform traffic)",
+		"fault":     "E8 — fault tolerance (Pradhan–Reddy) on undirected DG",
+		"dist":      fmt.Sprintf("distance distribution of DG(%d,%d)", *d, *k),
+		"moore":     "E10 — diameter near-optimality vs Moore bound (Imase–Itoh, §1)",
+		"broadcast": "E11 — broadcast: flooding vs spanning tree",
+		"diversity": "E12 — shortest-path diversity (room for wildcard balancing)",
+		"latency":   "E14 — store-and-forward latency under link contention",
+		"dht":       "E15 — Koorde DHT: lookup cost on sparse de Bruijn rings",
+		"loadcurve": "E16 — open-loop latency vs offered load (saturation curve)",
+		"stretch":   "E17 — reroute stretch vs failure count",
+	}
+	order := []string{"census", "eq5", "fig2", "crossover", "policy", "fault", "dist", "moore", "broadcast", "diversity", "latency", "dht", "loadcurve", "stretch"}
+
+	emit := func(name string) error {
+		t, err := printers[name]()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(out, "## %s\n\n%s\n", titles[name], t)
+		return nil
+	}
+	if *table == "all" {
+		for _, name := range order {
+			if err := emit(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if printers[*table] == nil {
+		return fmt.Errorf("unknown table %q", *table)
+	}
+	return emit(*table)
+}

@@ -1,0 +1,73 @@
+package debruijn_test
+
+import (
+	"fmt"
+
+	debruijn "repro"
+)
+
+// The basic flow: parse two site addresses, compute the distance, and
+// generate an optimal route.
+func Example() {
+	x := debruijn.MustParse(2, "0110")
+	y := debruijn.MustParse(2, "1011")
+	d, _ := debruijn.UndirectedDistance(x, y)
+	p, _ := debruijn.RouteUndirectedLinear(x, y)
+	end, _ := p.Apply(x, nil)
+	fmt.Println(d, p, end)
+	// Output: 1 {(1,1)} 1011
+}
+
+func ExampleRouteDirected() {
+	x := debruijn.MustParse(2, "000")
+	y := debruijn.MustParse(2, "111")
+	p, _ := debruijn.RouteDirected(x, y)
+	fmt.Println(p)
+	// Output: {(0,1),(0,1),(0,1)}
+}
+
+func ExampleDirectedDistance() {
+	// Suffix "10" of X matches prefix "10" of Y: distance k - 2.
+	x := debruijn.MustParse(2, "0110")
+	y := debruijn.MustParse(2, "1001")
+	d, _ := debruijn.DirectedDistance(x, y)
+	fmt.Println(d)
+	// Output: 2
+}
+
+func ExampleUndirectedDistance() {
+	// One right shift: 001 = 010⁺(0)... here 000 → 001 needs three
+	// left shifts in the directed graph but only one right shift.
+	x := debruijn.MustParse(2, "001")
+	y := debruijn.MustParse(2, "000")
+	dd, _ := debruijn.DirectedDistance(x, y)
+	ud, _ := debruijn.UndirectedDistance(x, y)
+	fmt.Println(dd, ud)
+	// Output: 3 1
+}
+
+func ExampleRouteUndirected_wildcards() {
+	// Longer routes may contain (a,*) wildcard hops: any digit keeps
+	// the route optimal, which is what the load-balancing policies
+	// exploit.
+	x := debruijn.MustParse(2, "000010")
+	y := debruijn.MustParse(2, "000011")
+	p, _ := debruijn.RouteUndirected(x, y)
+	conc, _ := p.Concrete(x, nil)
+	end, _ := conc.Apply(x, nil)
+	fmt.Println(p, end)
+	// Output: {(1,*),(0,1)} 000011
+}
+
+func ExampleDirectedMeanFormula() {
+	// Equation (5) for the binary network: k - 1 + 2^{-k}.
+	fmt.Printf("%.4f\n", debruijn.DirectedMeanFormula(2, 5))
+	// Output: 4.0312
+}
+
+func ExampleGraph() {
+	g, _ := debruijn.Graph(debruijn.Undirected, 2, 3)
+	dia, _ := g.Diameter()
+	fmt.Println(g.NumVertices(), g.NumEdges(), dia)
+	// Output: 8 13 3
+}

@@ -1,0 +1,65 @@
+// DHT: the paper's routing in its modern home. A Koorde-style
+// distributed hash table places N nodes on the d^k identifier ring of
+// DG(2,k) and resolves lookups by *imaginary* de Bruijn hops — each
+// hop injects one digit of the key, the paper's Algorithm 1 executed
+// over a sparse node population with only two pointers per node.
+// The example grows N and shows the optimized lookup cost tracking
+// ~log₂ N rather than k.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro/internal/dht"
+	"repro/internal/stats"
+	"repro/internal/word"
+)
+
+const k = 16 // 65536 identifiers
+
+func main() {
+	rng := rand.New(rand.NewSource(2026))
+	table := stats.NewTable("nodes", "mean hops", "mean injections", "max hops", "log2 N", "k")
+	for _, n := range []int{8, 32, 128, 512} {
+		ids := make([]word.Word, n)
+		for i := range ids {
+			ids[i] = word.Random(2, k, rng)
+		}
+		ring, err := dht.NewRing(2, k, ids)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var hops, injections stats.Accumulator
+		maxHops := 0
+		for trial := 0; trial < 400; trial++ {
+			key := word.Random(2, k, rng)
+			start := ring.Nodes()[rng.Intn(ring.NumNodes())]
+			res, err := ring.LookupOptimized(start, key)
+			if err != nil {
+				log.Fatal(err)
+			}
+			owner, err := ring.Owner(key)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Owner != owner {
+				log.Fatalf("lookup found %v, owner is %v", res.Owner.ID(), owner.ID())
+			}
+			hops.Add(float64(res.Hops))
+			injections.Add(float64(res.DeBruijnHops))
+			if res.Hops > maxHops {
+				maxHops = res.Hops
+			}
+		}
+		table.AddRow(ring.NumNodes(), hops.Mean(), injections.Mean(), maxHops,
+			math.Log2(float64(ring.NumNodes())), k)
+	}
+	fmt.Printf("Koorde lookups on the %d-identifier de Bruijn ring (k = %d):\n\n", 1<<k, k)
+	fmt.Print(table)
+	fmt.Println("\nEach node keeps 2 pointers; injections grow ~log2(N), not k —")
+	fmt.Println("the 'best imaginary start' is the block identifier minimizing the")
+	fmt.Println("paper's Property 1 distance to the key.")
+}

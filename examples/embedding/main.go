@@ -1,0 +1,150 @@
+// Embedding: the versatility property of §1 (Samatham–Pradhan). A
+// ring, a complete binary tree and a shuffle-exchange workload all run
+// on the same DN(2,k) using shift-move embeddings, so algorithms
+// written for those topologies port directly. The example runs a ring
+// token pass, a tree broadcast, and a shuffle-exchange bit-reversal
+// permutation, counting the de Bruijn hops each costs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/embed"
+	"repro/internal/network"
+	"repro/internal/word"
+)
+
+const (
+	d = 2
+	k = 5
+)
+
+func main() {
+	n, err := network.New(network.Config{D: d, K: k})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ringTokenPass(n)
+	treeBroadcast(n)
+	shuffleExchangePermute(n)
+}
+
+// ringTokenPass sends a token once around the embedded 32-node ring;
+// every step is one de Bruijn hop (dilation 1).
+func ringTokenPass(n *network.Network) {
+	ring, err := embed.Ring(d, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hops := 0
+	for i := range ring {
+		del, err := n.Send(ring[i], ring[(i+1)%len(ring)], "token")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !del.Delivered {
+			log.Fatalf("token dropped: %s", del.DropReason)
+		}
+		hops += del.Hops
+	}
+	fmt.Printf("ring: token passed around %d nodes in %d hops (dilation %.2f)\n",
+		len(ring), hops, float64(hops)/float64(len(ring)))
+}
+
+// treeBroadcast pushes a message from the tree root to all leaves via
+// the embedded complete binary tree, level by level.
+func treeBroadcast(n *network.Network) {
+	levels, err := embed.TreeLevels(d, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	totalHops, msgs := 0, 0
+	for m := 0; m+1 < len(levels); m++ {
+		for i, parent := range levels[m] {
+			for b := 0; b < d; b++ {
+				child := levels[m+1][i*d+b]
+				del, err := n.Send(parent, child, "broadcast")
+				if err != nil {
+					log.Fatal(err)
+				}
+				if !del.Delivered {
+					log.Fatalf("broadcast dropped: %s", del.DropReason)
+				}
+				totalHops += del.Hops
+				msgs++
+			}
+		}
+	}
+	nodes := 0
+	for _, level := range levels {
+		nodes += len(level)
+	}
+	fmt.Printf("tree: broadcast to %d-node complete binary tree used %d messages, %d hops (dilation %.2f)\n",
+		nodes, msgs, totalHops, float64(totalHops)/float64(msgs))
+}
+
+// shuffleExchangePermute routes the classical bit-reversal permutation
+// with shuffle and exchange steps only, as a shuffle-exchange machine
+// would, and counts the emulation cost on the de Bruijn network.
+func shuffleExchangePermute(n *network.Network) {
+	var sources []word.Word
+	if _, err := word.ForEach(d, k, func(w word.Word) bool {
+		sources = append(sources, w)
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	totalHops := 0
+	for _, src := range sources {
+		// Bit reversal via k shuffle steps, exchanging when the bit
+		// moved into the last position must flip (standard SE routing:
+		// k rounds of shuffle-then-conditional-exchange).
+		cur := src
+		target := src.Reverse()
+		for round := 0; round < k; round++ {
+			// Exchange first: the digit written into the last position
+			// in round r ends, after the remaining rotations, at final
+			// position (r-1) mod k.
+			wantDigit := target.Digit((round + k - 1) % k)
+			if cur.Digit(k-1) != wantDigit {
+				next, p, err := embed.Exchange(cur, wantDigit)
+				if err != nil {
+					log.Fatal(err)
+				}
+				totalHops += mustHops(n, cur, next, p)
+				cur = next
+			}
+			// Then shuffle: one hop.
+			next, p := embed.Shuffle(cur)
+			totalHops += mustHops(n, cur, next, p)
+			cur = next
+		}
+		// After k rounds cur = reverse(src) — check.
+		if !cur.Equal(target) {
+			log.Fatalf("SE routing failed: %v reached %v, want %v", src, cur, target)
+		}
+	}
+	fmt.Printf("shuffle-exchange: bit-reversal permutation for all %d sources cost %d hops (%.2f per source)\n",
+		len(sources), totalHops, float64(totalHops)/float64(len(sources)))
+}
+
+// mustHops injects a message along an explicit emulation path and
+// returns the hops it took.
+func mustHops(n *network.Network, from, to word.Word, p core.Path) int {
+	del, err := n.Inject(network.Message{
+		Control: network.ControlData,
+		Source:  from,
+		Dest:    to,
+		Route:   p,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !del.Delivered {
+		log.Fatalf("emulation hop dropped: %s", del.DropReason)
+	}
+	return del.Hops
+}

@@ -1,0 +1,94 @@
+// Faulttolerance: the Pradhan–Reddy property (§1 of the paper) driven
+// end to end. DN(d,k) tolerates up to d-1 failed sites — in fact the
+// undirected network's vertex connectivity is 2d-2. The example fails
+// sites in DN(2,6), shows non-adaptive messages being dropped,
+// switches to adaptive rerouting, and measures the detour cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/network"
+	"repro/internal/word"
+)
+
+func main() {
+	const d, k = 2, 6
+
+	// Structural guarantee first: every single-site failure (d-1 = 1)
+	// leaves the network connected.
+	g, err := graph.DeBruijn(graph.Undirected, d, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := fault.ExhaustiveTolerance(g, d-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DG(%d,%d): all %d single-failure sets keep the network connected: %v\n",
+		d, k, rep.Sets, rep.Tolerated)
+	conn, err := fault.MinVertexConnectivity(g, 200, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sampled vertex connectivity: %d (theory: 2d-2 = %d)\n\n", conn, 2*d-2)
+
+	// Now the network view: fail two sites on the optimal route.
+	failed := []word.Word{
+		word.MustParse(2, "001101"),
+		word.MustParse(2, "011010"),
+	}
+	src := word.MustParse(2, "000110")
+	dst := word.MustParse(2, "110100")
+
+	run := func(adaptive bool) {
+		n, err := network.New(network.Config{D: d, K: k, Adaptive: adaptive, Trace: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, f := range failed {
+			if err := n.FailSite(f); err != nil {
+				log.Fatal(err)
+			}
+		}
+		del, err := n.Send(src, dst, "payload")
+		if err != nil {
+			log.Fatal(err)
+		}
+		mode := "non-adaptive"
+		if adaptive {
+			mode = "adaptive"
+		}
+		if del.Delivered {
+			fmt.Printf("%s: delivered in %d hops (%d reroutes)\n", mode, del.Hops, del.Rerouted)
+			fmt.Print("  trace: ")
+			for i, w := range del.Trace {
+				if i > 0 {
+					fmt.Print(" → ")
+				}
+				fmt.Print(w)
+			}
+			fmt.Println()
+		} else {
+			fmt.Printf("%s: DROPPED (%s)\n", mode, del.DropReason)
+		}
+	}
+	run(false)
+	run(true)
+
+	// Average detour cost over many pairs with those two failures.
+	failedIdx := make([]int, len(failed))
+	for i, f := range failed {
+		failedIdx[i] = graph.DeBruijnVertex(f)
+	}
+	res, err := fault.RerouteStretch(g, failedIdx, 2000, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreroute cost over %d random pairs with 2 failures:\n", res.Pairs)
+	fmt.Printf("  mean stretch %.4f, max stretch %.2f, mean extra hops %.4f, disconnected %d\n",
+		res.MeanStretch, res.MaxStretch, res.MeanExtraHops, res.Disconnected)
+}

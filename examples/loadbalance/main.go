@@ -1,0 +1,45 @@
+// Loadbalance: the paper's wildcard remark in action. Routes produced
+// by Algorithm 2/4 contain (a,*) hops whose digit any forwarding site
+// may choose; resolving them with a least-loaded policy evens the link
+// loads compared with always inserting digit 0. The example runs the
+// same 20 000-message uniform workload on DN(2,8) under all three
+// policies and prints the resulting load statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/network"
+	"repro/internal/stats"
+)
+
+func main() {
+	const (
+		d, k     = 2, 8
+		messages = 20000
+		seed     = 42
+	)
+	table := stats.NewTable("policy", "delivered", "mean hops", "max link load", "load gini")
+	for _, policy := range []network.Policy{
+		network.PolicyFirst{},
+		network.PolicyRandom{},
+		network.PolicyLeastLoaded{},
+	} {
+		n, err := network.New(network.Config{D: d, K: k, Policy: policy, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sum, err := network.RunWorkload(n, network.Uniform{D: d, K: k}, messages)
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.AddRow(policy.Name(), sum.Delivered, sum.MeanHops, sum.Net.MaxLinkLoad, sum.Net.LoadGini)
+	}
+	fmt.Printf("DN(%d,%d), %d uniform messages per policy\n\n", d, k, messages)
+	fmt.Print(table)
+	fmt.Println("\nRoutes stay optimal under every policy (hop counts match the")
+	fmt.Println("distance function); only the wildcard digits differ, spreading")
+	fmt.Println("link load — lower gini. (The random policy draws from the same")
+	fmt.Println("seeded stream as the workload, so its traffic sample shifts.)")
+}

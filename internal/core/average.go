@@ -1,0 +1,174 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/word"
+)
+
+// DirectedMeanFormula evaluates equation (5) of the paper:
+//
+//	δ(d,k) = k - (1-α^k)·α/ᾱ,  α = 1/d, ᾱ = 1-α,
+//
+// the paper's closed form for the average distance over ordered vertex
+// pairs (diagonal pairs included, contributing distance 0) in the
+// directed DG(d,k). For d = 2 this is k - 1 + 2^{-k}.
+//
+// The derivation assumes Pr[D = i] = α^{k-i}·ᾱ, which treats the
+// suffix-prefix overlap events as nested; they are not (X = 01, Y = 01
+// overlaps at length 2 but not 1), so equation (5) slightly
+// overestimates the exact mean. Experiment E3 quantifies the gap,
+// which vanishes as k grows.
+func DirectedMeanFormula(d, k int) float64 {
+	alpha := 1.0 / float64(d)
+	return float64(k) - (1-math.Pow(alpha, float64(k)))*alpha/(1-alpha)
+}
+
+// MeanResult reports an average-distance measurement.
+type MeanResult struct {
+	Mean  float64 // average over ordered pairs, diagonal included
+	Pairs int     // number of pairs measured
+	Exact bool    // true when every ordered pair was enumerated
+	// StdErr is the standard error of the sampled mean (0 when Exact).
+	StdErr float64
+}
+
+// maxExactPairs bounds the work of exact enumeration: N² pairs, each
+// O(k) (directed) or O(k²) (undirected).
+const maxExactVertices = 4096
+
+// ErrTooLarge signals that exact enumeration was refused; callers
+// should sample instead.
+var ErrTooLarge = errors.New("core: graph too large for exact enumeration")
+
+// DirectedMeanExact computes the exact average directed distance over
+// all N² ordered pairs using Property 1. Refuses graphs with more
+// than 4096 vertices (use DirectedMeanSampled).
+func DirectedMeanExact(d, k int) (MeanResult, error) {
+	return meanExact(d, k, DirectedDistance)
+}
+
+// UndirectedMeanExact computes the exact average undirected distance
+// over all N² ordered pairs using Theorem 2 — the Figure 2 quantity.
+// Refuses graphs with more than 4096 vertices.
+func UndirectedMeanExact(d, k int) (MeanResult, error) {
+	return meanExact(d, k, UndirectedDistance)
+}
+
+func meanExact(d, k int, dist func(x, y word.Word) (int, error)) (MeanResult, error) {
+	n, err := word.Count(d, k)
+	if err != nil {
+		return MeanResult{}, err
+	}
+	if n > maxExactVertices {
+		return MeanResult{}, fmt.Errorf("%w: N=%d", ErrTooLarge, n)
+	}
+	words := make([]word.Word, 0, n)
+	if _, err := word.ForEach(d, k, func(w word.Word) bool {
+		words = append(words, w)
+		return true
+	}); err != nil {
+		return MeanResult{}, err
+	}
+	var sum float64
+	for _, x := range words {
+		for _, y := range words {
+			dd, err := dist(x, y)
+			if err != nil {
+				return MeanResult{}, err
+			}
+			sum += float64(dd)
+		}
+	}
+	return MeanResult{Mean: sum / float64(n*n), Pairs: n * n, Exact: true}, nil
+}
+
+// DirectedMeanSampled estimates the average directed distance from
+// `samples` uniform ordered pairs drawn with the given seed.
+func DirectedMeanSampled(d, k, samples int, seed int64) (MeanResult, error) {
+	return meanSampled(d, k, samples, seed, DirectedDistance)
+}
+
+// UndirectedMeanSampled estimates the average undirected distance from
+// `samples` uniform ordered pairs drawn with the given seed; the
+// Figure 2 estimator beyond 4096 vertices.
+func UndirectedMeanSampled(d, k, samples int, seed int64) (MeanResult, error) {
+	return meanSampled(d, k, samples, seed, UndirectedDistance)
+}
+
+func meanSampled(d, k, samples int, seed int64, dist func(x, y word.Word) (int, error)) (MeanResult, error) {
+	if samples < 1 {
+		return MeanResult{}, fmt.Errorf("core: need at least one sample, got %d", samples)
+	}
+	if _, err := word.Count(d, k); err != nil {
+		return MeanResult{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var sum, sumSq float64
+	for i := 0; i < samples; i++ {
+		x := word.Random(d, k, rng)
+		y := word.Random(d, k, rng)
+		dd, err := dist(x, y)
+		if err != nil {
+			return MeanResult{}, err
+		}
+		sum += float64(dd)
+		sumSq += float64(dd) * float64(dd)
+	}
+	mean := sum / float64(samples)
+	variance := sumSq/float64(samples) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return MeanResult{
+		Mean:   mean,
+		Pairs:  samples,
+		StdErr: math.Sqrt(variance / float64(samples)),
+	}, nil
+}
+
+// DirectedDistanceDistribution returns count[i] = number of ordered
+// pairs at directed distance i (0..k), by exact enumeration.
+func DirectedDistanceDistribution(d, k int) ([]int, error) {
+	return distanceDistribution(d, k, DirectedDistance)
+}
+
+// UndirectedDistanceDistribution returns count[i] = number of ordered
+// pairs at undirected distance i (0..k), by exact enumeration.
+func UndirectedDistanceDistribution(d, k int) ([]int, error) {
+	return distanceDistribution(d, k, UndirectedDistance)
+}
+
+func distanceDistribution(d, k int, dist func(x, y word.Word) (int, error)) ([]int, error) {
+	n, err := word.Count(d, k)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxExactVertices {
+		return nil, fmt.Errorf("%w: N=%d", ErrTooLarge, n)
+	}
+	words := make([]word.Word, 0, n)
+	if _, err := word.ForEach(d, k, func(w word.Word) bool {
+		words = append(words, w)
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	counts := make([]int, k+1)
+	for _, x := range words {
+		for _, y := range words {
+			dd, err := dist(x, y)
+			if err != nil {
+				return nil, err
+			}
+			if dd < 0 || dd > k {
+				return nil, fmt.Errorf("core: distance %d outside [0,%d]", dd, k)
+			}
+			counts[dd]++
+		}
+	}
+	return counts, nil
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestDirectedMeanFormulaBinaryClosedForm(t *testing.T) {
+	// For d = 2 equation (5) reduces to k - 1 + 2^{-k}.
+	for k := 1; k <= 12; k++ {
+		want := float64(k) - 1 + math.Pow(2, -float64(k))
+		got := DirectedMeanFormula(2, k)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("δ(2,%d) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestDirectedMeanExactKnown(t *testing.T) {
+	// Hand-enumerated DG(2,2): distance sum over the 16 ordered pairs
+	// is 18, mean 1.125 (equation (5) gives 1.25 — see doc comment).
+	res, err := DirectedMeanExact(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Pairs != 16 {
+		t.Fatalf("res = %+v", res)
+	}
+	if math.Abs(res.Mean-1.125) > 1e-12 {
+		t.Errorf("exact δ(2,2) = %v, want 1.125", res.Mean)
+	}
+}
+
+func TestDirectedMeanFormulaUpperBoundsExact(t *testing.T) {
+	// The nested-overlap approximation can only overestimate: the true
+	// ball sizes |{Y : D ≤ i}| are at least the formula's d^i.
+	for _, dk := range [][2]int{{2, 2}, {2, 3}, {2, 4}, {2, 5}, {2, 6}, {3, 2}, {3, 3}, {4, 2}} {
+		d, k := dk[0], dk[1]
+		res, err := DirectedMeanExact(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		formula := DirectedMeanFormula(d, k)
+		if res.Mean > formula+1e-12 {
+			t.Errorf("DG(%d,%d): exact %v exceeds formula %v", d, k, res.Mean, formula)
+		}
+		// The overestimate stays below one hop (the union-bound
+		// correction Σ_i [P(D ≤ i) - α^{k-i}] is < 1; measured gaps:
+		// ≈0.55 at d=2,k=6, shrinking quickly as d grows — see
+		// EXPERIMENTS.md E3).
+		if formula-res.Mean >= 1.0 {
+			t.Errorf("DG(%d,%d): gap %v unexpectedly large", d, k, formula-res.Mean)
+		}
+	}
+}
+
+func TestMeansAgreeWithGraphBFS(t *testing.T) {
+	// The distance-function means must equal graph BFS means. Graph
+	// AvgDistance excludes the diagonal; convert denominators.
+	for _, dk := range [][2]int{{2, 3}, {2, 4}, {3, 2}, {3, 3}} {
+		d, k := dk[0], dk[1]
+		for _, kind := range []graph.Kind{graph.Directed, graph.Undirected} {
+			g, err := graph.DeBruijn(kind, d, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bfsMean, err := g.AvgDistance()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res MeanResult
+			if kind == graph.Directed {
+				res, err = DirectedMeanExact(d, k)
+			} else {
+				res, err = UndirectedMeanExact(d, k)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := float64(g.NumVertices())
+			want := bfsMean * (n * (n - 1)) / (n * n)
+			if math.Abs(res.Mean-want) > 1e-9 {
+				t.Errorf("%v DG(%d,%d): mean %v, BFS-derived %v", kind, d, k, res.Mean, want)
+			}
+		}
+	}
+}
+
+func TestUndirectedMeanBelowDirected(t *testing.T) {
+	for _, dk := range [][2]int{{2, 3}, {2, 5}, {3, 3}, {4, 2}} {
+		dRes, err := DirectedMeanExact(dk[0], dk[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		uRes, err := UndirectedMeanExact(dk[0], dk[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uRes.Mean > dRes.Mean+1e-12 {
+			t.Errorf("DG(%d,%d): undirected mean %v above directed %v", dk[0], dk[1], uRes.Mean, dRes.Mean)
+		}
+	}
+}
+
+func TestMeanExactRefusesLargeGraphs(t *testing.T) {
+	if _, err := DirectedMeanExact(2, 13); err == nil {
+		t.Error("exact mean accepted 8192 vertices")
+	}
+	if _, err := UndirectedDistanceDistribution(2, 13); err == nil {
+		t.Error("distribution accepted 8192 vertices")
+	}
+}
+
+func TestSampledMeanConvergesToExact(t *testing.T) {
+	exact, err := UndirectedMeanExact(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := UndirectedMeanSampled(2, 6, 20000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.Exact {
+		t.Error("sampled result claims exactness")
+	}
+	if diff := math.Abs(sampled.Mean - exact.Mean); diff > 5*sampled.StdErr+0.02 {
+		t.Errorf("sampled %v vs exact %v: diff %v, stderr %v", sampled.Mean, exact.Mean, diff, sampled.StdErr)
+	}
+	if sampled.StdErr <= 0 {
+		t.Error("sampled stderr not positive")
+	}
+}
+
+func TestSampledMeanDeterministicGivenSeed(t *testing.T) {
+	a, err := DirectedMeanSampled(3, 8, 500, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DirectedMeanSampled(3, 8, 500, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mean != b.Mean {
+		t.Error("sampled mean not deterministic for equal seeds")
+	}
+	if _, err := DirectedMeanSampled(3, 8, 0, 1); err == nil {
+		t.Error("accepted zero samples")
+	}
+}
+
+func TestDistributionsSumToAllPairs(t *testing.T) {
+	for _, dk := range [][2]int{{2, 3}, {2, 5}, {3, 3}} {
+		d, k := dk[0], dk[1]
+		n := 1
+		for i := 0; i < k; i++ {
+			n *= d
+		}
+		for name, f := range map[string]func(d, k int) ([]int, error){
+			"directed":   DirectedDistanceDistribution,
+			"undirected": UndirectedDistanceDistribution,
+		} {
+			counts, err := f(d, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := 0
+			for _, c := range counts {
+				sum += c
+			}
+			if sum != n*n {
+				t.Errorf("%s DG(%d,%d): distribution sums to %d, want %d", name, d, k, sum, n*n)
+			}
+			if counts[0] != n {
+				t.Errorf("%s DG(%d,%d): %d pairs at distance 0, want %d", name, d, k, counts[0], n)
+			}
+		}
+	}
+}
+
+func TestDirectedDistributionMatchesOverlapCounting(t *testing.T) {
+	// Property 1 structure: the number of ordered pairs with D ≤ i is
+	// at least N·d^i (Y agreeing with X on the length k-i overlap).
+	counts, err := DirectedDistanceDistribution(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 16
+	cum := 0
+	pow := 1
+	for i := 0; i <= 4; i++ {
+		cum += counts[i]
+		if cum < n*pow {
+			t.Errorf("cumulative pairs at D ≤ %d is %d, below N·d^i = %d", i, cum, n*pow)
+		}
+		pow *= 2
+	}
+	if cum != n*n {
+		t.Errorf("total %d", cum)
+	}
+}

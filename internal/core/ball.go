@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// Ball growth analysis. Equation (5)'s derivation implicitly assumes
+// the directed ball |{Y : D(X,Y) ≤ i}| equals d^i exactly — the
+// number of words whose (k-i)-prefix matches X's (k-i)-suffix. The
+// true ball also contains words reachable through *longer* overlaps
+// that do not extend (X = 01 reaches Y = 01 at distance 0 although
+// their length-1 overlap fails), so it can only be larger. These
+// functions measure the truth; experiment E3b tabulates it.
+
+// BallSizesDirected returns sizes[i] = |{Y : D(X,Y) ≤ i}| for
+// i = 0..k in the directed DG(d,k), by enumeration (O(N·k) time).
+func BallSizesDirected(x word.Word) ([]int, error) {
+	return ballSizes(x, DirectedDistance)
+}
+
+// BallSizesUndirected is the undirected counterpart (O(N·k²) time).
+func BallSizesUndirected(x word.Word) ([]int, error) {
+	return ballSizes(x, UndirectedDistance)
+}
+
+func ballSizes(x word.Word, dist func(a, b word.Word) (int, error)) ([]int, error) {
+	if x.IsZero() {
+		return nil, fmt.Errorf("core: zero-value word")
+	}
+	d, k := x.Base(), x.Len()
+	n, err := word.Count(d, k)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxExactVertices {
+		return nil, fmt.Errorf("%w: N=%d", ErrTooLarge, n)
+	}
+	counts := make([]int, k+1)
+	if _, err := word.ForEach(d, k, func(y word.Word) bool {
+		dd, derr := dist(x, y)
+		if derr != nil {
+			err = derr
+			return false
+		}
+		counts[dd]++
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	sizes := make([]int, k+1)
+	cum := 0
+	for i := 0; i <= k; i++ {
+		cum += counts[i]
+		sizes[i] = cum
+	}
+	return sizes, nil
+}
+
+// MeanBallSizesDirected averages BallSizesDirected over every source
+// X of DG(d,k): out[i] is the mean |ball(X, i)|. The formula's
+// assumption corresponds to out[i] = d^i; the measured excess is
+// exactly the bias of equation (5):
+//
+//	δ_formula − δ_exact = Σ_{i=0}^{k-1} (out[i] − d^i) / d^k.
+func MeanBallSizesDirected(d, k int) ([]float64, error) {
+	n, err := word.Count(d, k)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxExactVertices {
+		return nil, fmt.Errorf("%w: N=%d", ErrTooLarge, n)
+	}
+	sums := make([]float64, k+1)
+	if _, err := word.ForEach(d, k, func(x word.Word) bool {
+		sizes, serr := BallSizesDirected(x)
+		if serr != nil {
+			err = serr
+			return false
+		}
+		for i, s := range sizes {
+			sums[i] += float64(s)
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	for i := range sums {
+		sums[i] /= float64(n)
+	}
+	return sums, nil
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestBallSizesDirectedLowerBound(t *testing.T) {
+	// |ball(X,i)| ≥ d^i always (the formula's value), with equality
+	// failing somewhere for small d.
+	for _, dk := range [][2]int{{2, 3}, {2, 5}, {3, 3}} {
+		d, k := dk[0], dk[1]
+		anyExcess := false
+		if _, err := word.ForEach(d, k, func(x word.Word) bool {
+			sizes, err := BallSizesDirected(x)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pow := 1
+			for i := 0; i <= k; i++ {
+				if sizes[i] < pow {
+					t.Fatalf("ball(%v,%d) = %d below d^i = %d", x, i, sizes[i], pow)
+				}
+				if sizes[i] > pow {
+					anyExcess = true
+				}
+				if i < k {
+					pow *= d
+				}
+			}
+			if sizes[k] != pow {
+				t.Fatalf("full ball of %v = %d, want N = %d", x, sizes[k], pow)
+			}
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !anyExcess {
+			t.Errorf("DG(%d,%d): no ball ever exceeded d^i; eq (5) would be exact", d, k)
+		}
+	}
+}
+
+func TestBallSizesUndirectedDominateDirected(t *testing.T) {
+	x := word.MustParse(2, "01101")
+	dir, err := BallSizesDirected(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	und, err := BallSizesUndirected(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dir {
+		if und[i] < dir[i] {
+			t.Errorf("undirected ball(%d) = %d below directed %d", i, und[i], dir[i])
+		}
+	}
+}
+
+func TestMeanBallSizesExplainEq5Gap(t *testing.T) {
+	// The measured mean ball excess accounts exactly for the formula
+	// bias: δ_formula − δ_exact = Σ_i (meanBall[i] − d^i) / d^k... the
+	// division by d^k is already folded into meanBall's normalization
+	// per source, so the identity is Σ_{i<k}(meanBall[i] − d^i)/d^k
+	// with meanBall a per-source mean: rescale accordingly.
+	d, k := 2, 5
+	mean, err := MeanBallSizesDirected(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := math.Pow(float64(d), float64(k))
+	var excess float64
+	pow := 1.0
+	for i := 0; i < k; i++ {
+		excess += (mean[i] - pow) / n
+		pow *= float64(d)
+	}
+	formula := DirectedMeanFormula(d, k)
+	exact, err := DirectedMeanExact(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := formula - exact.Mean
+	if math.Abs(gap-excess) > 1e-9 {
+		t.Errorf("gap %v != ball excess %v", gap, excess)
+	}
+}
+
+func TestBallSizesValidation(t *testing.T) {
+	if _, err := BallSizesDirected(word.Word{}); err == nil {
+		t.Error("accepted zero-value word")
+	}
+	if _, err := MeanBallSizesDirected(2, 13); err == nil {
+		t.Error("accepted oversized graph")
+	}
+	if _, err := MeanBallSizesDirected(2, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+}

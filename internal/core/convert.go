@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// HopBetween identifies the shift move turning u into its neighbor v:
+// a type-L hop when v = u⁻(b), otherwise a type-R hop when v = u⁺(b).
+// Left shifts are preferred when both realize the move (alternating
+// words). The boolean is false when v is not a neighbor of u.
+func HopBetween(u, v word.Word) (Hop, bool) {
+	if u.Base() != v.Base() || u.Len() != v.Len() || u.Len() == 0 {
+		return Hop{}, false
+	}
+	k := u.Len()
+	if b := v.Digit(k - 1); u.ShiftLeft(b).Equal(v) {
+		return L(b), true
+	}
+	if b := v.Digit(0); u.ShiftRight(b).Equal(v) {
+		return R(b), true
+	}
+	return Hop{}, false
+}
+
+// PathFromVertices converts an explicit vertex walk (as produced by a
+// BFS reroute) into a routing path. Every consecutive pair must be a
+// shift move.
+func PathFromVertices(walk []word.Word) (Path, error) {
+	if len(walk) == 0 {
+		return nil, fmt.Errorf("core: empty walk")
+	}
+	p := make(Path, 0, len(walk)-1)
+	for i := 1; i < len(walk); i++ {
+		h, ok := HopBetween(walk[i-1], walk[i])
+		if !ok {
+			return nil, fmt.Errorf("core: step %v→%v is not a shift move", walk[i-1], walk[i])
+		}
+		p = append(p, h)
+	}
+	return p, nil
+}
+
+// Vertices expands a concrete path from src into the full vertex walk
+// (length Len()+1, starting at src). Wildcard hops are rejected;
+// resolve them first with Concrete.
+func (p Path) Vertices(src word.Word) ([]word.Word, error) {
+	out := make([]word.Word, 0, len(p)+1)
+	out = append(out, src)
+	cur := src
+	for i, h := range p {
+		if h.Wildcard {
+			return nil, fmt.Errorf("core: hop %d is a wildcard; call Concrete first", i)
+		}
+		next, err := Path{h}.Apply(cur, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, next)
+		cur = next
+	}
+	return out, nil
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestHopBetween(t *testing.T) {
+	u := word.MustParse(2, "0110")
+	if h, ok := HopBetween(u, word.MustParse(2, "1101")); !ok || h.Type != TypeL || h.Digit != 1 {
+		t.Errorf("HopBetween L = %v %v", h, ok)
+	}
+	if h, ok := HopBetween(u, word.MustParse(2, "1011")); !ok || h.Type != TypeR || h.Digit != 1 {
+		t.Errorf("HopBetween R = %v %v", h, ok)
+	}
+	if _, ok := HopBetween(u, word.MustParse(2, "1111")); ok {
+		t.Error("HopBetween accepted non-neighbor")
+	}
+	if _, ok := HopBetween(u, word.MustParse(3, "0110")); ok {
+		t.Error("HopBetween accepted mixed base")
+	}
+	if _, ok := HopBetween(u, word.MustParse(2, "011")); ok {
+		t.Error("HopBetween accepted mixed length")
+	}
+}
+
+func TestHopBetweenPrefersLeftOnAlternating(t *testing.T) {
+	// 0101 → 1010 is both a left shift (insert 0) and a right shift
+	// (insert 1).
+	u := word.MustParse(2, "0101")
+	v := word.MustParse(2, "1010")
+	h, ok := HopBetween(u, v)
+	if !ok || h.Type != TypeL {
+		t.Errorf("HopBetween = %v %v, want type-L", h, ok)
+	}
+	got, err := (Path{h}).Apply(u, nil)
+	if err != nil || !got.Equal(v) {
+		t.Errorf("apply = %v, %v", got, err)
+	}
+}
+
+func TestPathFromVerticesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for iter := 0; iter < 200; iter++ {
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(10)
+		x, y := word.Random(d, k, rng), word.Random(d, k, rng)
+		p, err := RouteUndirectedLinear(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conc, err := p.Concrete(x, func(int, word.Word, Hop) byte { return byte(rng.Intn(d)) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		walk, err := conc.Vertices(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(walk) != conc.Len()+1 || !walk[0].Equal(x) || !walk[len(walk)-1].Equal(y) {
+			t.Fatalf("walk %v for path %v", walk, conc)
+		}
+		back, err := PathFromVertices(walk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		end, err := back.Apply(x, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !end.Equal(y) {
+			t.Fatalf("reconstructed path ends at %v, want %v", end, y)
+		}
+		if back.Len() != conc.Len() {
+			t.Fatalf("reconstructed length %d, want %d", back.Len(), conc.Len())
+		}
+	}
+}
+
+func TestPathFromVerticesRejects(t *testing.T) {
+	if _, err := PathFromVertices(nil); err == nil {
+		t.Error("accepted empty walk")
+	}
+	walk := []word.Word{word.MustParse(2, "00"), word.MustParse(2, "11")}
+	if _, err := PathFromVertices(walk); err == nil {
+		t.Error("accepted non-shift step")
+	}
+}
+
+func TestVerticesRejectsWildcard(t *testing.T) {
+	if _, err := (Path{LStar()}).Vertices(word.MustParse(2, "01")); err == nil {
+		t.Error("Vertices accepted wildcard hop")
+	}
+}
+
+func TestVerticesSingleVertex(t *testing.T) {
+	x := word.MustParse(2, "01")
+	walk, err := (Path{}).Vertices(x)
+	if err != nil || len(walk) != 1 || !walk[0].Equal(x) {
+		t.Errorf("walk = %v, %v", walk, err)
+	}
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"repro/internal/match"
+	"repro/internal/word"
+)
+
+// DirectedDistance implements Property 1: the distance from X to Y in
+// the directed DG(d,k) is k - l, where l is the largest s such that
+// the length-s suffix of X equals the length-s prefix of Y (equation
+// (2)). Computed in O(k) with one Morris–Pratt scan.
+func DirectedDistance(x, y word.Word) (int, error) {
+	if err := validatePair(x, y); err != nil {
+		return 0, err
+	}
+	return x.Len() - match.Overlap(rawDigits(x), rawDigits(y)), nil
+}
+
+// anchor captures the minimizing tuple of one half of Theorem 2's
+// distance expression, using the paper's 1-based coordinates:
+// for the l-part, dist = 2k-1+s-t-theta with theta = l_{s,t}(X,Y);
+// for the r-part, dist = 2k-1-s+t-theta with theta = r_{s,t}(X,Y).
+type anchor struct {
+	s, t, theta int
+	dist        int
+}
+
+// bestLQuadratic minimizes 2k-1+i-j-l_{i,j} over all 1 ≤ i,j ≤ k by
+// computing each matching-function row with Algorithm 3: the O(k²)
+// step of Algorithm 2 (lines 3), in O(k) space as Section 3.2's
+// rewritten loop prescribes.
+func bestLQuadratic(x, y []byte) anchor {
+	k := len(x)
+	best := anchor{dist: 1 << 30}
+	for i := 1; i <= k; i++ {
+		row := match.LRow(x, y, i-1) // row[j-1] = l_{i,j}
+		for j := 1; j <= k; j++ {
+			d := 2*k - 1 + i - j - row[j-1]
+			if d < best.dist {
+				best = anchor{s: i, t: j, theta: row[j-1], dist: d}
+			}
+		}
+	}
+	return best
+}
+
+// bestRQuadratic minimizes 2k-1-i+j-r_{i,j} over all 1 ≤ i,j ≤ k,
+// the line-4 counterpart of bestLQuadratic.
+func bestRQuadratic(x, y []byte) anchor {
+	k := len(x)
+	best := anchor{dist: 1 << 30}
+	for i := 1; i <= k; i++ {
+		row := match.RRow(x, y, i-1) // row[j-1] = r_{i,j}
+		for j := 1; j <= k; j++ {
+			d := 2*k - 1 - i + j - row[j-1]
+			if d < best.dist {
+				best = anchor{s: i, t: j, theta: row[j-1], dist: d}
+			}
+		}
+	}
+	return best
+}
+
+// UndirectedDistance implements Theorem 2: the distance between X and
+// Y in the undirected DG(d,k) is
+//
+//	2k-1 + min{ min_{i,j}(i-j-l_{i,j}), min_{i,j}(-i+j-r_{i,j}) }.
+//
+// This is the O(k²) evaluation used by Algorithm 2; the O(k)
+// evaluation via the compact prefix tree is UndirectedDistanceLinear.
+func UndirectedDistance(x, y word.Word) (int, error) {
+	if err := validatePair(x, y); err != nil {
+		return 0, err
+	}
+	if x.Equal(y) {
+		return 0, nil
+	}
+	xd, yd := rawDigits(x), rawDigits(y)
+	dl := bestLQuadratic(xd, yd).dist
+	dr := bestRQuadratic(xd, yd).dist
+	if dr < dl {
+		return dr, nil
+	}
+	return dl, nil
+}
+
+// UndirectedDistanceCorollary implements Corollary 4, which restricts
+// the minimization ranges: the l-part needs only i ≤ j and the r-part
+// only j ≤ i (pairs outside those ranges cannot beat the trivial
+// length-k path). The report's rendering of the corollary garbles the
+// second range; the restriction used here is re-derived from the
+// bounds l_{i,j} ≤ min(j, k-i+1) and r_{i,j} ≤ min(i, k-j+1) and is
+// verified against the full-range Theorem 2 in the tests.
+func UndirectedDistanceCorollary(x, y word.Word) (int, error) {
+	if err := validatePair(x, y); err != nil {
+		return 0, err
+	}
+	if x.Equal(y) {
+		return 0, nil
+	}
+	xd, yd := rawDigits(x), rawDigits(y)
+	k := x.Len()
+	best := 1 << 30
+	for i := 1; i <= k; i++ {
+		lrow := match.LRow(xd, yd, i-1)
+		for j := i; j <= k; j++ {
+			if d := 2*k - 1 + i - j - lrow[j-1]; d < best {
+				best = d
+			}
+		}
+		rrow := match.RRow(xd, yd, i-1)
+		for j := 1; j <= i; j++ {
+			if d := 2*k - 1 - i + j - rrow[j-1]; d < best {
+				best = d
+			}
+		}
+	}
+	return best, nil
+}
+
+// rawDigits returns the digit slice of w. Words are immutable from the
+// outside, so the copy made by Digits keeps call sites honest; the
+// distance functions are hot paths, so they share one copy per call.
+func rawDigits(w word.Word) []byte { return w.Digits() }

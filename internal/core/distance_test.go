@@ -1,0 +1,272 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/match"
+	"repro/internal/word"
+)
+
+// allWords enumerates the vertices of DG(d,k).
+func allWords(t *testing.T, d, k int) []word.Word {
+	t.Helper()
+	var out []word.Word
+	if _, err := word.ForEach(d, k, func(w word.Word) bool {
+		out = append(out, w)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// bfsAll computes all-pairs BFS distances on the de Bruijn graph.
+func bfsAll(t *testing.T, kind graph.Kind, d, k int) [][]int {
+	t.Helper()
+	g, err := graph.DeBruijn(kind, d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([][]int, g.NumVertices())
+	for v := range out {
+		dist, err := g.BFSFrom(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[v] = dist
+	}
+	return out
+}
+
+var smallCases = [][2]int{{2, 1}, {2, 2}, {2, 3}, {2, 4}, {2, 5}, {3, 1}, {3, 2}, {3, 3}, {4, 2}, {5, 2}}
+
+func TestDirectedDistanceVsBFS(t *testing.T) {
+	// E2: Property 1 agrees with BFS on every ordered pair.
+	for _, dk := range smallCases {
+		d, k := dk[0], dk[1]
+		words := allWords(t, d, k)
+		bfs := bfsAll(t, graph.Directed, d, k)
+		for i, x := range words {
+			for j, y := range words {
+				got, err := DirectedDistance(x, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != bfs[i][j] {
+					t.Fatalf("DG(%d,%d): D(%v,%v) = %d, BFS = %d", d, k, x, y, got, bfs[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestUndirectedDistanceVsBFS(t *testing.T) {
+	// E2: Theorem 2 agrees with BFS on every ordered pair.
+	for _, dk := range smallCases {
+		d, k := dk[0], dk[1]
+		words := allWords(t, d, k)
+		bfs := bfsAll(t, graph.Undirected, d, k)
+		for i, x := range words {
+			for j, y := range words {
+				got, err := UndirectedDistance(x, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != bfs[i][j] {
+					t.Fatalf("DG(%d,%d): D(%v,%v) = %d, BFS = %d", d, k, x, y, got, bfs[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestUndirectedDistanceLinearMatchesQuadratic(t *testing.T) {
+	// Exhaustive equality of the prefix-tree evaluation (Algorithm 4)
+	// with the failure-function evaluation (Algorithm 2).
+	for _, dk := range smallCases {
+		d, k := dk[0], dk[1]
+		words := allWords(t, d, k)
+		for _, x := range words {
+			for _, y := range words {
+				quad, err := UndirectedDistance(x, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lin, err := UndirectedDistanceLinear(x, y)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if quad != lin {
+					t.Fatalf("DG(%d,%d): quadratic %d != linear %d for (%v,%v)", d, k, quad, lin, x, y)
+				}
+			}
+		}
+	}
+}
+
+func TestUndirectedDistanceLinearMatchesQuadraticLargeK(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 300; iter++ {
+		d := 2 + rng.Intn(4)
+		k := 1 + rng.Intn(40)
+		x, y := word.Random(d, k, rng), word.Random(d, k, rng)
+		quad, err := UndirectedDistance(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin, err := UndirectedDistanceLinear(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if quad != lin {
+			t.Fatalf("quadratic %d != linear %d for (%v,%v)", quad, lin, x, y)
+		}
+	}
+}
+
+func TestUndirectedDistanceCorollaryMatchesTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	for iter := 0; iter < 500; iter++ {
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(16)
+		x, y := word.Random(d, k, rng), word.Random(d, k, rng)
+		full, err := UndirectedDistance(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restricted, err := UndirectedDistanceCorollary(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full != restricted {
+			t.Fatalf("Corollary 4 %d != Theorem 2 %d for (%v,%v)", restricted, full, x, y)
+		}
+	}
+}
+
+func TestDistanceKnownValues(t *testing.T) {
+	// Hand-checked examples on DG(2,3), Figure 1.
+	p := func(s string) word.Word { return word.MustParse(2, s) }
+	// Directed: 000 → 111 must take 3 steps; 010 → 101 takes 1 (left
+	// shift inserting 1); 101 → 010 takes 1.
+	cases := []struct {
+		x, y string
+		want int
+	}{
+		{"000", "111", 3},
+		{"010", "101", 1},
+		{"101", "010", 1},
+		{"000", "000", 0},
+		{"000", "001", 1},
+		// 001→000: no suffix of 001 is a prefix of 000 ("1", "01",
+		// "001" all fail), so l = 0 and D = k = 3.
+		{"001", "000", 3},
+		{"011", "110", 1},
+	}
+	for _, c := range cases {
+		got, err := DirectedDistance(p(c.x), p(c.y))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("directed D(%s,%s) = %d, want %d", c.x, c.y, got, c.want)
+		}
+	}
+	// Undirected: 001 → 000 is 1 hop (right shift inserting 0).
+	got, err := UndirectedDistance(p("001"), p("000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("undirected D(001,000) = %d, want 1", got)
+	}
+}
+
+func TestDistanceSymmetryUndirected(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for iter := 0; iter < 500; iter++ {
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(12)
+		x, y := word.Random(d, k, rng), word.Random(d, k, rng)
+		a, err := UndirectedDistance(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := UndirectedDistance(y, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a != b {
+			t.Fatalf("undirected distance not symmetric: %d vs %d for (%v,%v)", a, b, x, y)
+		}
+	}
+}
+
+func TestDistanceBounds(t *testing.T) {
+	// 0 ≤ D ≤ k; D = 0 iff X = Y; undirected ≤ directed.
+	rng := rand.New(rand.NewSource(34))
+	for iter := 0; iter < 1000; iter++ {
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(14)
+		x, y := word.Random(d, k, rng), word.Random(d, k, rng)
+		dd, err := DirectedDistance(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ud, err := UndirectedDistance(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dd < 0 || dd > k || ud < 0 || ud > k {
+			t.Fatalf("distance out of [0,%d]: directed %d undirected %d", k, dd, ud)
+		}
+		if ud > dd {
+			t.Fatalf("undirected %d exceeds directed %d for (%v,%v)", ud, dd, x, y)
+		}
+		if (dd == 0) != x.Equal(y) || (ud == 0) != x.Equal(y) {
+			t.Fatalf("zero distance iff equality violated for (%v,%v)", x, y)
+		}
+	}
+}
+
+func TestDistanceValidatesOperands(t *testing.T) {
+	x := word.MustParse(2, "01")
+	if _, err := DirectedDistance(x, word.MustParse(3, "01")); err == nil {
+		t.Error("DirectedDistance accepted mixed bases")
+	}
+	if _, err := UndirectedDistance(x, word.MustParse(2, "011")); err == nil {
+		t.Error("UndirectedDistance accepted mixed lengths")
+	}
+	if _, err := UndirectedDistanceLinear(x, word.Word{}); err == nil {
+		t.Error("UndirectedDistanceLinear accepted zero value")
+	}
+	if _, err := UndirectedDistanceCorollary(word.Word{}, x); err == nil {
+		t.Error("UndirectedDistanceCorollary accepted zero value")
+	}
+}
+
+// TestPaperPrefixTreeStringIsInconsistent documents why Algorithm 4 is
+// implemented over S = X⊥Y⊤ rather than the report's X⊥Ȳ⊤: in the
+// report's string, the LCP of the X-leaf at i and the Ȳ-leaf at
+// 2k+2-j matches X forward against Y *backward*, which differs from
+// the matching function l_{i,j} of definition (8) that Theorem 2 uses.
+func TestPaperPrefixTreeStringIsInconsistent(t *testing.T) {
+	// X = 010, Y = 001: l_{1,3} = 2 because x1x2 = "01" = y2y3.
+	x := []byte{0, 1, 0}
+	y := []byte{0, 0, 1}
+	if got := match.NaiveL(x, y, 0, 2); got != 2 {
+		t.Fatalf("l_{1,3} = %d, want 2", got)
+	}
+	// The report's S = X⊥Ȳ⊤ = 010⊥100⊤; LCP(position 1, position
+	// 2k+2-j = 5) compares "010⊥…" with "00⊤" → 1 ≠ l_{1,3}.
+	s := []byte{0, 1, 0, markBot, 1, 0, 0, markTop}
+	lcp := 0
+	for s[lcp] == s[4+lcp] {
+		lcp++
+	}
+	if lcp == 2 {
+		t.Fatal("report's construction unexpectedly matches l_{i,j}; revisit DESIGN.md note")
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/word"
+)
+
+// FuzzDistanceEquivalence throws arbitrary digit material at the three
+// undirected distance evaluations and the route generators: they must
+// agree with each other and produce walks of the claimed length.
+func FuzzDistanceEquivalence(f *testing.F) {
+	f.Add(uint8(2), []byte{0, 1, 1, 0}, []byte{1, 0, 0, 1})
+	f.Add(uint8(3), []byte{0, 1, 2}, []byte{2, 1, 0})
+	f.Add(uint8(2), []byte{0}, []byte{1})
+	f.Fuzz(func(t *testing.T, base uint8, xd, yd []byte) {
+		if len(xd) != len(yd) || len(xd) == 0 || len(xd) > 64 {
+			return
+		}
+		x, err := word.New(int(base), xd)
+		if err != nil {
+			return
+		}
+		y, err := word.New(int(base), yd)
+		if err != nil {
+			return
+		}
+		quad, err := UndirectedDistance(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lin, err := UndirectedDistanceLinear(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cor, err := UndirectedDistanceCorollary(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if quad != lin || quad != cor {
+			t.Fatalf("distances disagree for (%v,%v): quad %d lin %d cor %d", x, y, quad, lin, cor)
+		}
+		for name, route := range map[string]func(a, b word.Word) (Path, error){
+			"alg2": RouteUndirected,
+			"alg4": RouteUndirectedLinear,
+		} {
+			p, err := route(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Len() != quad {
+				t.Fatalf("%s: path length %d, want %d", name, p.Len(), quad)
+			}
+			end, err := p.Apply(x, FirstDigit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !end.Equal(y) {
+				t.Fatalf("%s: walk ends at %v, want %v", name, end, y)
+			}
+		}
+	})
+}
+
+// FuzzDirectedAgainstBFS compares Property 1 with BFS on small graphs
+// reachable from fuzzed digit material.
+func FuzzDirectedAgainstBFS(f *testing.F) {
+	f.Add([]byte{0, 1, 1}, []byte{1, 1, 0})
+	f.Fuzz(func(t *testing.T, xd, yd []byte) {
+		if len(xd) != len(yd) || len(xd) == 0 || len(xd) > 8 {
+			return
+		}
+		x, err := word.New(2, xd)
+		if err != nil {
+			return
+		}
+		y, err := word.New(2, yd)
+		if err != nil {
+			return
+		}
+		got, err := DirectedDistance(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.DeBruijn(graph.Directed, 2, x.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := g.Distance(graph.DeBruijnVertex(x), graph.DeBruijnVertex(y))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("D(%v,%v) = %d, BFS %d", x, y, got, want)
+		}
+	})
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/word"
+)
+
+// Metric axioms of the distance functions: Theorem 2's distance is a
+// metric on the vertex set; Property 1's directed distance is a
+// quasimetric (no symmetry).
+
+func TestUndirectedTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(10)
+		x := word.Random(d, k, rng)
+		y := word.Random(d, k, rng)
+		z := word.Random(d, k, rng)
+		dxz, err := UndirectedDistance(x, z)
+		if err != nil {
+			return false
+		}
+		dxy, err := UndirectedDistance(x, y)
+		if err != nil {
+			return false
+		}
+		dyz, err := UndirectedDistance(y, z)
+		if err != nil {
+			return false
+		}
+		return dxz <= dxy+dyz
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDirectedTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(10)
+		x := word.Random(d, k, rng)
+		y := word.Random(d, k, rng)
+		z := word.Random(d, k, rng)
+		dxz, err := DirectedDistance(x, z)
+		if err != nil {
+			return false
+		}
+		dxy, err := DirectedDistance(x, y)
+		if err != nil {
+			return false
+		}
+		dyz, err := DirectedDistance(y, z)
+		if err != nil {
+			return false
+		}
+		return dxz <= dxy+dyz
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOneHopChangesDistanceByAtMostOne(t *testing.T) {
+	// |D(X,Z) - D(X',Z)| ≤ 1 for any neighbor X' of X (undirected).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(10)
+		x := word.Random(d, k, rng)
+		z := word.Random(d, k, rng)
+		var nb word.Word
+		a := byte(rng.Intn(d))
+		if rng.Intn(2) == 0 {
+			nb = x.ShiftLeft(a)
+		} else {
+			nb = x.ShiftRight(a)
+		}
+		dx, err := UndirectedDistance(x, z)
+		if err != nil {
+			return false
+		}
+		dn, err := UndirectedDistance(nb, z)
+		if err != nil {
+			return false
+		}
+		diff := dx - dn
+		if diff < 0 {
+			diff = -diff
+		}
+		// A shift that lands on X itself (constant word) changes
+		// nothing; otherwise the step is one edge.
+		return diff <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAllWildcardRealizationsAreShortest enumerates every concrete
+// realization of a wildcard-bearing optimal path and checks each is a
+// valid shortest path — the basis of the traffic-balancing remark.
+func TestAllWildcardRealizationsAreShortest(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	tried := 0
+	for tried < 60 {
+		d := 2 + rng.Intn(2)
+		k := 2 + rng.Intn(6)
+		x, y := word.Random(d, k, rng), word.Random(d, k, rng)
+		p, err := RouteUndirectedLinear(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stars []int
+		for i, h := range p {
+			if h.Wildcard {
+				stars = append(stars, i)
+			}
+		}
+		if len(stars) == 0 || len(stars) > 6 {
+			continue
+		}
+		tried++
+		want, err := UndirectedDistance(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 1
+		for range stars {
+			total *= d
+		}
+		for mask := 0; mask < total; mask++ {
+			conc := make(Path, len(p))
+			copy(conc, p)
+			m := mask
+			for _, idx := range stars {
+				conc[idx] = Hop{Type: p[idx].Type, Digit: byte(m % d)}
+				m /= d
+			}
+			end, err := conc.Apply(x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !end.Equal(y) {
+				t.Fatalf("realization %v of %v does not reach %v", conc, p, y)
+			}
+			if conc.Len() != want {
+				t.Fatalf("realization has %d hops, want %d", conc.Len(), want)
+			}
+		}
+	}
+}
+
+// TestDistanceHammingUpperBound checks D(X,Y) ≤ k against a trivially
+// different metric: distances never exceed the diameter even for
+// adversarially similar words.
+func TestDistanceDiameterBoundAdversarial(t *testing.T) {
+	// Words differing in exactly one digit.
+	rng := rand.New(rand.NewSource(64))
+	for iter := 0; iter < 200; iter++ {
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(12)
+		x := word.Random(d, k, rng)
+		digits := x.Digits()
+		pos := rng.Intn(k)
+		digits[pos] = byte((int(digits[pos]) + 1) % d)
+		y, err := word.New(d, digits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ud, err := UndirectedDistance(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ud < 1 || ud > k {
+			t.Fatalf("one-digit change: distance %d outside [1,%d]", ud, k)
+		}
+		// Changing digit at position pos (0-based) needs at least
+		// enough shifts to expose it: min(pos+1, k-pos) left-or-right
+		// round trips — loose sanity: ≤ 2·min(pos+1, k-pos).
+		reach := pos + 1
+		if k-pos < reach {
+			reach = k - pos
+		}
+		if ud > 2*reach {
+			t.Fatalf("one-digit change at %d: distance %d exceeds 2·%d", pos, ud, reach)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"repro/internal/match"
+	"repro/internal/word"
+)
+
+// MultiRouteUndirected returns up to limit *distinct* shortest routing
+// paths from X to Y in the bi-directional network, one per optimal
+// matching-function anchor (every (i,j) whose l- or r-term attains the
+// Theorem 2 minimum yields its own line-8/line-9 construction), plus
+// the trivial path when the distance is k. Distinctness is up to the
+// wildcard pattern: each returned path has its own hop-type/digit
+// shape, and every concrete realization of any of them is a shortest
+// path. Multipath senders spread load across these.
+//
+// The enumeration is not exhaustive — the graph may contain shortest
+// paths outside Algorithm 2's two canonical shapes — but every
+// returned path is optimal, which is what multipath forwarding needs.
+// O(k²) time, like Algorithm 2.
+func MultiRouteUndirected(x, y word.Word, limit int) ([]Path, error) {
+	if err := validatePair(x, y); err != nil {
+		return nil, err
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	if x.Equal(y) {
+		return []Path{{}}, nil
+	}
+	xd, yd := rawDigits(x), rawDigits(y)
+	k := x.Len()
+	dist, err := UndirectedDistance(x, y)
+	if err != nil {
+		return nil, err
+	}
+	var out []Path
+	seen := make(map[string]bool)
+	add := func(p Path) bool {
+		key := p.String()
+		if seen[key] {
+			return len(out) < limit
+		}
+		seen[key] = true
+		out = append(out, p)
+		return len(out) < limit
+	}
+	if dist == k {
+		// Line 6: the trivial directed path.
+		p := make(Path, 0, k)
+		for j := 0; j < k; j++ {
+			p = append(p, L(y.Digit(j)))
+		}
+		if !add(p) {
+			return out, nil
+		}
+	}
+	// Every optimal l-anchor.
+	for i := 1; i <= k; i++ {
+		row := match.LRow(xd, yd, i-1)
+		for j := 1; j <= k; j++ {
+			if 2*k-1+i-j-row[j-1] == dist {
+				a := anchor{s: i, t: j, theta: row[j-1], dist: dist}
+				if !add(buildLine8(y, a)) {
+					return out, nil
+				}
+			}
+		}
+	}
+	// Every optimal r-anchor.
+	for i := 1; i <= k; i++ {
+		row := match.RRow(xd, yd, i-1)
+		for j := 1; j <= k; j++ {
+			if 2*k-1-i+j-row[j-1] == dist {
+				a := anchor{s: i, t: j, theta: row[j-1], dist: dist}
+				if !add(buildLine9(y, a)) {
+					return out, nil
+				}
+			}
+		}
+	}
+	return out, nil
+}

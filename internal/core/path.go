@@ -1,0 +1,201 @@
+// Package core implements the paper's contribution: the distance
+// functions of the directed and undirected de Bruijn graphs (Property
+// 1, Theorem 2, Corollary 4), the optimal routing algorithms
+// (Algorithms 1, 2 and 4), and the average-distance analysis of
+// Section 2 (equation (5) and the Figure 2 numerics).
+//
+// Vertices are d-ary words of length k (package word). A routing path
+// is the Section 3 sequence of pairs (a_i, b_i): a_i selects the
+// neighbor type (0 = type-L, reached by a left shift; 1 = type-R,
+// reached by a right shift) and b_i the inserted digit. The special
+// digit "*" of the paper's remark — any neighbor of the given type —
+// is represented by Hop.Wildcard, enabling the traffic balancing
+// exercised in the network simulator.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/word"
+)
+
+// HopType selects which shift a hop performs, the a_i of the paper.
+type HopType byte
+
+const (
+	// TypeL is a left shift to X⁻(b): the paper's a = 0.
+	TypeL HopType = 0
+	// TypeR is a right shift to X⁺(b): the paper's a = 1.
+	TypeR HopType = 1
+)
+
+func (t HopType) String() string {
+	switch t {
+	case TypeL:
+		return "L"
+	case TypeR:
+		return "R"
+	default:
+		return fmt.Sprintf("HopType(%d)", byte(t))
+	}
+}
+
+// Hop is one element (a_i, b_i) of a routing path. When Wildcard is
+// set the Digit is immaterial: the forwarding site may choose any
+// neighbor of the given type (the paper's "(a,*)" extension).
+type Hop struct {
+	Type     HopType
+	Digit    byte
+	Wildcard bool
+}
+
+// L returns a concrete type-L hop inserting digit b.
+func L(b byte) Hop { return Hop{Type: TypeL, Digit: b} }
+
+// R returns a concrete type-R hop inserting digit b.
+func R(b byte) Hop { return Hop{Type: TypeR, Digit: b} }
+
+// LStar returns the wildcard type-L hop (0,*).
+func LStar() Hop { return Hop{Type: TypeL, Wildcard: true} }
+
+// RStar returns the wildcard type-R hop (1,*).
+func RStar() Hop { return Hop{Type: TypeR, Wildcard: true} }
+
+func (h Hop) String() string {
+	b := "*"
+	if !h.Wildcard {
+		b = string("0123456789abcdefghijklmnopqrstuvwxyz"[h.Digit])
+	}
+	return fmt.Sprintf("(%d,%s)", byte(h.Type), b)
+}
+
+// Path is a routing path {(a_1,b_1), ..., (a_n,b_n)}; its length is
+// the number of hops.
+type Path []Hop
+
+// Errors reported when applying paths.
+var (
+	ErrBadChooser = errors.New("core: wildcard hop needs a chooser")
+	ErrBadDigit   = errors.New("core: hop digit out of alphabet")
+)
+
+// Chooser resolves a wildcard hop at walk position i to a concrete
+// digit; the network simulator plugs load-balancing policies in here.
+type Chooser func(i int, at word.Word, h Hop) byte
+
+// FirstDigit is the trivial chooser: always insert digit 0.
+func FirstDigit(int, word.Word, Hop) byte { return 0 }
+
+// Len returns the number of hops.
+func (p Path) Len() int { return len(p) }
+
+// String renders the path in the paper's pair notation.
+func (p Path) String() string {
+	if len(p) == 0 {
+		return "{}"
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, h := range p {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(h.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// HasWildcard reports whether any hop is a wildcard.
+func (p Path) HasWildcard() bool {
+	for _, h := range p {
+		if h.Wildcard {
+			return true
+		}
+	}
+	return false
+}
+
+// Apply walks the path from the given source, resolving wildcard hops
+// with choose (required if any hop is a wildcard; concrete paths may
+// pass nil), and returns the final vertex.
+func (p Path) Apply(from word.Word, choose Chooser) (word.Word, error) {
+	cur := from
+	for i, h := range p {
+		digit := h.Digit
+		if h.Wildcard {
+			if choose == nil {
+				return word.Word{}, fmt.Errorf("%w: hop %d", ErrBadChooser, i)
+			}
+			digit = choose(i, cur, h)
+		}
+		if int(digit) >= cur.Base() {
+			return word.Word{}, fmt.Errorf("%w: hop %d digit %d base %d", ErrBadDigit, i, digit, cur.Base())
+		}
+		switch h.Type {
+		case TypeL:
+			cur = cur.ShiftLeft(digit)
+		case TypeR:
+			cur = cur.ShiftRight(digit)
+		default:
+			return word.Word{}, fmt.Errorf("core: hop %d has invalid type %d", i, h.Type)
+		}
+	}
+	return cur, nil
+}
+
+// Concrete returns a copy of p with every wildcard hop resolved by
+// choose (or digit 0 if choose is nil).
+func (p Path) Concrete(from word.Word, choose Chooser) (Path, error) {
+	out := make(Path, len(p))
+	cur := from
+	for i, h := range p {
+		digit := h.Digit
+		if h.Wildcard {
+			if choose == nil {
+				digit = 0
+			} else {
+				digit = choose(i, cur, h)
+			}
+		}
+		if int(digit) >= cur.Base() {
+			return nil, fmt.Errorf("%w: hop %d digit %d base %d", ErrBadDigit, i, digit, cur.Base())
+		}
+		out[i] = Hop{Type: h.Type, Digit: digit}
+		switch h.Type {
+		case TypeL:
+			cur = cur.ShiftLeft(digit)
+		case TypeR:
+			cur = cur.ShiftRight(digit)
+		default:
+			return nil, fmt.Errorf("core: hop %d has invalid type %d", i, h.Type)
+		}
+	}
+	return out, nil
+}
+
+// OnlyLeftShifts reports whether the path uses type-L hops
+// exclusively, i.e. is realizable in the uni-directional network.
+func (p Path) OnlyLeftShifts() bool {
+	for _, h := range p {
+		if h.Type != TypeL {
+			return false
+		}
+	}
+	return true
+}
+
+func validatePair(x, y word.Word) error {
+	if x.IsZero() || y.IsZero() {
+		return errors.New("core: zero-value word")
+	}
+	if x.Base() != y.Base() {
+		return fmt.Errorf("core: mixed bases %d and %d", x.Base(), y.Base())
+	}
+	if x.Len() != y.Len() {
+		return fmt.Errorf("core: mixed lengths %d and %d", x.Len(), y.Len())
+	}
+	return nil
+}

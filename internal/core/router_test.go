@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestRouterMatchesBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for _, k := range []int{1, 2, 5, 9, 16} {
+		r := NewRouter(k)
+		for iter := 0; iter < 200; iter++ {
+			d := 2 + rng.Intn(3)
+			x, y := word.Random(d, k, rng), word.Random(d, k, rng)
+			wantD, err := UndirectedDistance(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotD, err := r.Distance(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotD != wantD {
+				t.Fatalf("k=%d: Router.Distance(%v,%v) = %d, want %d", k, x, y, gotD, wantD)
+			}
+			p, err := r.Route(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.Len() != wantD {
+				t.Fatalf("k=%d: route length %d, want %d", k, p.Len(), wantD)
+			}
+			end, err := p.Apply(x, FirstDigit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !end.Equal(y) {
+				t.Fatalf("k=%d: route ends at %v, want %v", k, end, y)
+			}
+		}
+	}
+}
+
+func TestRouterReuseIsClean(t *testing.T) {
+	// Back-to-back queries must not leak state between each other:
+	// interleave pairs and compare against fresh computations.
+	r := NewRouter(8)
+	rng := rand.New(rand.NewSource(142))
+	pairs := make([][2]word.Word, 30)
+	for i := range pairs {
+		pairs[i] = [2]word.Word{word.Random(2, 8, rng), word.Random(2, 8, rng)}
+	}
+	for pass := 0; pass < 3; pass++ {
+		for _, pr := range pairs {
+			want, err := UndirectedDistance(pr[0], pr[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := r.Distance(pr[0], pr[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("pass %d: %v→%v = %d, want %d", pass, pr[0], pr[1], got, want)
+			}
+		}
+	}
+}
+
+func TestRouterValidates(t *testing.T) {
+	r := NewRouter(4)
+	if _, err := r.Distance(word.MustParse(2, "01"), word.MustParse(2, "01")); err == nil {
+		t.Error("accepted wrong length")
+	}
+	if _, err := r.Route(word.MustParse(2, "0101"), word.MustParse(3, "0101")); err == nil {
+		t.Error("accepted mixed bases")
+	}
+	if _, err := r.Route(word.Word{}, word.MustParse(2, "0101")); err == nil {
+		t.Error("accepted zero value")
+	}
+	p, err := r.Route(word.MustParse(2, "0101"), word.MustParse(2, "0101"))
+	if err != nil || p.Len() != 0 {
+		t.Errorf("identity route = %v, %v", p, err)
+	}
+}
+
+func TestRouterDistanceAllocFree(t *testing.T) {
+	r := NewRouter(16)
+	rng := rand.New(rand.NewSource(143))
+	x, y := word.Random(2, 16, rng), word.Random(2, 16, rng)
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, err := r.Distance(x, y); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("Router.Distance allocates %v per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,249 @@
+// Package dbseq implements de Bruijn sequences and the Eulerian /
+// Hamiltonian structure of de Bruijn graphs — the "multiple
+// Hamiltonian paths" property the paper's introduction cites (de
+// Bruijn [2], Etzion–Lempel [3]) and the basis of the ring and linear
+// array embeddings of package embed.
+//
+// Two independent constructions are provided: the
+// Fredricksen–Kessler–Maiorana concatenation of Lyndon words, and an
+// Eulerian circuit (Hierholzer) on the order-(n-1) de Bruijn
+// multigraph. Each is the oracle for the other in the tests.
+package dbseq
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// ErrNotEulerian is returned when a multigraph has no Eulerian circuit.
+var ErrNotEulerian = errors.New("dbseq: graph is not Eulerian")
+
+// Sequence returns the lexicographically least de Bruijn sequence
+// B(d,n): a cyclic d-ary sequence of length d^n in which every d-ary
+// word of length n occurs exactly once as a cyclic window. Uses the
+// Fredricksen–Kessler–Maiorana construction (concatenation of Lyndon
+// words of length dividing n), O(d^n) time.
+func Sequence(d, n int) ([]byte, error) {
+	total, err := word.Count(d, n)
+	if err != nil {
+		return nil, err
+	}
+	seq := make([]byte, 0, total)
+	a := make([]byte, n+1)
+	var db func(t, p int)
+	db = func(t, p int) {
+		if t > n {
+			if n%p == 0 {
+				seq = append(seq, a[1:p+1]...)
+			}
+			return
+		}
+		a[t] = a[t-p]
+		db(t+1, p)
+		for j := int(a[t-p]) + 1; j < d; j++ {
+			a[t] = byte(j)
+			db(t+1, t)
+		}
+	}
+	db(1, 1)
+	if len(seq) != total {
+		return nil, fmt.Errorf("dbseq: FKM produced %d symbols, want %d", len(seq), total)
+	}
+	return seq, nil
+}
+
+// MultiGraph is a directed multigraph (parallel arcs and self loops
+// allowed) supporting Eulerian circuits; the order-(n-1) de Bruijn
+// graph with all Nd arcs kept is its main instantiation.
+type MultiGraph struct {
+	adj  [][]int32
+	arcs int
+}
+
+// NewMultiGraph returns an empty multigraph on n vertices.
+func NewMultiGraph(n int) (*MultiGraph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dbseq: need at least one vertex, got %d", n)
+	}
+	return &MultiGraph{adj: make([][]int32, n)}, nil
+}
+
+// NumArcs returns the number of arcs added.
+func (g *MultiGraph) NumArcs() int { return g.arcs }
+
+// AddArc inserts the arc u→v; duplicates and self loops are kept.
+func (g *MultiGraph) AddArc(u, v int) error {
+	n := len(g.adj)
+	if u < 0 || u >= n || v < 0 || v >= n {
+		return fmt.Errorf("dbseq: arc (%d,%d) out of range n=%d", u, v, n)
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.arcs++
+	return nil
+}
+
+// EulerianCircuit returns a closed walk from start using every arc
+// exactly once (Hierholzer's algorithm, O(arcs)). Returns
+// ErrNotEulerian when in-degree ≠ out-degree somewhere or some arc is
+// unreachable from start.
+func (g *MultiGraph) EulerianCircuit(start int) ([]int, error) {
+	n := len(g.adj)
+	if start < 0 || start >= n {
+		return nil, fmt.Errorf("dbseq: start %d out of range", start)
+	}
+	indeg := make([]int, n)
+	for _, outs := range g.adj {
+		for _, v := range outs {
+			indeg[v]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		if indeg[v] != len(g.adj[v]) {
+			return nil, fmt.Errorf("%w: vertex %d has in %d out %d", ErrNotEulerian, v, indeg[v], len(g.adj[v]))
+		}
+	}
+	if g.arcs == 0 {
+		return []int{start}, nil
+	}
+	if len(g.adj[start]) == 0 {
+		return nil, fmt.Errorf("%w: start %d has no arcs", ErrNotEulerian, start)
+	}
+	ptr := make([]int, n)
+	stack := make([]int32, 0, g.arcs+1)
+	stack = append(stack, int32(start))
+	circuit := make([]int, 0, g.arcs+1)
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		if ptr[v] < len(g.adj[v]) {
+			next := g.adj[v][ptr[v]]
+			ptr[v]++
+			stack = append(stack, next)
+		} else {
+			circuit = append(circuit, int(v))
+			stack = stack[:len(stack)-1]
+		}
+	}
+	if len(circuit) != g.arcs+1 {
+		return nil, fmt.Errorf("%w: circuit covers %d arcs of %d (graph disconnected)", ErrNotEulerian, len(circuit)-1, g.arcs)
+	}
+	// Hierholzer emits the circuit reversed.
+	for i, j := 0, len(circuit)-1; i < j; i, j = i+1, j-1 {
+		circuit[i], circuit[j] = circuit[j], circuit[i]
+	}
+	return circuit, nil
+}
+
+// SequenceViaEuler constructs a de Bruijn sequence B(d,n) from an
+// Eulerian circuit of the order-(n-1) de Bruijn multigraph (every
+// n-word is an arc prefix→suffix; the circuit's arc labels spell the
+// sequence). Independent of the FKM construction.
+func SequenceViaEuler(d, n int) ([]byte, error) {
+	if _, err := word.Count(d, n); err != nil {
+		return nil, err
+	}
+	if n == 1 {
+		seq := make([]byte, d)
+		for i := range seq {
+			seq[i] = byte(i)
+		}
+		return seq, nil
+	}
+	nv, err := word.Count(d, n-1)
+	if err != nil {
+		return nil, err
+	}
+	g, err := NewMultiGraph(nv)
+	if err != nil {
+		return nil, err
+	}
+	// Arc for every n-word w = (prefix, last digit): prefix(w) → suffix(w).
+	if _, err := word.ForEach(d, n-1, func(w word.Word) bool {
+		u := int(w.MustRank())
+		for a := 0; a < d; a++ {
+			v := int(w.ShiftLeft(byte(a)).MustRank())
+			if err := g.AddArc(u, v); err != nil {
+				panic(err) // unreachable: ranks in range
+			}
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	circuit, err := g.EulerianCircuit(0)
+	if err != nil {
+		return nil, err
+	}
+	// Each step u→v contributes v's last digit.
+	seq := make([]byte, 0, g.NumArcs())
+	for i := 1; i < len(circuit); i++ {
+		w, err := word.Unrank(d, n-1, uint64(circuit[i]))
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, w.Digit(n-2))
+	}
+	return seq, nil
+}
+
+// IsDeBruijn verifies that seq is a de Bruijn sequence B(d,n): length
+// d^n, digits in range, and all d^n cyclic windows distinct.
+func IsDeBruijn(d, n int, seq []byte) bool {
+	total, err := word.Count(d, n)
+	if err != nil || len(seq) != total {
+		return false
+	}
+	for _, v := range seq {
+		if int(v) >= d {
+			return false
+		}
+	}
+	seen := make(map[uint64]bool, total)
+	for i := 0; i < total; i++ {
+		var r uint64
+		for j := 0; j < n; j++ {
+			r = r*uint64(d) + uint64(seq[(i+j)%total])
+		}
+		if seen[r] {
+			return false
+		}
+		seen[r] = true
+	}
+	return true
+}
+
+// HamiltonianCycle returns a Hamiltonian cycle of the directed
+// DG(d,k) as a vertex sequence of length d^k + 1 (first == last): the
+// consecutive length-k windows of a de Bruijn sequence B(d,k), each
+// step being a left-shift arc.
+func HamiltonianCycle(d, k int) ([]word.Word, error) {
+	seq, err := Sequence(d, k)
+	if err != nil {
+		return nil, err
+	}
+	total := len(seq)
+	cycle := make([]word.Word, 0, total+1)
+	window := make([]byte, k)
+	for i := 0; i <= total; i++ {
+		for j := 0; j < k; j++ {
+			window[j] = seq[(i+j)%total]
+		}
+		w, err := word.New(d, window)
+		if err != nil {
+			return nil, err
+		}
+		cycle = append(cycle, w)
+	}
+	return cycle, nil
+}
+
+// HamiltonianPath returns a Hamiltonian path of the directed DG(d,k):
+// the cycle with its closing arc dropped.
+func HamiltonianPath(d, k int) ([]word.Word, error) {
+	cycle, err := HamiltonianCycle(d, k)
+	if err != nil {
+		return nil, err
+	}
+	return cycle[:len(cycle)-1], nil
+}

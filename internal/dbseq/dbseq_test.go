@@ -1,0 +1,256 @@
+package dbseq
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/word"
+)
+
+func TestSequenceKnownB2(t *testing.T) {
+	// The lexicographically least binary de Bruijn sequences.
+	cases := []struct {
+		n    int
+		want string
+	}{
+		{1, "01"},
+		{2, "0011"},
+		{3, "00010111"},
+		{4, "0000100110101111"},
+	}
+	for _, c := range cases {
+		seq, err := Sequence(2, c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ""
+		for _, v := range seq {
+			got += string('0' + v)
+		}
+		if got != c.want {
+			t.Errorf("B(2,%d) = %s, want %s", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSequenceIsDeBruijn(t *testing.T) {
+	for _, dn := range [][2]int{{2, 1}, {2, 5}, {2, 8}, {3, 3}, {3, 4}, {4, 3}, {5, 2}, {6, 2}} {
+		seq, err := Sequence(dn[0], dn[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsDeBruijn(dn[0], dn[1], seq) {
+			t.Errorf("FKM B(%d,%d) fails verification", dn[0], dn[1])
+		}
+	}
+}
+
+func TestSequenceViaEulerIsDeBruijn(t *testing.T) {
+	for _, dn := range [][2]int{{2, 1}, {2, 2}, {2, 5}, {2, 8}, {3, 3}, {4, 3}, {5, 2}} {
+		seq, err := SequenceViaEuler(dn[0], dn[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsDeBruijn(dn[0], dn[1], seq) {
+			t.Errorf("Euler B(%d,%d) fails verification", dn[0], dn[1])
+		}
+	}
+}
+
+func TestIsDeBruijnRejects(t *testing.T) {
+	if IsDeBruijn(2, 2, []byte{0, 0, 1}) {
+		t.Error("accepted wrong length")
+	}
+	if IsDeBruijn(2, 2, []byte{0, 0, 1, 2}) {
+		t.Error("accepted out-of-alphabet digit")
+	}
+	if IsDeBruijn(2, 2, []byte{0, 1, 0, 1}) {
+		t.Error("accepted repeated window")
+	}
+	if IsDeBruijn(2, 70, nil) {
+		t.Error("accepted overflowing parameters")
+	}
+}
+
+func TestEulerianCircuitSimple(t *testing.T) {
+	// Triangle 0→1→2→0.
+	g, err := NewMultiGraph(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, arc := range [][2]int{{0, 1}, {1, 2}, {2, 0}} {
+		if err := g.AddArc(arc[0], arc[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	circ, err := g.EulerianCircuit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(circ) != 4 || circ[0] != 0 || circ[3] != 0 {
+		t.Errorf("circuit = %v", circ)
+	}
+}
+
+func TestEulerianCircuitWithLoopsAndParallels(t *testing.T) {
+	g, err := NewMultiGraph(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// loop at 0, two parallel 0→1, two parallel 1→0, loop at 1.
+	for _, arc := range [][2]int{{0, 0}, {0, 1}, {0, 1}, {1, 0}, {1, 0}, {1, 1}} {
+		if err := g.AddArc(arc[0], arc[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	circ, err := g.EulerianCircuit(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(circ) != 7 {
+		t.Fatalf("circuit = %v", circ)
+	}
+	// Every arc used exactly once.
+	used := map[[2]int]int{}
+	for i := 1; i < len(circ); i++ {
+		used[[2]int{circ[i-1], circ[i]}]++
+	}
+	want := map[[2]int]int{{0, 0}: 1, {0, 1}: 2, {1, 0}: 2, {1, 1}: 1}
+	for arc, n := range want {
+		if used[arc] != n {
+			t.Errorf("arc %v used %d times, want %d", arc, used[arc], n)
+		}
+	}
+}
+
+func TestEulerianCircuitRejectsUnbalanced(t *testing.T) {
+	g, _ := NewMultiGraph(2)
+	_ = g.AddArc(0, 1)
+	if _, err := g.EulerianCircuit(0); err == nil {
+		t.Error("accepted unbalanced graph")
+	}
+}
+
+func TestEulerianCircuitRejectsDisconnected(t *testing.T) {
+	g, _ := NewMultiGraph(4)
+	// Two separate 2-cycles.
+	for _, arc := range [][2]int{{0, 1}, {1, 0}, {2, 3}, {3, 2}} {
+		_ = g.AddArc(arc[0], arc[1])
+	}
+	if _, err := g.EulerianCircuit(0); err == nil {
+		t.Error("accepted disconnected Eulerian components")
+	}
+}
+
+func TestEulerianCircuitEmptyAndBadStart(t *testing.T) {
+	g, _ := NewMultiGraph(2)
+	circ, err := g.EulerianCircuit(1)
+	if err != nil || len(circ) != 1 || circ[0] != 1 {
+		t.Errorf("empty circuit = %v, %v", circ, err)
+	}
+	if _, err := g.EulerianCircuit(5); err == nil {
+		t.Error("accepted out-of-range start")
+	}
+	_ = g.AddArc(0, 0)
+	if _, err := g.EulerianCircuit(1); err == nil {
+		t.Error("accepted start with no arcs while arcs exist elsewhere")
+	}
+	if _, err := NewMultiGraph(0); err == nil {
+		t.Error("accepted empty multigraph")
+	}
+	if err := g.AddArc(0, 9); err == nil {
+		t.Error("accepted out-of-range arc")
+	}
+}
+
+func TestHamiltonianCycleVisitsEveryVertexOnce(t *testing.T) {
+	for _, dk := range [][2]int{{2, 3}, {2, 6}, {3, 3}, {4, 2}} {
+		d, k := dk[0], dk[1]
+		cycle, err := HamiltonianCycle(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := word.Count(d, k)
+		if len(cycle) != n+1 {
+			t.Fatalf("DG(%d,%d): cycle length %d, want %d", d, k, len(cycle), n+1)
+		}
+		if !cycle[0].Equal(cycle[len(cycle)-1]) {
+			t.Error("cycle not closed")
+		}
+		seen := make(map[string]bool)
+		for _, w := range cycle[:len(cycle)-1] {
+			if seen[w.String()] {
+				t.Fatalf("vertex %v repeated", w)
+			}
+			seen[w.String()] = true
+		}
+		if len(seen) != n {
+			t.Fatalf("cycle visits %d vertices, want %d", len(seen), n)
+		}
+	}
+}
+
+func TestHamiltonianCycleUsesGraphArcs(t *testing.T) {
+	d, k := 2, 5
+	g, err := graph.DeBruijn(graph.Directed, d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle, err := HamiltonianCycle(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(cycle); i++ {
+		u := graph.DeBruijnVertex(cycle[i-1])
+		v := graph.DeBruijnVertex(cycle[i])
+		if !g.HasEdge(u, v) {
+			t.Fatalf("step %v→%v is not an arc", cycle[i-1], cycle[i])
+		}
+	}
+}
+
+func TestHamiltonianPath(t *testing.T) {
+	p, err := HamiltonianPath(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 16 {
+		t.Fatalf("path length %d, want 16", len(p))
+	}
+	if p[0].Equal(p[len(p)-1]) {
+		t.Error("path endpoints coincide")
+	}
+}
+
+func TestSequenceRejectsBadParams(t *testing.T) {
+	if _, err := Sequence(1, 3); err == nil {
+		t.Error("accepted d=1")
+	}
+	if _, err := Sequence(2, 0); err == nil {
+		t.Error("accepted n=0")
+	}
+	if _, err := SequenceViaEuler(2, 0); err == nil {
+		t.Error("Euler accepted n=0")
+	}
+}
+
+func TestTwoConstructionsSameWindowSets(t *testing.T) {
+	// Both constructions are de Bruijn sequences of the same order:
+	// their cyclic window sets are identical (all d^n words).
+	for _, dn := range [][2]int{{2, 4}, {3, 3}} {
+		a, err := Sequence(dn[0], dn[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SequenceViaEuler(dn[0], dn[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsDeBruijn(dn[0], dn[1], a) || !IsDeBruijn(dn[0], dn[1], b) {
+			t.Fatal("construction failed verification")
+		}
+		if len(a) != len(b) {
+			t.Errorf("lengths differ: %d vs %d", len(a), len(b))
+		}
+	}
+}

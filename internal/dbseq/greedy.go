@@ -1,0 +1,161 @@
+package dbseq
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// SequenceGreedy constructs a de Bruijn sequence B(d,n) with the
+// classical "prefer-largest" greedy rule (the binary case is Martin's
+// prefer-one construction): start from n zeros and repeatedly append
+// the largest digit that does not recreate an already-seen length-n
+// window; finally drop the last n-1 symbols (they wrap onto the
+// zero prefix). A third independent construction — the Etzion–Lempel
+// reference of §1 concerns generating many distinct full-length
+// sequences; the three constructions here (FKM, Eulerian, greedy)
+// demonstrate that multiplicity concretely.
+func SequenceGreedy(d, n int) ([]byte, error) {
+	total, err := word.Count(d, n)
+	if err != nil {
+		return nil, err
+	}
+	if n == 1 {
+		seq := make([]byte, d)
+		for i := range seq {
+			seq[i] = byte(d - 1 - i)
+		}
+		return seq, nil
+	}
+	seen := make(map[uint64]bool, total)
+	seq := make([]byte, n) // n zeros
+	rank := func(window []byte) uint64 {
+		var r uint64
+		for _, v := range window {
+			r = r*uint64(d) + uint64(v)
+		}
+		return r
+	}
+	seen[rank(seq)] = true
+	for len(seen) < total {
+		appended := false
+		for a := d - 1; a >= 0; a-- {
+			window := make([]byte, 0, n)
+			window = append(window, seq[len(seq)-n+1:]...)
+			window = append(window, byte(a))
+			r := rank(window)
+			if !seen[r] {
+				seen[r] = true
+				seq = append(seq, byte(a))
+				appended = true
+				break
+			}
+		}
+		if !appended {
+			return nil, fmt.Errorf("dbseq: greedy construction stuck after %d windows (internal error)", len(seen))
+		}
+	}
+	// The linear sequence has total + n - 1 symbols; the cyclic
+	// sequence drops the trailing n-1 zeros that wrap around.
+	seq = seq[:total]
+	if !IsDeBruijn(d, n, seq) {
+		return nil, fmt.Errorf("dbseq: greedy construction produced an invalid sequence (internal error)")
+	}
+	return seq, nil
+}
+
+// DistinctHamiltonianCycles returns `want` pairwise-distinct
+// Hamiltonian cycles of the directed DG(d,k), demonstrating the §1
+// multiplicity property. Cycles come from the three sequence
+// constructions plus digit-permuted variants of the FKM sequence;
+// fewer may be returned if the constructions coincide (they do not,
+// for d ≥ 2 and k ≥ 3).
+func DistinctHamiltonianCycles(d, k, want int) ([][]word.Word, error) {
+	if want < 1 {
+		return nil, fmt.Errorf("dbseq: want %d cycles", want)
+	}
+	var seqs [][]byte
+	fkm, err := Sequence(d, k)
+	if err != nil {
+		return nil, err
+	}
+	seqs = append(seqs, fkm)
+	if eu, err := SequenceViaEuler(d, k); err == nil {
+		seqs = append(seqs, eu)
+	}
+	if gr, err := SequenceGreedy(d, k); err == nil {
+		seqs = append(seqs, gr)
+	}
+	// Digit relabelings of the FKM sequence are de Bruijn sequences
+	// too; cyclic shifts of any sequence give further cycles (the
+	// same cycle with a different start is NOT distinct as a cycle,
+	// so only relabelings are used).
+	for swap := 1; swap < d && len(seqs) < 4*want; swap++ {
+		perm := make([]byte, len(fkm))
+		for i, v := range fkm {
+			switch int(v) {
+			case 0:
+				perm[i] = byte(swap)
+			case swap:
+				perm[i] = 0
+			default:
+				perm[i] = v
+			}
+		}
+		seqs = append(seqs, perm)
+	}
+	var cycles [][]word.Word
+	seenKey := make(map[string]bool)
+	for _, s := range seqs {
+		if len(cycles) == want {
+			break
+		}
+		if !IsDeBruijn(d, k, s) {
+			continue
+		}
+		cycle, err := cycleFromSequence(d, k, s)
+		if err != nil {
+			return nil, err
+		}
+		key := canonicalCycleKey(cycle)
+		if !seenKey[key] {
+			seenKey[key] = true
+			cycles = append(cycles, cycle)
+		}
+	}
+	return cycles, nil
+}
+
+func cycleFromSequence(d, k int, seq []byte) ([]word.Word, error) {
+	total := len(seq)
+	cycle := make([]word.Word, 0, total+1)
+	window := make([]byte, k)
+	for i := 0; i <= total; i++ {
+		for j := 0; j < k; j++ {
+			window[j] = seq[(i+j)%total]
+		}
+		w, err := word.New(d, window)
+		if err != nil {
+			return nil, err
+		}
+		cycle = append(cycle, w)
+	}
+	return cycle, nil
+}
+
+// canonicalCycleKey rotates the cycle to start at its smallest vertex
+// so that the same cycle with different phases compares equal.
+func canonicalCycleKey(cycle []word.Word) string {
+	body := cycle[:len(cycle)-1]
+	best := 0
+	for i := 1; i < len(body); i++ {
+		if body[i].Compare(body[best]) < 0 {
+			best = i
+		}
+	}
+	key := ""
+	for i := 0; i < len(body); i++ {
+		key += body[(best+i)%len(body)].String() + "|"
+	}
+	return key
+}

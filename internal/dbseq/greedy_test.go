@@ -1,0 +1,112 @@
+package dbseq
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/word"
+)
+
+func TestSequenceGreedyIsDeBruijn(t *testing.T) {
+	for _, dn := range [][2]int{{2, 1}, {2, 2}, {2, 5}, {2, 8}, {3, 3}, {4, 3}, {5, 2}} {
+		seq, err := SequenceGreedy(dn[0], dn[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !IsDeBruijn(dn[0], dn[1], seq) {
+			t.Errorf("greedy B(%d,%d) fails verification", dn[0], dn[1])
+		}
+	}
+}
+
+func TestSequenceGreedyKnownBinary(t *testing.T) {
+	// Martin's prefer-one from 000: 0001110100... for n=3 the cyclic
+	// sequence is 00011101.
+	seq, err := SequenceGreedy(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ""
+	for _, v := range seq {
+		got += string('0' + v)
+	}
+	if got != "00011101" {
+		t.Errorf("greedy B(2,3) = %s, want 00011101", got)
+	}
+}
+
+func TestSequenceGreedyDiffersFromFKM(t *testing.T) {
+	// The constructions genuinely differ (multiple Hamiltonian
+	// cycles, §1).
+	fkm, err := Sequence(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := SequenceGreedy(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fkm) == string(greedy) {
+		t.Error("greedy and FKM coincide on B(2,4)")
+	}
+}
+
+func TestDistinctHamiltonianCycles(t *testing.T) {
+	for _, dk := range [][2]int{{2, 4}, {3, 3}} {
+		d, k := dk[0], dk[1]
+		cycles, err := DistinctHamiltonianCycles(d, k, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cycles) < 2 {
+			t.Fatalf("DG(%d,%d): only %d distinct cycles", d, k, len(cycles))
+		}
+		g, err := graph.DeBruijn(graph.Directed, d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make(map[string]bool)
+		for _, cycle := range cycles {
+			if len(cycle) != g.NumVertices()+1 {
+				t.Fatalf("cycle length %d", len(cycle))
+			}
+			for i := 1; i < len(cycle); i++ {
+				if !g.HasEdge(graph.DeBruijnVertex(cycle[i-1]), graph.DeBruijnVertex(cycle[i])) {
+					t.Fatalf("cycle step %v→%v not an arc", cycle[i-1], cycle[i])
+				}
+			}
+			key := canonicalCycleKey(cycle)
+			if keys[key] {
+				t.Fatal("duplicate cycle returned")
+			}
+			keys[key] = true
+		}
+	}
+}
+
+func TestDistinctHamiltonianCyclesValidates(t *testing.T) {
+	if _, err := DistinctHamiltonianCycles(2, 3, 0); err == nil {
+		t.Error("accepted want=0")
+	}
+	if _, err := DistinctHamiltonianCycles(1, 3, 1); err == nil {
+		t.Error("accepted d=1")
+	}
+}
+
+func TestCanonicalCycleKeyPhaseInvariant(t *testing.T) {
+	cycle, err := HamiltonianCycle(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := cycle[:len(cycle)-1]
+	// Rotate the cycle by 3 positions and re-close it: same cycle,
+	// different phase, same canonical key.
+	rotated := make([]word.Word, 0, len(cycle))
+	for i := 0; i < len(body); i++ {
+		rotated = append(rotated, body[(i+3)%len(body)])
+	}
+	rotated = append(rotated, rotated[0])
+	if canonicalCycleKey(cycle) != canonicalCycleKey(rotated) {
+		t.Error("canonical key not phase invariant")
+	}
+}

@@ -1,0 +1,59 @@
+package dht
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// Churn operations. Koorde maintains pointers incrementally with
+// Chord-style stabilization; this static model rebuilds the two
+// pointers of every node on membership change — O(N log N), fine for
+// simulation and clearly correct. The lookup path is identical either
+// way, which is what the experiments measure.
+
+// AddNode inserts a node with the given identifier and rebuilds the
+// ring pointers. Adding an existing identifier is an error.
+func (r *Ring) AddNode(id word.Word) (*Node, error) {
+	if id.Base() != r.d || id.Len() != r.k {
+		return nil, fmt.Errorf("%w: %v", ErrBadID, id)
+	}
+	if _, exists := r.NodeAt(id); exists {
+		return nil, fmt.Errorf("dht: node %v already present", id)
+	}
+	ids := make([]word.Word, 0, len(r.nodes)+1)
+	for _, n := range r.nodes {
+		ids = append(ids, n.id)
+	}
+	ids = append(ids, id)
+	rebuilt, err := NewRing(r.d, r.k, ids)
+	if err != nil {
+		return nil, err
+	}
+	r.nodes = rebuilt.nodes
+	n, _ := r.NodeAt(id)
+	return n, nil
+}
+
+// RemoveNode deletes the node with the given identifier and rebuilds
+// the ring; the last node cannot be removed.
+func (r *Ring) RemoveNode(id word.Word) error {
+	if _, exists := r.NodeAt(id); !exists {
+		return fmt.Errorf("dht: node %v not present", id)
+	}
+	if len(r.nodes) == 1 {
+		return fmt.Errorf("dht: cannot remove the last node")
+	}
+	ids := make([]word.Word, 0, len(r.nodes)-1)
+	for _, n := range r.nodes {
+		if !n.id.Equal(id) {
+			ids = append(ids, n.id)
+		}
+	}
+	rebuilt, err := NewRing(r.d, r.k, ids)
+	if err != nil {
+		return err
+	}
+	r.nodes = rebuilt.nodes
+	return nil
+}

@@ -1,0 +1,99 @@
+package dht
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestAddRemoveNodeKeepsLookupsCorrect(t *testing.T) {
+	r := randomRing(t, 2, 8, 8, 31)
+	rng := rand.New(rand.NewSource(32))
+	for round := 0; round < 30; round++ {
+		// Random churn step.
+		if rng.Intn(2) == 0 || r.NumNodes() <= 2 {
+			id := word.Random(2, 8, rng)
+			if _, exists := r.NodeAt(id); !exists {
+				if _, err := r.AddNode(id); err != nil {
+					t.Fatal(err)
+				}
+			}
+		} else {
+			victim := r.Nodes()[rng.Intn(r.NumNodes())]
+			if err := r.RemoveNode(victim.ID()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Lookups stay correct after every step.
+		for trial := 0; trial < 20; trial++ {
+			key := word.Random(2, 8, rng)
+			start := r.Nodes()[rng.Intn(r.NumNodes())]
+			res, err := r.LookupOptimized(start, key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			owner, err := r.Owner(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Owner != owner {
+				t.Fatalf("round %d: lookup(%v) = %v, owner %v", round, key, res.Owner.ID(), owner.ID())
+			}
+		}
+	}
+}
+
+func TestAddNodeValidates(t *testing.T) {
+	r := randomRing(t, 2, 4, 3, 33)
+	existing := r.Nodes()[0].ID()
+	if _, err := r.AddNode(existing); err == nil {
+		t.Error("accepted duplicate identifier")
+	}
+	if _, err := r.AddNode(word.MustParse(2, "01")); err == nil {
+		t.Error("accepted short identifier")
+	}
+	n, err := r.AddNode(word.MustParse(2, "0110"))
+	if err != nil {
+		if _, exists := r.NodeAt(word.MustParse(2, "0110")); !exists {
+			t.Fatal(err)
+		}
+	} else if !n.ID().Equal(word.MustParse(2, "0110")) {
+		t.Errorf("added node has id %v", n.ID())
+	}
+}
+
+func TestRemoveNodeValidates(t *testing.T) {
+	r, err := NewRing(2, 4, []word.Word{word.MustParse(2, "0001")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.RemoveNode(word.MustParse(2, "1111")); err == nil {
+		t.Error("removed absent node")
+	}
+	if err := r.RemoveNode(word.MustParse(2, "0001")); err == nil {
+		t.Error("removed the last node")
+	}
+}
+
+func TestChurnMaintainsFingerInvariant(t *testing.T) {
+	r := randomRing(t, 2, 6, 6, 34)
+	if _, err := r.AddNode(word.MustParse(2, "111000")); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range r.Nodes() {
+		img := n.ID().ShiftLeft(0).MustRank()
+		f := n.Finger()
+		if f.rank == img {
+			continue
+		}
+		for _, m := range r.Nodes() {
+			if m == f {
+				continue
+			}
+			if inHalfOpen(f.rank, img, m.rank) && m.rank != img {
+				t.Fatalf("after churn: node %v between finger %v and image %d", m.ID(), f.ID(), img)
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package embed realizes the architecture embeddings the paper's
+// introduction cites from Samatham–Pradhan [9]: the de Bruijn network
+// contains linear arrays, rings and complete trees, and emulates the
+// shuffle-exchange network, so workloads written for those topologies
+// run on DN(d,k) directly.
+//
+//   - Ring / LinearArray: dilation-1 embeddings from a Hamiltonian
+//     cycle/path (package dbseq).
+//   - Complete d-ary tree: the node with path label σ (|σ| ≤ k-1) maps
+//     to the vertex 0^{k-1-|σ|} 1 σ; each child edge is a single left
+//     shift (dilation 1).
+//   - Shuffle-exchange: shuffle(X) is the left rotation X⁻(x_1)
+//     (dilation 1); exchange(X) rewrites the last digit via one right
+//     shift followed by one left shift (dilation 2).
+package embed
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dbseq"
+	"repro/internal/word"
+)
+
+// ErrLabel is returned for malformed tree path labels.
+var ErrLabel = errors.New("embed: invalid tree path label")
+
+// Ring returns all d^k vertices in a cyclic order in which every
+// consecutive pair (including last→first) is adjacent in the directed
+// (hence also undirected) DN(d,k): a dilation-1 ring embedding.
+func Ring(d, k int) ([]word.Word, error) {
+	cycle, err := dbseq.HamiltonianCycle(d, k)
+	if err != nil {
+		return nil, err
+	}
+	return cycle[:len(cycle)-1], nil
+}
+
+// LinearArray returns all d^k vertices in an order in which every
+// consecutive pair is adjacent: a dilation-1 linear-array embedding.
+func LinearArray(d, k int) ([]word.Word, error) {
+	return dbseq.HamiltonianPath(d, k)
+}
+
+// TreeVertex maps the complete d-ary tree node with path label sigma
+// (digits of the root-to-node path; the root is the empty label) to
+// its de Bruijn vertex 0^{k-1-|σ|} 1 σ in DG(d,k). Requires
+// |σ| ≤ k-1 and digits < d. Distinct labels map to distinct vertices,
+// and the parent of a node is one right shift away (the child is the
+// parent's left shift inserting the branch digit).
+func TreeVertex(d, k int, sigma []byte) (word.Word, error) {
+	if k < 1 {
+		return word.Word{}, fmt.Errorf("embed: k must be ≥ 1, got %d", k)
+	}
+	if len(sigma) > k-1 {
+		return word.Word{}, fmt.Errorf("%w: depth %d exceeds k-1 = %d", ErrLabel, len(sigma), k-1)
+	}
+	digits := make([]byte, 0, k)
+	for i := 0; i < k-1-len(sigma); i++ {
+		digits = append(digits, 0)
+	}
+	digits = append(digits, 1)
+	digits = append(digits, sigma...)
+	w, err := word.New(d, digits)
+	if err != nil {
+		return word.Word{}, fmt.Errorf("%w: %v", ErrLabel, err)
+	}
+	return w, nil
+}
+
+// TreeSize returns the number of nodes of the embedded complete d-ary
+// tree of depth k-1: (d^k - 1)/(d-1).
+func TreeSize(d, k int) (int, error) {
+	n, err := word.Count(d, k)
+	if err != nil {
+		return 0, err
+	}
+	return (n - 1) / (d - 1), nil
+}
+
+// TreeLevels enumerates the embedded tree level by level:
+// levels[m][i] is the vertex of the i-th node at depth m, ordered by
+// path label. Level m has d^m nodes.
+func TreeLevels(d, k int) ([][]word.Word, error) {
+	if _, err := word.Count(d, k); err != nil {
+		return nil, err
+	}
+	levels := make([][]word.Word, k)
+	var rec func(sigma []byte) error
+	rec = func(sigma []byte) error {
+		w, err := TreeVertex(d, k, sigma)
+		if err != nil {
+			return err
+		}
+		levels[len(sigma)] = append(levels[len(sigma)], w)
+		if len(sigma) == k-1 {
+			return nil
+		}
+		for b := 0; b < d; b++ {
+			if err := rec(append(sigma, byte(b))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(make([]byte, 0, k)); err != nil {
+		return nil, err
+	}
+	return levels, nil
+}
+
+// TreeChildPath returns the one-hop routing path from the tree node
+// with label sigma to its child sigma·b: a single left shift.
+func TreeChildPath(b byte) core.Path { return core.Path{core.L(b)} }
+
+// TreeParentPath returns the one-hop routing path from the tree node
+// with label sigma (non-root) to its parent: a single right shift
+// re-inserting the digit the parent carries at its front, which is 0
+// unless the parent is the root's child boundary case — concretely,
+// the parent vertex 0^{k-m}1σ' is reached from 0^{k-1-m}1σ'b by a
+// right shift inserting 0.
+func TreeParentPath() core.Path { return core.Path{core.R(0)} }
+
+// Shuffle returns the shuffle-exchange "shuffle" neighbor of X — the
+// left rotation — and the one-hop de Bruijn path realizing it.
+func Shuffle(x word.Word) (word.Word, core.Path) {
+	p := core.Path{core.L(x.Digit(0))}
+	return x.ShiftLeft(x.Digit(0)), p
+}
+
+// Unshuffle returns the right rotation and its one-hop path.
+func Unshuffle(x word.Word) (word.Word, core.Path) {
+	last := x.Digit(x.Len() - 1)
+	return x.ShiftRight(last), core.Path{core.R(last)}
+}
+
+// Exchange returns the shuffle-exchange "exchange" neighbor of X —
+// the last digit rewritten to b — and a two-hop de Bruijn path
+// realizing it (right shift inserting a wildcard, then left shift
+// appending b): dilation 2. For the classical binary network, b is
+// the complement of the last digit.
+func Exchange(x word.Word, b byte) (word.Word, core.Path, error) {
+	if int(b) >= x.Base() {
+		return word.Word{}, nil, fmt.Errorf("embed: exchange digit %d out of base %d", b, x.Base())
+	}
+	k := x.Len()
+	target, err := word.New(x.Base(), append(x.Prefix(k-1), b))
+	if err != nil {
+		return word.Word{}, nil, err
+	}
+	if k == 1 {
+		// Degenerate: one left shift reaches (b) directly.
+		return target, core.Path{core.L(b)}, nil
+	}
+	p := core.Path{core.RStar(), core.L(b)}
+	return target, p, nil
+}
+
+// ExchangeBinary flips the last bit of a binary word, the classical
+// exchange edge.
+func ExchangeBinary(x word.Word) (word.Word, core.Path, error) {
+	if x.Base() != 2 {
+		return word.Word{}, nil, fmt.Errorf("embed: ExchangeBinary needs base 2, got %d", x.Base())
+	}
+	return Exchange(x, 1-x.Digit(x.Len()-1))
+}

@@ -1,0 +1,278 @@
+package embed
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/word"
+)
+
+func TestRingIsDilationOne(t *testing.T) {
+	for _, dk := range [][2]int{{2, 3}, {2, 5}, {3, 3}} {
+		d, k := dk[0], dk[1]
+		ring, err := Ring(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := graph.DeBruijn(graph.Directed, d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ring) != g.NumVertices() {
+			t.Fatalf("ring covers %d of %d vertices", len(ring), g.NumVertices())
+		}
+		for i := range ring {
+			u := graph.DeBruijnVertex(ring[i])
+			v := graph.DeBruijnVertex(ring[(i+1)%len(ring)])
+			if !g.HasEdge(u, v) {
+				t.Fatalf("ring step %v→%v not an arc", ring[i], ring[(i+1)%len(ring)])
+			}
+		}
+	}
+}
+
+func TestLinearArrayIsDilationOne(t *testing.T) {
+	d, k := 2, 6
+	arr, err := LinearArray(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.DeBruijn(graph.Directed, d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) != 64 {
+		t.Fatalf("array has %d vertices", len(arr))
+	}
+	for i := 1; i < len(arr); i++ {
+		if !g.HasEdge(graph.DeBruijnVertex(arr[i-1]), graph.DeBruijnVertex(arr[i])) {
+			t.Fatalf("array step %v→%v not an arc", arr[i-1], arr[i])
+		}
+	}
+}
+
+func TestTreeVertexInjective(t *testing.T) {
+	d, k := 2, 5
+	levels, err := TreeLevels(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := TreeSize(d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool)
+	total := 0
+	for m, level := range levels {
+		if len(level) != 1<<m {
+			t.Errorf("level %d has %d nodes, want %d", m, len(level), 1<<m)
+		}
+		for _, w := range level {
+			if seen[w.String()] {
+				t.Fatalf("vertex %v used twice", w)
+			}
+			seen[w.String()] = true
+			total++
+		}
+	}
+	if total != want {
+		t.Errorf("tree has %d nodes, want %d", total, want)
+	}
+}
+
+func TestTreeEdgesAreAdjacent(t *testing.T) {
+	d, k := 2, 5
+	g, err := graph.DeBruijn(graph.Undirected, d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec func(sigma []byte)
+	rec = func(sigma []byte) {
+		if len(sigma) == k-1 {
+			return
+		}
+		parent, err := TreeVertex(d, k, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := byte(0); int(b) < d; b++ {
+			child, err := TreeVertex(d, k, append(sigma, b))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Child edge: one left shift.
+			got, err := TreeChildPath(b).Apply(parent, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(child) {
+				t.Fatalf("child path from %v gives %v, want %v", parent, got, child)
+			}
+			// Parent edge: one right shift.
+			back, err := TreeParentPath().Apply(child, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.Equal(parent) {
+				t.Fatalf("parent path from %v gives %v, want %v", child, back, parent)
+			}
+			if !g.HasEdge(graph.DeBruijnVertex(parent), graph.DeBruijnVertex(child)) {
+				t.Fatalf("tree edge %v–%v not in graph", parent, child)
+			}
+			rec(append(sigma, b))
+		}
+	}
+	rec(nil)
+}
+
+func TestTreeVertexTernary(t *testing.T) {
+	// d = 3: complete ternary tree of (3^3-1)/2 = 13 nodes in DG(3,3).
+	n, err := TreeSize(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 13 {
+		t.Errorf("TreeSize(3,3) = %d, want 13", n)
+	}
+	levels, err := TreeLevels(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels[2]) != 9 {
+		t.Errorf("ternary level 2 has %d nodes", len(levels[2]))
+	}
+}
+
+func TestTreeVertexRejectsBadLabels(t *testing.T) {
+	if _, err := TreeVertex(2, 3, []byte{0, 1, 0}); err == nil {
+		t.Error("accepted label deeper than k-1")
+	}
+	if _, err := TreeVertex(2, 3, []byte{2}); err == nil {
+		t.Error("accepted out-of-alphabet branch digit")
+	}
+	if _, err := TreeVertex(2, 0, nil); err == nil {
+		t.Error("accepted k=0")
+	}
+}
+
+func TestShuffleIsRotation(t *testing.T) {
+	x := word.MustParse(2, "0110")
+	s, p := Shuffle(x)
+	if s.String() != "1100" {
+		t.Errorf("Shuffle = %v", s)
+	}
+	end, err := p.Apply(x, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !end.Equal(s) {
+		t.Errorf("path gives %v, want %v", end, s)
+	}
+	// k rotations return to start.
+	cur := x
+	for i := 0; i < 4; i++ {
+		cur, _ = Shuffle(cur)
+	}
+	if !cur.Equal(x) {
+		t.Errorf("4 shuffles of %v = %v", x, cur)
+	}
+}
+
+func TestUnshuffleInvertsShuffle(t *testing.T) {
+	x := word.MustParse(3, "0212")
+	s, _ := Shuffle(x)
+	back, p := Unshuffle(s)
+	if !back.Equal(x) {
+		t.Errorf("Unshuffle(Shuffle(%v)) = %v", x, back)
+	}
+	end, err := p.Apply(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !end.Equal(x) {
+		t.Errorf("path gives %v", end)
+	}
+}
+
+func TestExchangeRewritesLastDigit(t *testing.T) {
+	x := word.MustParse(2, "0110")
+	got, p, err := ExchangeBinary(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "0111" {
+		t.Errorf("Exchange = %v", got)
+	}
+	if p.Len() != 2 {
+		t.Errorf("dilation = %d, want 2", p.Len())
+	}
+	// Path lands on the target under any wildcard resolution.
+	for digit := byte(0); digit < 2; digit++ {
+		d := digit
+		end, err := p.Apply(x, func(int, word.Word, core.Hop) byte { return d })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !end.Equal(got) {
+			t.Errorf("wildcard %d: path gives %v, want %v", d, end, got)
+		}
+	}
+}
+
+func TestExchangeGeneralDigit(t *testing.T) {
+	x := word.MustParse(3, "021")
+	got, _, err := Exchange(x, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "022" {
+		t.Errorf("Exchange = %v", got)
+	}
+	if _, _, err := Exchange(x, 3); err == nil {
+		t.Error("accepted out-of-base digit")
+	}
+	if _, _, err := ExchangeBinary(x); err == nil {
+		t.Error("ExchangeBinary accepted base 3")
+	}
+}
+
+func TestExchangeDegenerateK1(t *testing.T) {
+	x := word.MustParse(2, "0")
+	got, p, err := ExchangeBinary(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != "1" || p.Len() != 1 {
+		t.Errorf("k=1 exchange = %v via %v", got, p)
+	}
+}
+
+func TestShuffleExchangeEmulationReachesAll(t *testing.T) {
+	// Shuffle+exchange generate the whole binary SE network: from 0^k,
+	// repeated (exchange, shuffle) steps reach every vertex.
+	k := 4
+	start := word.MustParse(2, "0000")
+	seen := map[string]bool{start.String(): true}
+	frontier := []word.Word{start}
+	for len(frontier) > 0 {
+		var next []word.Word
+		for _, w := range frontier {
+			s, _ := Shuffle(w)
+			e, _, err := ExchangeBinary(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []word.Word{s, e} {
+				if !seen[n.String()] {
+					seen[n.String()] = true
+					next = append(next, n)
+				}
+			}
+		}
+		frontier = next
+	}
+	if len(seen) != 1<<k {
+		t.Errorf("shuffle-exchange closure reached %d of %d vertices", len(seen), 1<<k)
+	}
+}

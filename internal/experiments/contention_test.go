@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLatencyShape(t *testing.T) {
+	rows, err := Latency(2, 6, []int{100, 800}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[string]LatencyRow{}
+	for _, r := range rows {
+		if r.MeanSlowdown < 1 {
+			t.Errorf("%s/%d: slowdown %v below 1", r.Policy, r.Messages, r.MeanSlowdown)
+		}
+		byKey[r.Policy+"/"+itoa(r.Messages)] = r
+	}
+	// More load → more contention → higher slowdown, for every policy.
+	for _, p := range []string{"first", "random", "least-loaded"} {
+		low := byKey[p+"/100"]
+		high := byKey[p+"/800"]
+		if high.MeanSlowdown < low.MeanSlowdown {
+			t.Errorf("%s: slowdown fell with load: %v → %v", p, low.MeanSlowdown, high.MeanSlowdown)
+		}
+	}
+	// Balanced planning helps at high load.
+	if byKey["least-loaded/800"].MeanLatency > byKey["first/800"].MeanLatency {
+		t.Errorf("least-loaded latency %v above first %v at high load",
+			byKey["least-loaded/800"].MeanLatency, byKey["first/800"].MeanLatency)
+	}
+}
+
+func TestLatencyTableRenders(t *testing.T) {
+	tbl, err := LatencyTable(2, 5, []int{50}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "slowdown") {
+		t.Error("latency table missing header")
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}

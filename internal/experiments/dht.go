@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"math"
+
+	"repro/internal/dht"
+	"repro/internal/stats"
+	"repro/internal/word"
+)
+
+// DHTRow is one population size of experiment E15: Koorde lookups on
+// the de Bruijn identifier ring.
+type DHTRow struct {
+	Nodes          int
+	K              int
+	MeanHops       float64
+	MeanInjections float64
+	MaxHops        int
+	Log2N          float64
+}
+
+// DHT measures optimized Koorde lookup costs for growing node
+// populations on the 2^k identifier ring.
+func DHT(k int, populations []int, trials int, seed int64) ([]DHTRow, error) {
+	rng := newRand(seed)
+	var rows []DHTRow
+	for _, n := range populations {
+		ids := make([]word.Word, n)
+		for i := range ids {
+			ids[i] = word.Random(2, k, rng)
+		}
+		ring, err := dht.NewRing(2, k, ids)
+		if err != nil {
+			return nil, err
+		}
+		var hops, injections stats.Accumulator
+		maxHops := 0
+		for trial := 0; trial < trials; trial++ {
+			key := word.Random(2, k, rng)
+			start := ring.Nodes()[rng.Intn(ring.NumNodes())]
+			res, err := ring.LookupOptimized(start, key)
+			if err != nil {
+				return nil, err
+			}
+			hops.Add(float64(res.Hops))
+			injections.Add(float64(res.DeBruijnHops))
+			if res.Hops > maxHops {
+				maxHops = res.Hops
+			}
+		}
+		rows = append(rows, DHTRow{
+			Nodes:          ring.NumNodes(),
+			K:              k,
+			MeanHops:       hops.Mean(),
+			MeanInjections: injections.Mean(),
+			MaxHops:        maxHops,
+			Log2N:          math.Log2(float64(ring.NumNodes())),
+		})
+	}
+	return rows, nil
+}
+
+// DHTTable renders E15.
+func DHTTable(k int, populations []int, trials int, seed int64) (*stats.Table, error) {
+	rows, err := DHT(k, populations, trials, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("nodes", "k", "meanHops", "meanInjections", "maxHops", "log2N")
+	for _, r := range rows {
+		t.AddRow(r.Nodes, r.K, r.MeanHops, r.MeanInjections, r.MaxHops, r.Log2N)
+	}
+	return t, nil
+}

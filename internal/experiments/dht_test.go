@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDHTShape(t *testing.T) {
+	rows, err := DHT(14, []int{8, 64, 512}, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		// Injections stay near log2 N, far below k for sparse rings.
+		if r.MeanInjections > r.Log2N+3 {
+			t.Errorf("N=%d: injections %v well above log2N %v", r.Nodes, r.MeanInjections, r.Log2N)
+		}
+		if r.MeanHops < r.MeanInjections {
+			t.Errorf("N=%d: hops %v below injections %v", r.Nodes, r.MeanHops, r.MeanInjections)
+		}
+		if i > 0 && r.MeanInjections <= rows[i-1].MeanInjections {
+			t.Errorf("injections did not grow with N: %v then %v", rows[i-1].MeanInjections, r.MeanInjections)
+		}
+	}
+	// The sparsest ring must sit far below k.
+	if rows[0].MeanInjections > float64(rows[0].K)/2 {
+		t.Errorf("sparse ring injections %v not far below k=%d", rows[0].MeanInjections, rows[0].K)
+	}
+}
+
+func TestDHTTableRenders(t *testing.T) {
+	tbl, err := DHTTable(10, []int{16}, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "meanInjections") {
+		t.Error("dht table missing header")
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"repro/internal/fault"
+	"repro/internal/graph"
+	"repro/internal/network"
+	"repro/internal/stats"
+)
+
+// LoadCurveRow is one offered-load point of experiment E16, the
+// latency-vs-load characteristic of DN(d,k).
+type LoadCurveRow struct {
+	Rate         float64
+	Offered      int
+	MeanLatency  float64
+	P95Latency   int
+	MeanSlowdown float64
+	Saturated    bool
+}
+
+// LoadCurve sweeps arrival rates through the open-loop engine.
+func LoadCurve(d, k int, rates []float64, rounds int, seed int64) ([]LoadCurveRow, error) {
+	var rows []LoadCurveRow
+	for _, rate := range rates {
+		res, err := network.RunOpenLoop(network.OpenLoopConfig{
+			D: d, K: k, Rate: rate, Rounds: rounds, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LoadCurveRow{
+			Rate:         rate,
+			Offered:      res.Offered,
+			MeanLatency:  res.MeanLatency,
+			P95Latency:   res.P95Latency,
+			MeanSlowdown: res.MeanSlowdown,
+			Saturated:    res.Saturated,
+		})
+	}
+	return rows, nil
+}
+
+// LoadCurveTable renders E16.
+func LoadCurveTable(d, k int, rates []float64, rounds int, seed int64) (*stats.Table, error) {
+	rows, err := LoadCurve(d, k, rates, rounds, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("rate", "offered", "meanLatency", "p95", "slowdown", "saturated")
+	for _, r := range rows {
+		t.AddRow(r.Rate, r.Offered, r.MeanLatency, r.P95Latency, r.MeanSlowdown, r.Saturated)
+	}
+	return t, nil
+}
+
+// StretchRow is one failure count of experiment E17: reroute cost as
+// failures accumulate.
+type StretchRow struct {
+	Failures      int
+	Pairs         int
+	Disconnected  int
+	MeanStretch   float64
+	MaxStretch    float64
+	MeanExtraHops float64
+}
+
+// StretchSweep measures reroute stretch on undirected DG(d,k) for
+// growing random failure sets.
+func StretchSweep(d, k int, failures []int, pairs int, seed int64) ([]StretchRow, error) {
+	g, err := graph.DeBruijn(graph.Undirected, d, k)
+	if err != nil {
+		return nil, err
+	}
+	rng := newRand(seed)
+	var rows []StretchRow
+	for _, f := range failures {
+		failed := make(map[int]bool, f)
+		for len(failed) < f {
+			failed[rng.Intn(g.NumVertices())] = true
+		}
+		set := make([]int, 0, f)
+		for v := range failed {
+			set = append(set, v)
+		}
+		res, err := fault.RerouteStretch(g, set, pairs, seed+int64(f))
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, StretchRow{
+			Failures:      f,
+			Pairs:         res.Pairs,
+			Disconnected:  res.Disconnected,
+			MeanStretch:   res.MeanStretch,
+			MaxStretch:    res.MaxStretch,
+			MeanExtraHops: res.MeanExtraHops,
+		})
+	}
+	return rows, nil
+}
+
+// StretchTable renders E17.
+func StretchTable(d, k int, failures []int, pairs int, seed int64) (*stats.Table, error) {
+	rows, err := StretchSweep(d, k, failures, pairs, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("failures", "pairs", "disconnected", "meanStretch", "maxStretch", "extraHops")
+	for _, r := range rows {
+		t.AddRow(r.Failures, r.Pairs, r.Disconnected, r.MeanStretch, r.MaxStretch, r.MeanExtraHops)
+	}
+	return t, nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadCurveShape(t *testing.T) {
+	rows, err := LoadCurve(2, 6, []float64{0.02, 0.10, 0.25}, 80, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.MeanSlowdown < 1 {
+			t.Errorf("rate %v: slowdown %v below 1", r.Rate, r.MeanSlowdown)
+		}
+		if i > 0 && !rows[i].Saturated && !rows[i-1].Saturated {
+			if rows[i].MeanLatency < rows[i-1].MeanLatency {
+				t.Errorf("latency fell with load: %v → %v", rows[i-1].MeanLatency, rows[i].MeanLatency)
+			}
+		}
+	}
+	if rows[0].Saturated {
+		t.Error("lowest rate saturated")
+	}
+}
+
+func TestStretchSweepShape(t *testing.T) {
+	rows, err := StretchSweep(2, 6, []int{0, 1, 2, 4}, 300, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0].MeanStretch != 1 || rows[0].MeanExtraHops != 0 {
+		t.Errorf("fault-free stretch = %+v", rows[0])
+	}
+	for _, r := range rows {
+		if r.MeanStretch < 1 {
+			t.Errorf("failures=%d: stretch %v below 1", r.Failures, r.MeanStretch)
+		}
+		if r.MaxStretch < r.MeanStretch {
+			t.Errorf("failures=%d: max %v below mean %v", r.Failures, r.MaxStretch, r.MeanStretch)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.MeanStretch < rows[0].MeanStretch {
+		t.Error("stretch did not grow with failures")
+	}
+}
+
+func TestLoadAndStretchTablesRender(t *testing.T) {
+	lt, err := LoadCurveTable(2, 5, []float64{0.05}, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(lt.String(), "saturated") {
+		t.Error("load table missing header")
+	}
+	st, err := StretchTable(2, 5, []int{1}, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(st.String(), "meanStretch") {
+		t.Error("stretch table missing header")
+	}
+}

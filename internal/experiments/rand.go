@@ -1,0 +1,7 @@
+package experiments
+
+import "math/rand"
+
+// newRand centralizes generator construction so every experiment is
+// reproducible from its seed argument.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

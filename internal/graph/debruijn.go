@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// DeBruijn constructs the de Bruijn graph DG(d,k) of the requested
+// kind: N = d^k vertices, one per d-ary word of length k, vertex v
+// being the word of rank v. Arcs are the left-shift moves X → X⁻(a)
+// (which also realize every right-shift arc X⁺(a) → X); the undirected
+// graph drops directions. Redundant arcs — self loops at constant
+// words and coincident left/right-shift edges at alternating words —
+// are removed, as in the paper. Vertices are labelled with their word.
+func DeBruijn(kind Kind, d, k int) (*Graph, error) {
+	n, err := word.Count(d, k)
+	if err != nil {
+		return nil, fmt.Errorf("graph: DG(%d,%d): %w", d, k, err)
+	}
+	g, err := New(kind, n)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := word.ForEach(d, k, func(w word.Word) bool {
+		v := int(w.MustRank())
+		if err := g.SetLabel(v, w.String()); err != nil {
+			panic(err) // unreachable: v < n by construction
+		}
+		for a := 0; a < d; a++ {
+			u := int(w.ShiftLeft(byte(a)).MustRank())
+			if u == v {
+				continue // self loop at a constant word
+			}
+			if err := g.AddEdge(v, u); err != nil {
+				panic(err) // unreachable: endpoints in range, not a loop
+			}
+		}
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// DeBruijnVertex returns the vertex number of w in DeBruijn graphs of
+// matching d and k (its rank).
+func DeBruijnVertex(w word.Word) int { return int(w.MustRank()) }
+
+// DeBruijnWord is the inverse of DeBruijnVertex.
+func DeBruijnWord(d, k, v int) (word.Word, error) {
+	return word.Unrank(d, k, uint64(v))
+}
+
+// DeBruijnDegreeCensusWant predicts the degree census of DG(d,k) after
+// redundancy removal, for k ≥ 2:
+//
+//   - directed: N-d vertices of degree 2d (d in + d out) and the d
+//     constant words of degree 2d-2 (self loop removed);
+//   - undirected: N-d² vertices of degree 2d, the d²-d alternating
+//     words αβαβ… (α≠β) of degree 2d-1 (one left-shift neighbor
+//     coincides with a right-shift neighbor), and the d constants of
+//     degree 2d-2.
+//
+// The paper states this census below Figure 1 (the report's rendering
+// of the undirected counts is garbled; the values returned here are
+// re-derived and verified against enumeration in the tests and in
+// experiment E1).
+func DeBruijnDegreeCensusWant(kind Kind, d, k int) (map[int]int, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("graph: census formula needs k ≥ 2, got %d", k)
+	}
+	n, err := word.Count(d, k)
+	if err != nil {
+		return nil, err
+	}
+	census := make(map[int]int)
+	add := func(deg, count int) {
+		if count > 0 {
+			census[deg] += count
+		}
+	}
+	if kind == Directed {
+		add(2*d, n-d)
+		add(2*d-2, d)
+	} else {
+		add(2*d, n-d*d)
+		add(2*d-1, d*d-d)
+		add(2*d-2, d)
+	}
+	return census, nil
+}

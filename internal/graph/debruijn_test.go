@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/word"
+)
+
+func TestDeBruijnDirectedDG23Structure(t *testing.T) {
+	// Figure 1(a): directed DG(2,3).
+	g, err := DeBruijn(Directed, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 8 {
+		t.Fatalf("N = %d, want 8", g.NumVertices())
+	}
+	// Arcs: Nd = 16 minus d = 2 self loops = 14.
+	if g.NumEdges() != 14 {
+		t.Errorf("arcs = %d, want 14", g.NumEdges())
+	}
+	// Spot-check adjacency from the figure: 010 → 100, 101.
+	v := DeBruijnVertex(word.MustParse(2, "010"))
+	var got []string
+	for _, u := range g.OutNeighbors(v) {
+		got = append(got, g.Label(int(u)))
+	}
+	if strings.Join(got, ",") != "100,101" {
+		t.Errorf("out(010) = %v", got)
+	}
+	if !g.IsConnected() {
+		t.Error("directed DG(2,3) not strongly connected")
+	}
+}
+
+func TestDeBruijnUndirectedDG23Structure(t *testing.T) {
+	// Figure 1(b): undirected DG(2,3) has 13 edges
+	// (16 slots − 2 loops − 1 coincident pair {010,101}).
+	g, err := DeBruijn(Undirected, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 11 {
+		// 8 vertices; degrees: 4,4,4,4 (001,011,100,110), 3,3 (010,101), 2,2 (000,111)
+		// sum = 26, edges = 13. Guard against miscounting here:
+		t.Logf("edge count = %d", g.NumEdges())
+	}
+	sum := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		sum += g.Degree(v)
+	}
+	if sum != 2*g.NumEdges() {
+		t.Errorf("degree sum %d != 2·edges %d", sum, 2*g.NumEdges())
+	}
+	if g.NumEdges() != 13 {
+		t.Errorf("edges = %d, want 13", g.NumEdges())
+	}
+	deg := func(s string) int {
+		return g.Degree(DeBruijnVertex(word.MustParse(2, s)))
+	}
+	for s, want := range map[string]int{
+		"000": 2, "111": 2, "010": 3, "101": 3,
+		"001": 4, "011": 4, "100": 4, "110": 4,
+	} {
+		if got := deg(s); got != want {
+			t.Errorf("deg(%s) = %d, want %d", s, got, want)
+		}
+	}
+}
+
+func TestDeBruijnDegreeCensus(t *testing.T) {
+	// E1: measured census equals the (re-derived) predicted census.
+	for _, kind := range []Kind{Directed, Undirected} {
+		for _, dk := range [][2]int{{2, 2}, {2, 3}, {2, 5}, {3, 2}, {3, 3}, {4, 2}, {4, 3}, {5, 2}} {
+			d, k := dk[0], dk[1]
+			g, err := DeBruijn(kind, d, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := DeBruijnDegreeCensusWant(kind, d, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := g.DegreeCensus()
+			if len(got) != len(want) {
+				t.Fatalf("%v DG(%d,%d) census = %v, want %v", kind, d, k, got, want)
+			}
+			for deg, n := range want {
+				if got[deg] != n {
+					t.Errorf("%v DG(%d,%d) census[%d] = %d, want %d", kind, d, k, deg, got[deg], n)
+				}
+			}
+		}
+	}
+}
+
+func TestDeBruijnCensusFormulaRejectsK1(t *testing.T) {
+	if _, err := DeBruijnDegreeCensusWant(Directed, 2, 1); err == nil {
+		t.Error("census formula accepted k=1")
+	}
+}
+
+func TestDeBruijnDiameterIsK(t *testing.T) {
+	// Section 2: DG(d,k) has diameter k, both kinds.
+	for _, kind := range []Kind{Directed, Undirected} {
+		for _, dk := range [][2]int{{2, 2}, {2, 3}, {2, 4}, {2, 5}, {3, 2}, {3, 3}, {4, 2}} {
+			g, err := DeBruijn(kind, dk[0], dk[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			dia, err := g.Diameter()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dia != dk[1] {
+				t.Errorf("%v DG(%d,%d) diameter = %d, want %d", kind, dk[0], dk[1], dia, dk[1])
+			}
+		}
+	}
+}
+
+func TestDeBruijnZeroToOnesDistanceIsK(t *testing.T) {
+	// Section 2: the distance from (0,...,0) to (1,...,1) is exactly k.
+	for _, kind := range []Kind{Directed, Undirected} {
+		for k := 1; k <= 6; k++ {
+			g, err := DeBruijn(kind, 2, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			zeros, _ := word.Zeros(2, k)
+			ones := word.MustParse(2, strings.Repeat("1", k))
+			got, err := g.Distance(DeBruijnVertex(zeros), DeBruijnVertex(ones))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != k {
+				t.Errorf("%v DG(2,%d): d(0^k,1^k) = %d, want %d", kind, k, got, k)
+			}
+		}
+	}
+}
+
+func TestDeBruijnLabelsRoundTrip(t *testing.T) {
+	g, err := DeBruijn(Directed, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		w, err := DeBruijnWord(3, 2, v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Label(v) != w.String() {
+			t.Errorf("label(%d) = %q, want %q", v, g.Label(v), w)
+		}
+		if DeBruijnVertex(w) != v {
+			t.Errorf("vertex(%v) = %d, want %d", w, DeBruijnVertex(w), v)
+		}
+	}
+}
+
+func TestDeBruijnEdgesAreShiftMoves(t *testing.T) {
+	// Every arc of the directed graph is a left shift; every edge of
+	// the undirected graph is a left or right shift.
+	d, k := 3, 3
+	dir, err := DeBruijn(Directed, d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < dir.NumVertices(); v++ {
+		wv, _ := DeBruijnWord(d, k, v)
+		for _, u := range dir.OutNeighbors(v) {
+			wu, _ := DeBruijnWord(d, k, int(u))
+			if !wv.ShiftLeft(wu.Digit(k - 1)).Equal(wu) {
+				t.Errorf("arc %v→%v is not a left shift", wv, wu)
+			}
+		}
+	}
+	und, err := DeBruijn(Undirected, d, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < und.NumVertices(); v++ {
+		wv, _ := DeBruijnWord(d, k, v)
+		for _, u := range und.OutNeighbors(v) {
+			wu, _ := DeBruijnWord(d, k, int(u))
+			l := wv.ShiftLeft(wu.Digit(k - 1)).Equal(wu)
+			r := wv.ShiftRight(wu.Digit(0)).Equal(wu)
+			if !l && !r {
+				t.Errorf("edge {%v,%v} is not a shift move", wv, wu)
+			}
+		}
+	}
+}
+
+func TestDeBruijnRejectsBadParams(t *testing.T) {
+	if _, err := DeBruijn(Directed, 1, 3); err == nil {
+		t.Error("accepted d=1")
+	}
+	if _, err := DeBruijn(Directed, 2, 0); err == nil {
+		t.Error("accepted k=0")
+	}
+	if _, err := DeBruijn(Directed, 2, 80); err == nil {
+		t.Error("accepted overflowing size")
+	}
+}

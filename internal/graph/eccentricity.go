@@ -1,0 +1,78 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Eccentricity returns the eccentricity of v: the maximum distance
+// from v to any vertex. Errors if some vertex is unreachable.
+func (g *Graph) Eccentricity(v int) (int, error) {
+	dist, err := g.BFSFrom(v)
+	if err != nil {
+		return 0, err
+	}
+	best := 0
+	for _, d := range dist {
+		if d < 0 {
+			return 0, fmt.Errorf("graph: vertex unreachable from %d, eccentricity undefined", v)
+		}
+		if d > best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// Radius returns the minimum eccentricity over all vertices — the best
+// placement for a coordinator in the "transmission proportional to
+// distance" model of §1.
+func (g *Graph) Radius() (int, error) {
+	best := -1
+	for v := range g.adj {
+		e, err := g.Eccentricity(v)
+		if err != nil {
+			return 0, err
+		}
+		if best < 0 || e < best {
+			best = e
+		}
+	}
+	if best < 0 {
+		return 0, errors.New("graph: empty graph")
+	}
+	return best, nil
+}
+
+// Center returns all vertices whose eccentricity equals the radius.
+func (g *Graph) Center() ([]int, error) {
+	radius, err := g.Radius()
+	if err != nil {
+		return nil, err
+	}
+	var center []int
+	for v := range g.adj {
+		e, err := g.Eccentricity(v)
+		if err != nil {
+			return nil, err
+		}
+		if e == radius {
+			center = append(center, v)
+		}
+	}
+	return center, nil
+}
+
+// EccentricityHistogram returns count[e] = number of vertices with
+// eccentricity e.
+func (g *Graph) EccentricityHistogram() (map[int]int, error) {
+	hist := make(map[int]int)
+	for v := range g.adj {
+		e, err := g.Eccentricity(v)
+		if err != nil {
+			return nil, err
+		}
+		hist[e]++
+	}
+	return hist, nil
+}

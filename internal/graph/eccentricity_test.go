@@ -1,0 +1,94 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestEccentricityLine(t *testing.T) {
+	g := mustNew(t, Undirected, 4)
+	addEdges(t, g, [2]int{0, 1}, [2]int{1, 2}, [2]int{2, 3})
+	for v, want := range []int{3, 2, 2, 3} {
+		e, err := g.Eccentricity(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e != want {
+			t.Errorf("ecc(%d) = %d, want %d", v, e, want)
+		}
+	}
+	r, err := g.Radius()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r != 2 {
+		t.Errorf("radius = %d, want 2", r)
+	}
+	center, err := g.Center()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(center) != 2 || center[0] != 1 || center[1] != 2 {
+		t.Errorf("center = %v", center)
+	}
+}
+
+func TestEccentricityDisconnected(t *testing.T) {
+	g := mustNew(t, Undirected, 3)
+	addEdges(t, g, [2]int{0, 1})
+	if _, err := g.Eccentricity(0); err == nil {
+		t.Error("eccentricity accepted disconnected graph")
+	}
+	if _, err := g.Radius(); err == nil {
+		t.Error("radius accepted disconnected graph")
+	}
+	if _, err := g.Center(); err == nil {
+		t.Error("center accepted disconnected graph")
+	}
+	if _, err := g.EccentricityHistogram(); err == nil {
+		t.Error("histogram accepted disconnected graph")
+	}
+}
+
+func TestDeBruijnEccentricities(t *testing.T) {
+	// De Bruijn graphs: every vertex has eccentricity k in the
+	// directed graph (reaching the "opposite" constant word requires k
+	// shifts from anywhere except... verify by enumeration), so radius
+	// = diameter = k. Undirected graphs may have smaller radius.
+	g, err := DeBruijn(Directed, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := g.EccentricityHistogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist[4] != 16 || len(hist) != 1 {
+		t.Errorf("directed DG(2,4) eccentricities = %v (all should be k)", hist)
+	}
+	u, err := DeBruijn(Undirected, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := u.Radius()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dia, err := u.Diameter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > dia || dia != 4 {
+		t.Errorf("undirected DG(2,4): radius %d diameter %d", r, dia)
+	}
+	sum := 0
+	uh, err := u.EccentricityHistogram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range uh {
+		sum += c
+	}
+	if sum != 16 {
+		t.Errorf("histogram covers %d vertices", sum)
+	}
+}

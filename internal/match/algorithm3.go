@@ -1,0 +1,66 @@
+package match
+
+// Algorithm3 is a line-by-line transcription of the paper's Algorithm
+// 3, computing the failure functions c_{i,i..k} of the pattern
+// x_i…x_k and the matching-function row l_{i,1..k}(X,Y), with the
+// paper's 1-based indices mapped to 0-based slices. Lines 1–8 build
+// the failure table; lines 9–15 run the matcher.
+//
+// One repair, noted in DESIGN.md: the report's line 11 reads
+// "h = l_{i,i+h-1}", indexing the matching function; the fallback must
+// consult the *failure* function of the pattern, c_{i,i+h-1} — the
+// classical Morris–Pratt step (and the quantity line 4 uses in the
+// identical situation). With the literal l the algorithm reads matcher
+// state as automaton state and produces wrong rows; the tests pin both
+// facts (agreement of the repaired version with MatchRow, and a
+// counter-example for the literal reading).
+//
+// MatchRow is the streaming equivalent used by the hot paths; this
+// function exists to document fidelity and serves as another oracle.
+func Algorithm3(x, y []byte, i1 int) (c []int, l []int) {
+	k := len(x)
+	i := i1 // 1-based start index of the pattern x_i…x_k
+	// c[j-1] holds c_{i,j} for j = i..k; entries before j = i are
+	// unused and left zero. l[j-1] holds l_{i,j} for j = 1..k.
+	c = make([]int, k)
+	l = make([]int, k)
+
+	// Line 1: c_{i,i} = 0.
+	c[i-1] = 0
+	// Lines 2–8: failure function of x_i…x_k.
+	for j := i + 1; j <= k; j++ {
+		h := c[j-2]                       // line 3: h = c_{i,j-1}
+		for h > 0 && x[i+h-1] != x[j-1] { // line 4 guard (x_{i+h} ≠ x_j)
+			h = c[i+h-2] // line 4: h = c_{i,i+h-1}
+		}
+		if h == 0 && x[i+h-1] != x[j-1] { // line 5
+			c[j-1] = 0 // line 6
+		} else {
+			c[j-1] = h + 1 // line 7
+		}
+	}
+	// Line 8: l_{i,1}.
+	if x[i-1] == y[0] {
+		l[0] = 1
+	} else {
+		l[0] = 0
+	}
+	// Lines 9–15: the matcher.
+	for j := 2; j <= k; j++ {
+		var h int
+		if l[j-2] == k-i+1 { // line 10: full pattern previously matched
+			h = c[k-1]
+		} else {
+			h = l[j-2]
+		}
+		for h > 0 && x[i+h-1] != y[j-1] { // line 11 (repaired: c, not l)
+			h = c[i+h-2]
+		}
+		if h == 0 && x[i+h-1] != y[j-1] { // line 12
+			l[j-1] = 0 // line 13
+		} else {
+			l[j-1] = h + 1 // line 14
+		}
+	}
+	return c, l
+}

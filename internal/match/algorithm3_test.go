@@ -1,0 +1,123 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAlgorithm3MatchesStreamingImplementation(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for iter := 0; iter < 500; iter++ {
+		k := 1 + rng.Intn(14)
+		base := 2 + rng.Intn(3)
+		x, y := randWord(rng, base, k), randWord(rng, base, k)
+		for i := 1; i <= k; i++ {
+			_, l := Algorithm3(x, y, i)
+			want := LRow(x, y, i-1)
+			for j := 0; j < k; j++ {
+				if l[j] != want[j] {
+					t.Fatalf("Algorithm3(%v,%v,i=%d): l[%d] = %d, want %d", x, y, i, j, l[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+func TestAlgorithm3FailureTableIsBorders(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for iter := 0; iter < 300; iter++ {
+		k := 1 + rng.Intn(12)
+		x := randWord(rng, 2, k)
+		y := randWord(rng, 2, k)
+		for i := 1; i <= k; i++ {
+			c, _ := Algorithm3(x, y, i)
+			fail := FailureFunction(x[i-1:])
+			for j := i; j <= k; j++ {
+				if c[j-1] != fail[j-i] {
+					t.Fatalf("c_{%d,%d} of %v = %d, want border %d", i, j, x, c[j-1], fail[j-i])
+				}
+			}
+		}
+	}
+}
+
+// TestPaperLine11LiteralIsWrong documents the transcription repair:
+// running line 11's fallback through the matching function l instead
+// of the failure function c either diverges (h need not decrease) or
+// yields a wrong row. A witness exists within 4-digit binary inputs.
+func TestPaperLine11LiteralIsWrong(t *testing.T) {
+	found := false
+	for n := 0; n < 1<<8 && !found; n++ {
+		var xs, ys [4]byte
+		for b := 0; b < 4; b++ {
+			xs[b] = byte(n >> b & 1)
+			ys[b] = byte(n >> (b + 4) & 1)
+		}
+		found = literalRowBroken(xs[:], ys[:])
+	}
+	if !found {
+		t.Error("literal line 11 behaved correctly everywhere; DESIGN.md note would be wrong")
+	}
+}
+
+// literalRowBroken runs the literal line-11 variant (i = 1) with a
+// step guard and reports divergence or disagreement with the oracle.
+func literalRowBroken(x, y []byte) bool {
+	k := len(x)
+	i := 1
+	want := LRow(x, y, 0)
+	c := make([]int, k)
+	l := make([]int, k)
+	for j := i + 1; j <= k; j++ {
+		h := c[j-2]
+		for h > 0 && x[i+h-1] != x[j-1] {
+			h = c[i+h-2]
+		}
+		if h == 0 && x[i+h-1] != x[j-1] {
+			c[j-1] = 0
+		} else {
+			c[j-1] = h + 1
+		}
+	}
+	if x[i-1] == y[0] {
+		l[0] = 1
+	}
+	for j := 2; j <= k; j++ {
+		var h int
+		if l[j-2] == k-i+1 {
+			h = c[k-1]
+		} else {
+			h = l[j-2]
+		}
+		steps := 0
+		for h > 0 && x[i+h-1] != y[j-1] {
+			h = l[i+h-2] // the report's literal line 11
+			steps++
+			if steps > 4*k {
+				return true // diverged: h does not decrease
+			}
+		}
+		if h == 0 && x[i+h-1] != y[j-1] {
+			l[j-1] = 0
+		} else {
+			l[j-1] = h + 1
+		}
+	}
+	for j := range want {
+		if l[j] != want[j] {
+			return true
+		}
+	}
+	return false
+}
+
+func TestAlgorithm3SingleCharacter(t *testing.T) {
+	c, l := Algorithm3([]byte{1}, []byte{1}, 1)
+	if c[0] != 0 || l[0] != 1 {
+		t.Errorf("c=%v l=%v", c, l)
+	}
+	_, l = Algorithm3([]byte{1}, []byte{0}, 1)
+	if l[0] != 0 {
+		t.Errorf("l=%v", l)
+	}
+}

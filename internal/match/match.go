@@ -1,0 +1,231 @@
+// Package match implements the string-matching machinery of Section 3.2
+// of the paper: the Morris–Pratt failure function and Algorithm 3, which
+// generalizes it to compute the matching functions
+//
+//	l_{i,j}(X,Y) = max{ s : s ≤ j, s ≤ k-i+1,
+//	                    x_i…x_{i+s-1} = y_{j-s+1}…y_j }
+//	r_{i,j}(X,Y) = max{ s : s ≤ i, s ≤ k-j+1,
+//	                    x_{i-s+1}…x_i = y_j…y_{j+s-1} }
+//
+// (equations (8) and (9); indices are 1-based in the paper, 0-based
+// here). l_{i,j} is the length of the longest substring of X starting
+// at position i that matches a substring of Y terminating at position
+// j; r is its mirror image. The two are related by reversal:
+//
+//	r_{i,j}(X,Y) = l_{k+1-i, k+1-j}(X̄, Ȳ)
+//
+// which is how RMatrix and RRow are implemented.
+//
+// The paper's Algorithm 3 (line 11) falls back with "h = l_{i,i+h-1}";
+// the fallback must use the failure function of the pattern,
+// c_{i,i+h-1} — the classical Morris–Pratt step — which is what this
+// implementation does. The quadratic Naive* functions act as the
+// reference oracle in tests.
+package match
+
+// FailureFunction computes the Morris–Pratt failure function of the
+// pattern p: fail[t] is the length of the longest proper border of
+// p[0..t] (a border is a string that is both a proper prefix and a
+// suffix). This is c_{1,t+1} of the paper for the pattern p.
+// The returned slice has len(p) entries; fail[0] is always 0.
+func FailureFunction(p []byte) []int {
+	fail := make([]int, len(p))
+	h := 0
+	for t := 1; t < len(p); t++ {
+		for h > 0 && p[h] != p[t] {
+			h = fail[h-1]
+		}
+		if p[h] == p[t] {
+			h++
+		}
+		fail[t] = h
+	}
+	return fail
+}
+
+// MatchRow is Algorithm 3: it scans text with the Morris–Pratt
+// automaton of pattern and returns row[j] = the length of the longest
+// prefix of pattern that is a suffix of text[0..j], for every j.
+// With pattern = X[i..] and text = Y this is the row l_{i+1, ·}(X,Y).
+// Runs in O(len(pattern) + len(text)) time.
+func MatchRow(pattern, text []byte) []int {
+	row := make([]int, len(text))
+	if len(pattern) == 0 {
+		return row
+	}
+	fail := FailureFunction(pattern)
+	h := 0
+	for j := 0; j < len(text); j++ {
+		if h == len(pattern) {
+			// Full pattern matched at the previous position; restart
+			// from the border of the whole pattern (paper line 10:
+			// "if l_{i,j-1} = k-i+1 then h = c_{i,k}").
+			h = fail[len(pattern)-1]
+		}
+		for h > 0 && pattern[h] != text[j] {
+			h = fail[h-1]
+		}
+		if pattern[h] == text[j] {
+			h++
+		}
+		row[j] = h
+	}
+	return row
+}
+
+// LRow returns the row l_{i+1, ·}(X,Y) for the given 0-based start
+// index i: out[j] = l_{i+1, j+1}(X,Y).
+func LRow(x, y []byte, i int) []int {
+	return MatchRow(x[i:], y)
+}
+
+// RRow returns the row r_{i+1, ·}(X,Y) for the given 0-based index i:
+// out[j] = r_{i+1, j+1}(X,Y), computed by reversing both words and
+// reading an LRow backwards.
+func RRow(x, y []byte, i int) []int {
+	k := len(x)
+	xr, yr := reverse(x), reverse(y)
+	// r_{i,j}(X,Y) = l_{k+1-i, k+1-j}(X̄,Ȳ); 0-based: r0[i][j] = l0[k-1-i][k-1-j].
+	lr := MatchRow(xr[k-1-i:], yr)
+	out := make([]int, len(y))
+	for j := range out {
+		out[j] = lr[len(y)-1-j]
+	}
+	return out
+}
+
+// LMatrix computes the full matrix L[i][j] = l_{i+1,j+1}(X,Y) in
+// O(k²) time — the cost profile of the paper's Algorithm 2.
+func LMatrix(x, y []byte) [][]int {
+	m := make([][]int, len(x))
+	for i := range m {
+		m[i] = LRow(x, y, i)
+	}
+	return m
+}
+
+// RMatrix computes the full matrix R[i][j] = r_{i+1,j+1}(X,Y) in O(k²)
+// time via the reversal identity.
+func RMatrix(x, y []byte) [][]int {
+	k := len(x)
+	xr, yr := reverse(x), reverse(y)
+	lr := LMatrix(xr, yr)
+	m := make([][]int, k)
+	for i := range m {
+		m[i] = make([]int, len(y))
+		for j := range m[i] {
+			m[i][j] = lr[k-1-i][len(y)-1-j]
+		}
+	}
+	return m
+}
+
+// Overlap returns the largest s such that the length-s suffix of x
+// equals the length-s prefix of y — the quantity l of equation (2),
+// equal to r_{k,1}(X,Y). Linear time: one Morris–Pratt scan of x with
+// pattern y. This is the engine of Algorithm 1.
+func Overlap(x, y []byte) int {
+	if len(x) == 0 || len(y) == 0 {
+		return 0
+	}
+	row := MatchRow(y, x)
+	s := row[len(x)-1]
+	// The overlap may not exceed either length; MatchRow already caps
+	// at len(y), and s ≤ len(x) holds because at most len(x) text
+	// characters were consumed.
+	return s
+}
+
+// NaiveL computes l_{i+1,j+1}(X,Y) directly from definition (8) in
+// O(k) per query; reference oracle for tests.
+func NaiveL(x, y []byte, i, j int) int {
+	maxS := j + 1
+	if m := len(x) - i; m < maxS {
+		maxS = m
+	}
+	for s := maxS; s >= 1; s-- {
+		if eq(x[i:i+s], y[j-s+1:j+1]) {
+			return s
+		}
+	}
+	return 0
+}
+
+// NaiveR computes r_{i+1,j+1}(X,Y) directly from definition (9);
+// reference oracle for tests.
+func NaiveR(x, y []byte, i, j int) int {
+	maxS := i + 1
+	if m := len(y) - j; m < maxS {
+		maxS = m
+	}
+	for s := maxS; s >= 1; s-- {
+		if eq(x[i-s+1:i+1], y[j:j+s]) {
+			return s
+		}
+	}
+	return 0
+}
+
+// Find returns the 0-based start indices of every occurrence of
+// pattern in text, using the Morris–Pratt automaton. An empty pattern
+// matches nowhere. General substrate, also used by the embedding
+// package to locate window occurrences in de Bruijn sequences.
+func Find(pattern, text []byte) []int {
+	if len(pattern) == 0 || len(pattern) > len(text) {
+		return nil
+	}
+	var hits []int
+	row := MatchRow(pattern, text)
+	for j, h := range row {
+		if h == len(pattern) {
+			hits = append(hits, j-len(pattern)+1)
+		}
+	}
+	return hits
+}
+
+// Borders returns every border length of p in decreasing order,
+// starting with len(p) itself (every string borders itself); used by
+// the sequence package for period analysis.
+func Borders(p []byte) []int {
+	if len(p) == 0 {
+		return nil
+	}
+	fail := FailureFunction(p)
+	out := []int{len(p)}
+	for b := fail[len(p)-1]; b > 0; b = fail[b-1] {
+		out = append(out, b)
+	}
+	return out
+}
+
+// Period returns the smallest period of p: the least q ≥ 1 such that
+// p[t] == p[t+q] for all valid t. Computed as len(p) minus the longest
+// proper border.
+func Period(p []byte) int {
+	if len(p) == 0 {
+		return 0
+	}
+	fail := FailureFunction(p)
+	return len(p) - fail[len(p)-1]
+}
+
+func reverse(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}
+
+func eq(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,55 @@
+package match
+
+// ZFunction computes the Z-array of s: z[i] is the length of the
+// longest common prefix of s and s[i:], with z[0] = len(s). Linear
+// time. A third, independent string-matching primitive used to
+// cross-check the Morris–Pratt machinery (and available as a
+// substrate in its own right).
+func ZFunction(s []byte) []int {
+	n := len(s)
+	z := make([]int, n)
+	if n == 0 {
+		return z
+	}
+	z[0] = n
+	l, r := 0, 0
+	for i := 1; i < n; i++ {
+		if i < r {
+			if zi := z[i-l]; zi < r-i {
+				z[i] = zi
+				continue
+			}
+			z[i] = r - i
+		}
+		for i+z[i] < n && s[z[i]] == s[i+z[i]] {
+			z[i]++
+		}
+		if i+z[i] > r {
+			l, r = i, i+z[i]
+		}
+	}
+	return z
+}
+
+// OverlapZ computes the suffix(x)/prefix(y) overlap — the quantity l
+// of equation (2) — via the Z-array of y ⧺ 0xFF ⧺ x. Independent of
+// Overlap's Morris–Pratt scan; each is the other's oracle in tests.
+func OverlapZ(x, y []byte) int {
+	if len(x) == 0 || len(y) == 0 {
+		return 0
+	}
+	s := make([]byte, 0, len(x)+len(y)+1)
+	s = append(s, y...)
+	s = append(s, 0xFF)
+	s = append(s, x...)
+	z := ZFunction(s)
+	// Position p in the x-part corresponds to x-suffix x[p-len(y)-1:];
+	// it is a suffix/prefix overlap of length s iff the Z-box reaches
+	// the end of the string: z[p] == len(s) - p.
+	for p := len(y) + 1; p < len(s); p++ {
+		if z[p] == len(s)-p {
+			return len(s) - p
+		}
+	}
+	return 0
+}

@@ -1,0 +1,64 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZFunctionKnown(t *testing.T) {
+	cases := []struct {
+		s    string
+		want []int
+	}{
+		{"", nil},
+		{"a", []int{1}},
+		{"aaaaa", []int{5, 4, 3, 2, 1}},
+		{"aabaab", []int{6, 1, 0, 3, 1, 0}},
+		{"abacaba", []int{7, 0, 1, 0, 3, 0, 1}},
+	}
+	for _, c := range cases {
+		got := ZFunction([]byte(c.s))
+		if len(c.want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !intsEq(got, c.want) {
+			t.Errorf("Z(%q) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestZFunctionAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for iter := 0; iter < 400; iter++ {
+		n := 1 + rng.Intn(24)
+		s := make([]byte, n)
+		for i := range s {
+			s[i] = byte(rng.Intn(2 + rng.Intn(2)))
+		}
+		z := ZFunction(s)
+		for i := range s {
+			want := 0
+			for i+want < n && s[want] == s[i+want] {
+				want++
+			}
+			if z[i] != want {
+				t.Fatalf("Z(%v)[%d] = %d, want %d", s, i, z[i], want)
+			}
+		}
+	}
+}
+
+func TestOverlapZMatchesOverlap(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	for iter := 0; iter < 800; iter++ {
+		k := 1 + rng.Intn(16)
+		base := 2 + rng.Intn(3)
+		x, y := randWord(rng, base, k), randWord(rng, base, k)
+		if got, want := OverlapZ(x, y), Overlap(x, y); got != want {
+			t.Fatalf("OverlapZ(%v,%v) = %d, Overlap = %d", x, y, got, want)
+		}
+	}
+	if OverlapZ(nil, []byte{1}) != 0 || OverlapZ([]byte{1}, nil) != 0 {
+		t.Error("empty operand overlap nonzero")
+	}
+}

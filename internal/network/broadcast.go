@@ -1,0 +1,174 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/word"
+)
+
+// BroadcastResult reports a one-to-all dissemination.
+type BroadcastResult struct {
+	// Reached counts sites holding the message at the end (including
+	// the source).
+	Reached int
+	// Rounds is the number of synchronous forwarding rounds.
+	Rounds int
+	// Messages is the number of link crossings consumed.
+	Messages int
+}
+
+// FloodBroadcast disseminates from src by flooding: in each
+// synchronous round, every site that first received the message in the
+// previous round retransmits it on all its outgoing links. Duplicate
+// receptions cost messages but add no reach — the baseline a
+// tree-based broadcast is compared against. Failed sites neither
+// receive nor forward.
+func (n *Network) FloodBroadcast(src word.Word) (BroadcastResult, error) {
+	srcV, err := n.vertex(src)
+	if err != nil {
+		return BroadcastResult{}, err
+	}
+	if n.failed[srcV] {
+		return BroadcastResult{}, fmt.Errorf("network: broadcast source %v failed", src)
+	}
+	informed := make([]bool, n.g.NumVertices())
+	informed[srcV] = true
+	frontier := []int32{int32(srcV)}
+	res := BroadcastResult{Reached: 1}
+	for len(frontier) > 0 {
+		var next []int32
+		for _, u := range frontier {
+			for _, v := range n.g.OutNeighbors(int(u)) {
+				if n.failed[int(v)] {
+					continue
+				}
+				res.Messages++
+				n.linkLoad[[2]int{int(u), int(v)}]++
+				n.siteLoad[v]++
+				if !informed[v] {
+					informed[v] = true
+					res.Reached++
+					next = append(next, v)
+				}
+			}
+		}
+		if len(next) > 0 {
+			res.Rounds++
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+// TreeBroadcast disseminates from src along a breadth-first spanning
+// tree of the live topology: every site receives the message exactly
+// once, so Messages = Reached - 1 and Rounds equals the source's
+// eccentricity — the efficient alternative flooding is measured
+// against. (On the binary network, the §1 Samatham–Pradhan complete
+// binary tree embedding realizes the same bound for the tree's nodes;
+// the BFS tree covers every site of any DN(d,k).)
+func (n *Network) TreeBroadcast(src word.Word) (BroadcastResult, error) {
+	srcV, err := n.vertex(src)
+	if err != nil {
+		return BroadcastResult{}, err
+	}
+	if n.failed[srcV] {
+		return BroadcastResult{}, fmt.Errorf("network: broadcast source %v failed", src)
+	}
+	informed := make([]bool, n.g.NumVertices())
+	informed[srcV] = true
+	frontier := []int32{int32(srcV)}
+	res := BroadcastResult{Reached: 1}
+	for len(frontier) > 0 {
+		var next []int32
+		for _, u := range frontier {
+			for _, v := range n.g.OutNeighbors(int(u)) {
+				if n.failed[int(v)] || informed[v] {
+					continue
+				}
+				informed[v] = true
+				res.Reached++
+				res.Messages++
+				n.linkLoad[[2]int{int(u), int(v)}]++
+				n.siteLoad[v]++
+				next = append(next, v)
+			}
+		}
+		if len(next) > 0 {
+			res.Rounds++
+		}
+		frontier = next
+	}
+	return res, nil
+}
+
+// Multicast delivers one message from src to every destination in
+// dsts along the union of optimal source routes (shared prefixes are
+// transmitted once). Returns the link crossings used and the number of
+// destinations reached; failed sites on a route drop that branch
+// unless the network is adaptive.
+func (n *Network) Multicast(src word.Word, dsts []word.Word) (BroadcastResult, error) {
+	srcV, err := n.vertex(src)
+	if err != nil {
+		return BroadcastResult{}, err
+	}
+	if n.failed[srcV] {
+		return BroadcastResult{}, fmt.Errorf("network: multicast source %v failed", src)
+	}
+	usedLinks := make(map[[2]int]bool)
+	reached := make(map[int]bool)
+	res := BroadcastResult{}
+	maxDepth := 0
+	for _, dst := range dsts {
+		dstV, err := n.vertex(dst)
+		if err != nil {
+			return BroadcastResult{}, err
+		}
+		if n.failed[dstV] {
+			continue
+		}
+		route, err := n.Route(src, dst)
+		if err != nil {
+			return BroadcastResult{}, err
+		}
+		// Wildcards resolve to digit 0 so shared route prefixes
+		// coincide and are transmitted once (a fixed multicast tree).
+		conc, err := route.Concrete(src, nil)
+		if err != nil {
+			return BroadcastResult{}, err
+		}
+		walk, err := conc.Vertices(src)
+		if err != nil {
+			return BroadcastResult{}, err
+		}
+		blocked := false
+		for _, w := range walk[1:] {
+			if n.failed[graph.DeBruijnVertex(w)] {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		if !reached[dstV] {
+			reached[dstV] = true
+			res.Reached++
+		}
+		if len(walk)-1 > maxDepth {
+			maxDepth = len(walk) - 1
+		}
+		for i := 1; i < len(walk); i++ {
+			link := [2]int{graph.DeBruijnVertex(walk[i-1]), graph.DeBruijnVertex(walk[i])}
+			if !usedLinks[link] {
+				usedLinks[link] = true
+				res.Messages++
+				n.linkLoad[link]++
+				n.siteLoad[link[1]]++
+			}
+		}
+	}
+	res.Rounds = maxDepth
+	return res, nil
+}

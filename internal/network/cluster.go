@@ -1,0 +1,266 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/word"
+)
+
+// ClusterConfig parameterizes the concurrent engine.
+type ClusterConfig struct {
+	D, K int
+	// Unidirectional restricts links to type-L moves.
+	Unidirectional bool
+	// Seed drives the per-site wildcard generators.
+	Seed int64
+	// MaxInflight bounds the number of undelivered messages; Send
+	// blocks when the bound is reached. Inbox channels are sized to
+	// this bound, which guarantees forwarding never blocks
+	// indefinitely (every in-flight message occupies at most one
+	// buffer slot). Defaults to 1024.
+	MaxInflight int
+	// RandomWildcard resolves wildcard hops with the site's own
+	// seeded generator instead of digit 0.
+	RandomWildcard bool
+}
+
+// Cluster simulates DN(d,k) with one goroutine per site, links being
+// buffered channels: the same Section 3 forwarding rule as Network,
+// executed concurrently. Use it as:
+//
+//	c, _ := NewCluster(cfg)
+//	c.Start()
+//	c.Send(...) ...
+//	c.Drain()          // wait for all in-flight deliveries
+//	c.Stop()           // terminate site goroutines
+//	ds := c.Deliveries()
+type Cluster struct {
+	cfg     ClusterConfig
+	g       *graph.Graph
+	inboxes []chan envelope
+	quit    chan struct{}
+	sites   sync.WaitGroup
+	flight  sync.WaitGroup
+	slots   chan struct{}
+
+	started bool
+	stopped bool
+	failed  map[int]bool
+
+	mu         sync.Mutex
+	deliveries []Delivery
+	linkLoad   map[[2]int]int
+}
+
+type envelope struct {
+	msg  Message
+	cur  word.Word
+	left core.Path
+	hops int
+}
+
+// NewCluster validates the configuration and builds the cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	kind := graph.Undirected
+	if cfg.Unidirectional {
+		kind = graph.Directed
+	}
+	g, err := graph.DeBruijn(kind, cfg.D, cfg.K)
+	if err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = 1024
+	}
+	if cfg.MaxInflight < 1 {
+		return nil, fmt.Errorf("network: MaxInflight %d must be positive", cfg.MaxInflight)
+	}
+	c := &Cluster{
+		cfg:      cfg,
+		g:        g,
+		inboxes:  make([]chan envelope, g.NumVertices()),
+		quit:     make(chan struct{}),
+		slots:    make(chan struct{}, cfg.MaxInflight),
+		failed:   make(map[int]bool),
+		linkLoad: make(map[[2]int]int),
+	}
+	for i := range c.inboxes {
+		c.inboxes[i] = make(chan envelope, cfg.MaxInflight)
+	}
+	return c, nil
+}
+
+// FailSite marks a site as failed before the cluster starts: its
+// goroutine never launches (messages addressed into it are dropped by
+// the sender side). Calling FailSite after Start is an error — the
+// static failure set keeps the concurrent engine race-free.
+func (c *Cluster) FailSite(w word.Word) error {
+	if c.started {
+		return errors.New("network: FailSite must be called before Start")
+	}
+	if w.Base() != c.cfg.D || w.Len() != c.cfg.K {
+		return fmt.Errorf("network: word %v does not address DN(%d,%d)", w, c.cfg.D, c.cfg.K)
+	}
+	c.failed[graph.DeBruijnVertex(w)] = true
+	return nil
+}
+
+// Start launches one goroutine per site. It must be called exactly
+// once before Send.
+func (c *Cluster) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	for v := range c.inboxes {
+		if c.failed[v] {
+			continue
+		}
+		c.sites.Add(1)
+		siteRng := rand.New(rand.NewSource(c.cfg.Seed + int64(v)*7919))
+		go c.runSite(v, siteRng)
+	}
+}
+
+func (c *Cluster) runSite(v int, rng *rand.Rand) {
+	defer c.sites.Done()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case env := <-c.inboxes[v]:
+			c.process(env, rng)
+		}
+	}
+}
+
+func (c *Cluster) process(env envelope, rng *rand.Rand) {
+	if len(env.left) == 0 {
+		delivered := env.cur.Equal(env.msg.Dest)
+		reason := ""
+		if !delivered {
+			reason = fmt.Sprintf("route exhausted at %v", env.cur)
+		}
+		c.record(Delivery{Msg: env.msg, Delivered: delivered, Hops: env.hops, DropReason: reason})
+		return
+	}
+	hop := env.left[0]
+	env.left = env.left[1:]
+	digit := hop.Digit
+	if hop.Wildcard {
+		if c.cfg.RandomWildcard {
+			digit = byte(rng.Intn(c.cfg.D))
+		} else {
+			digit = 0
+		}
+	}
+	var next word.Word
+	switch hop.Type {
+	case core.TypeL:
+		next = env.cur.ShiftLeft(digit)
+	case core.TypeR:
+		if c.cfg.Unidirectional {
+			c.record(Delivery{Msg: env.msg, Hops: env.hops, DropReason: "type-R hop in uni-directional network"})
+			return
+		}
+		next = env.cur.ShiftRight(digit)
+	default:
+		c.record(Delivery{Msg: env.msg, Hops: env.hops, DropReason: fmt.Sprintf("invalid hop type %d", hop.Type)})
+		return
+	}
+	nextV := graph.DeBruijnVertex(next)
+	if c.failed[nextV] {
+		// The failure set is immutable after Start, so reading it
+		// without the mutex is race-free.
+		c.record(Delivery{Msg: env.msg, Hops: env.hops, DropReason: fmt.Sprintf("next site %v failed", next)})
+		return
+	}
+	c.mu.Lock()
+	c.linkLoad[[2]int{graph.DeBruijnVertex(env.cur), nextV}]++
+	c.mu.Unlock()
+	env.cur = next
+	env.hops++
+	c.inboxes[nextV] <- env
+}
+
+func (c *Cluster) record(d Delivery) {
+	c.mu.Lock()
+	c.deliveries = append(c.deliveries, d)
+	c.mu.Unlock()
+	<-c.slots
+	c.flight.Done()
+}
+
+// Send routes a message with the optimal routing algorithm and injects
+// it at the source site. It blocks while MaxInflight messages are
+// undelivered.
+func (c *Cluster) Send(src, dst word.Word, payload string) error {
+	if !c.started || c.stopped {
+		return errors.New("network: cluster not running")
+	}
+	if src.Base() != c.cfg.D || src.Len() != c.cfg.K || dst.Base() != c.cfg.D || dst.Len() != c.cfg.K {
+		return fmt.Errorf("network: words do not address DN(%d,%d)", c.cfg.D, c.cfg.K)
+	}
+	if c.failed[graph.DeBruijnVertex(src)] {
+		// A failed site has no goroutine; queueing there would strand
+		// the message and hang Drain.
+		return fmt.Errorf("network: source site %v failed", src)
+	}
+	var route core.Path
+	var err error
+	if c.cfg.Unidirectional {
+		route, err = core.RouteDirected(src, dst)
+	} else {
+		route, err = core.RouteUndirectedLinear(src, dst)
+	}
+	if err != nil {
+		return err
+	}
+	msg := Message{Control: ControlData, Source: src, Dest: dst, Route: route, Payload: payload}
+	c.slots <- struct{}{}
+	c.flight.Add(1)
+	c.inboxes[graph.DeBruijnVertex(src)] <- envelope{msg: msg, cur: src, left: route}
+	return nil
+}
+
+// Drain blocks until every message sent so far has been delivered or
+// dropped.
+func (c *Cluster) Drain() { c.flight.Wait() }
+
+// Stop terminates the site goroutines and waits for them to exit.
+// Call Drain first; messages still in flight at Stop are abandoned.
+func (c *Cluster) Stop() {
+	if !c.started || c.stopped {
+		return
+	}
+	c.stopped = true
+	close(c.quit)
+	c.sites.Wait()
+}
+
+// Deliveries returns a copy of the delivery records so far.
+func (c *Cluster) Deliveries() []Delivery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Delivery, len(c.deliveries))
+	copy(out, c.deliveries)
+	return out
+}
+
+// MaxLinkLoad returns the heaviest directed-link counter.
+func (c *Cluster) MaxLinkLoad() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	best := 0
+	for _, v := range c.linkLoad {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,200 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+func TestClusterDeliversAllUniformTraffic(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{D: 2, K: 5, Seed: 9, MaxInflight: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	rng := rand.New(rand.NewSource(77))
+	type pair struct{ src, dst word.Word }
+	var sent []pair
+	for i := 0; i < 500; i++ {
+		s, d := word.Random(2, 5, rng), word.Random(2, 5, rng)
+		if err := c.Send(s, d, "m"); err != nil {
+			t.Fatal(err)
+		}
+		sent = append(sent, pair{s, d})
+	}
+	c.Drain()
+	ds := c.Deliveries()
+	if len(ds) != len(sent) {
+		t.Fatalf("delivered records %d, sent %d", len(ds), len(sent))
+	}
+	for _, d := range ds {
+		if !d.Delivered {
+			t.Fatalf("message dropped: %+v", d)
+		}
+		want, err := core.UndirectedDistance(d.Msg.Source, d.Msg.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Hops != want {
+			t.Fatalf("%v→%v took %d hops, want %d", d.Msg.Source, d.Msg.Dest, d.Hops, want)
+		}
+	}
+	if c.MaxLinkLoad() < 1 {
+		t.Error("no link load recorded")
+	}
+}
+
+func TestClusterUnidirectional(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{D: 2, K: 4, Unidirectional: true, MaxInflight: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	rng := rand.New(rand.NewSource(78))
+	for i := 0; i < 200; i++ {
+		s, d := word.Random(2, 4, rng), word.Random(2, 4, rng)
+		if err := c.Send(s, d, "m"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Drain()
+	for _, d := range c.Deliveries() {
+		if !d.Delivered {
+			t.Fatalf("dropped: %+v", d)
+		}
+		want, err := core.DirectedDistance(d.Msg.Source, d.Msg.Dest)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Hops != want {
+			t.Fatalf("%v→%v took %d hops, want %d", d.Msg.Source, d.Msg.Dest, d.Hops, want)
+		}
+	}
+}
+
+func TestClusterRandomWildcards(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{D: 3, K: 3, Seed: 4, MaxInflight: 32, RandomWildcard: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	rng := rand.New(rand.NewSource(79))
+	for i := 0; i < 300; i++ {
+		s, d := word.Random(3, 3, rng), word.Random(3, 3, rng)
+		if err := c.Send(s, d, "m"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Drain()
+	for _, d := range c.Deliveries() {
+		if !d.Delivered {
+			t.Fatalf("dropped: %+v", d)
+		}
+	}
+}
+
+func TestClusterSendBeforeStartFails(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{D: 2, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(word.MustParse(2, "00"), word.MustParse(2, "11"), "m"); err == nil {
+		t.Error("Send before Start succeeded")
+	}
+	c.Start()
+	defer c.Stop()
+	if err := c.Send(word.MustParse(2, "0"), word.MustParse(2, "11"), "m"); err == nil {
+		t.Error("Send accepted short address")
+	}
+}
+
+func TestClusterStopIdempotentAndSendAfterStop(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{D: 2, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	c.Start() // no-op
+	c.Stop()
+	c.Stop() // no-op
+	if err := c.Send(word.MustParse(2, "00"), word.MustParse(2, "11"), "m"); err == nil {
+		t.Error("Send after Stop succeeded")
+	}
+}
+
+func TestClusterValidatesConfig(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{D: 1, K: 2}); err == nil {
+		t.Error("accepted d=1")
+	}
+	if _, err := NewCluster(ClusterConfig{D: 2, K: 2, MaxInflight: -1}); err == nil {
+		t.Error("accepted negative MaxInflight")
+	}
+}
+
+func TestClusterBackpressure(t *testing.T) {
+	// With MaxInflight 1, sends serialize but all deliver.
+	c, err := NewCluster(ClusterConfig{D: 2, K: 3, MaxInflight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	defer c.Stop()
+	rng := rand.New(rand.NewSource(80))
+	for i := 0; i < 100; i++ {
+		s, d := word.Random(2, 3, rng), word.Random(2, 3, rng)
+		if err := c.Send(s, d, "m"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Drain()
+	if got := len(c.Deliveries()); got != 100 {
+		t.Errorf("deliveries = %d", got)
+	}
+}
+
+func TestClusterFailures(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{D: 2, K: 3, MaxInflight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := word.MustParse(2, "001")
+	if err := c.FailSite(mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailSite(word.MustParse(2, "01")); err == nil {
+		t.Error("accepted short failure address")
+	}
+	c.Start()
+	defer c.Stop()
+	if err := c.FailSite(word.MustParse(2, "010")); err == nil {
+		t.Error("accepted FailSite after Start")
+	}
+	// Sending FROM the failed site errors.
+	if err := c.Send(mid, word.MustParse(2, "111"), "m"); err == nil {
+		t.Error("accepted failed source")
+	}
+	// A route through the failed site drops; others deliver.
+	if err := c.Send(word.MustParse(2, "000"), word.MustParse(2, "011"), "through"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(word.MustParse(2, "000"), word.MustParse(2, "100"), "around"); err != nil {
+		t.Fatal(err)
+	}
+	c.Drain()
+	dropped, delivered := 0, 0
+	for _, d := range c.Deliveries() {
+		if d.Delivered {
+			delivered++
+		} else {
+			dropped++
+		}
+	}
+	if dropped != 1 || delivered != 1 {
+		t.Errorf("dropped %d delivered %d", dropped, delivered)
+	}
+}

@@ -1,0 +1,302 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/word"
+)
+
+// Store-and-forward contention model. The Send/Inject engine moves one
+// message at a time, so links never contend; this engine injects a
+// whole batch and advances it in synchronous rounds with a per-link
+// capacity: every round, each directed link transmits at most
+// LinkCapacity queued messages (FIFO, deterministic tie-break by
+// arrival order) and the rest wait. Latency = delivery round; the
+// paper's wildcard remark ("traffic could be more or less balanced")
+// becomes measurable as a latency/saturation difference between
+// policies.
+
+// ContentionConfig parameterizes a contention run.
+type ContentionConfig struct {
+	D, K int
+	// Unidirectional restricts links to type-L moves.
+	Unidirectional bool
+	// LinkCapacity is the number of messages one directed link can
+	// carry per round. Defaults to 1.
+	LinkCapacity int
+	// Policy resolves wildcard hops at injection time (routes are
+	// fixed before queueing); PolicyFirst when nil. PolicyLeastLoaded
+	// balances against the *planned* load of already-routed messages.
+	Policy ContentionPolicy
+	// Seed drives random policies and workload draws.
+	Seed int64
+	// MaxRounds aborts pathological runs; defaults to 64·k + #messages.
+	MaxRounds int
+}
+
+// ContentionPolicy resolves a wildcard hop during route planning.
+type ContentionPolicy interface {
+	// Choose picks the digit for wildcard hop h at site cur, given the
+	// planned per-link loads so far.
+	Choose(sim *Contention, cur word.Word, h core.Hop) byte
+	// Name identifies the policy in output.
+	Name() string
+}
+
+// PlanFirst resolves every wildcard to digit 0.
+type PlanFirst struct{}
+
+// Choose implements ContentionPolicy.
+func (PlanFirst) Choose(*Contention, word.Word, core.Hop) byte { return 0 }
+
+// Name implements ContentionPolicy.
+func (PlanFirst) Name() string { return "first" }
+
+// PlanRandom resolves wildcards uniformly at random.
+type PlanRandom struct{}
+
+// Choose implements ContentionPolicy.
+func (PlanRandom) Choose(sim *Contention, _ word.Word, _ core.Hop) byte {
+	return byte(sim.rng.Intn(sim.cfg.D))
+}
+
+// Name implements ContentionPolicy.
+func (PlanRandom) Name() string { return "random" }
+
+// PlanLeastLoaded resolves each wildcard toward the link with the
+// least planned traffic.
+type PlanLeastLoaded struct{}
+
+// Choose implements ContentionPolicy.
+func (PlanLeastLoaded) Choose(sim *Contention, cur word.Word, h core.Hop) byte {
+	curV := graph.DeBruijnVertex(cur)
+	best := byte(0)
+	bestLoad := -1
+	for b := 0; b < sim.cfg.D; b++ {
+		var next word.Word
+		if h.Type == core.TypeL {
+			next = cur.ShiftLeft(byte(b))
+		} else {
+			next = cur.ShiftRight(byte(b))
+		}
+		load := sim.planned[[2]int{curV, graph.DeBruijnVertex(next)}]
+		if bestLoad < 0 || load < bestLoad {
+			best, bestLoad = byte(b), load
+		}
+	}
+	return best
+}
+
+// Name implements ContentionPolicy.
+func (PlanLeastLoaded) Name() string { return "least-loaded" }
+
+// Contention is the batch store-and-forward simulator.
+type Contention struct {
+	cfg     ContentionConfig
+	rng     *rand.Rand
+	planned map[[2]int]int
+	flows   []*flow
+}
+
+type flow struct {
+	id    int
+	walk  []word.Word // full planned site sequence
+	pos   int         // index of the site currently holding the message
+	done  int         // delivery round, -1 while in flight
+	queue int         // FIFO arrival counter at the current link
+}
+
+// NewContention validates the configuration.
+func NewContention(cfg ContentionConfig) (*Contention, error) {
+	if _, err := word.Count(cfg.D, cfg.K); err != nil {
+		return nil, fmt.Errorf("network: %w", err)
+	}
+	if cfg.LinkCapacity == 0 {
+		cfg.LinkCapacity = 1
+	}
+	if cfg.LinkCapacity < 1 {
+		return nil, fmt.Errorf("network: link capacity %d must be positive", cfg.LinkCapacity)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = PlanFirst{}
+	}
+	return &Contention{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		planned: make(map[[2]int]int),
+	}, nil
+}
+
+// Add routes one message (optimal route, wildcards resolved by the
+// policy against planned load) and enqueues it for the next Run.
+func (c *Contention) Add(src, dst word.Word) error {
+	if src.Base() != c.cfg.D || src.Len() != c.cfg.K || dst.Base() != c.cfg.D || dst.Len() != c.cfg.K {
+		return fmt.Errorf("network: words do not address DN(%d,%d)", c.cfg.D, c.cfg.K)
+	}
+	var route core.Path
+	var err error
+	if c.cfg.Unidirectional {
+		route, err = core.RouteDirected(src, dst)
+	} else {
+		route, err = core.RouteUndirectedLinear(src, dst)
+	}
+	if err != nil {
+		return err
+	}
+	conc, err := route.Concrete(src, func(_ int, cur word.Word, h core.Hop) byte {
+		return c.cfg.Policy.Choose(c, cur, h)
+	})
+	if err != nil {
+		return err
+	}
+	walk, err := conc.Vertices(src)
+	if err != nil {
+		return err
+	}
+	for i := 1; i < len(walk); i++ {
+		link := [2]int{graph.DeBruijnVertex(walk[i-1]), graph.DeBruijnVertex(walk[i])}
+		c.planned[link]++
+	}
+	c.flows = append(c.flows, &flow{id: len(c.flows), walk: walk, done: -1})
+	return nil
+}
+
+// AddUniform enqueues count uniform-random messages.
+func (c *Contention) AddUniform(count int) error {
+	if count < 1 {
+		return fmt.Errorf("network: need at least one message, got %d", count)
+	}
+	for i := 0; i < count; i++ {
+		src := word.Random(c.cfg.D, c.cfg.K, c.rng)
+		dst := word.Random(c.cfg.D, c.cfg.K, c.rng)
+		if err := c.Add(src, dst); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ContentionResult summarizes a batch run.
+type ContentionResult struct {
+	Messages     int
+	Rounds       int     // rounds until the last delivery
+	MeanLatency  float64 // mean delivery round
+	P95Latency   int
+	MaxLatency   int
+	MeanSlowdown float64 // mean latency / hop-count ratio (≥ 1)
+	MaxQueue     int     // peak messages waiting on one link in one round
+}
+
+// Run advances synchronous rounds until every message is delivered.
+// Each round, each directed link moves its LinkCapacity oldest waiting
+// messages one hop. Deterministic given the configuration.
+func (c *Contention) Run() (ContentionResult, error) {
+	maxRounds := c.cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 64*c.cfg.K + len(c.flows)
+	}
+	res := ContentionResult{Messages: len(c.flows)}
+	var latency stats.Accumulator
+	var slowdown stats.Accumulator
+	var p95 stats.Histogram
+	remaining := 0
+	for _, f := range c.flows {
+		if len(f.walk) == 1 {
+			f.done = 0
+			latency.Add(0)
+			slowdown.Add(1)
+			if err := p95.Add(0); err != nil {
+				return res, err
+			}
+		} else {
+			remaining++
+		}
+	}
+	arrival := 0
+	for _, f := range c.flows {
+		f.queue = arrival
+		arrival++
+	}
+	for round := 1; remaining > 0; round++ {
+		if round > maxRounds {
+			return res, errors.New("network: contention run exceeded round budget")
+		}
+		// Group in-flight flows by their next link.
+		byLink := make(map[[2]int][]*flow)
+		for _, f := range c.flows {
+			if f.done >= 0 {
+				continue
+			}
+			link := [2]int{
+				graph.DeBruijnVertex(f.walk[f.pos]),
+				graph.DeBruijnVertex(f.walk[f.pos+1]),
+			}
+			byLink[link] = append(byLink[link], f)
+		}
+		// Deterministic link order: the arrival counters handed out
+		// below seed later FIFO tie-breaks, so map order must not leak.
+		links := make([][2]int, 0, len(byLink))
+		for link := range byLink {
+			links = append(links, link)
+		}
+		sort.Slice(links, func(i, j int) bool {
+			if links[i][0] != links[j][0] {
+				return links[i][0] < links[j][0]
+			}
+			return links[i][1] < links[j][1]
+		})
+		for _, link := range links {
+			queued := byLink[link]
+			sort.Slice(queued, func(i, j int) bool { return queued[i].queue < queued[j].queue })
+			if len(queued) > res.MaxQueue {
+				res.MaxQueue = len(queued)
+			}
+			moved := c.cfg.LinkCapacity
+			if moved > len(queued) {
+				moved = len(queued)
+			}
+			for _, f := range queued[:moved] {
+				f.pos++
+				f.queue = arrival // re-enqueue order at the next link
+				arrival++
+				if f.pos == len(f.walk)-1 {
+					f.done = round
+					remaining--
+					latency.Add(float64(round))
+					slowdown.Add(float64(round) / float64(len(f.walk)-1))
+					if err := p95.Add(round); err != nil {
+						return res, err
+					}
+					if round > res.MaxLatency {
+						res.MaxLatency = round
+					}
+					if round > res.Rounds {
+						res.Rounds = round
+					}
+				}
+			}
+		}
+	}
+	res.MeanLatency = latency.Mean()
+	res.MeanSlowdown = slowdown.Mean()
+	res.P95Latency = p95.Quantile(0.95)
+	return res, nil
+}
+
+// PlannedMaxLinkLoad returns the heaviest planned per-link message
+// count — the static congestion the run resolves over time.
+func (c *Contention) PlannedMaxLinkLoad() int {
+	best := 0
+	for _, v := range c.planned {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,122 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/word"
+)
+
+// SendDestinationRouted forwards a message with destination-based
+// self-routing: the header carries no path field; every site derives
+// its next hop locally from (current site, destination) with the
+// distance functions (core.NextHopDirected / NextHopUndirected),
+// resolving wildcard decisions with the configured policy. Hop counts
+// match source-routed delivery exactly — per-hop recomputation
+// contracts the distance by one regardless of wildcard resolution.
+func (n *Network) SendDestinationRouted(src, dst word.Word, payload string) (Delivery, error) {
+	srcV, err := n.vertex(src)
+	if err != nil {
+		return Delivery{}, err
+	}
+	if _, err := n.vertex(dst); err != nil {
+		return Delivery{}, err
+	}
+	msg := Message{Control: ControlData, Source: src, Dest: dst, Payload: payload}
+	del := Delivery{Msg: msg}
+	if n.cfg.Trace {
+		del.Trace = append(del.Trace, src)
+	}
+	if n.failed[srcV] {
+		del.DropReason = "source failed"
+		n.dropped++
+		return del, nil
+	}
+	cur := src
+	for {
+		if cur.Equal(dst) {
+			del.Delivered = true
+			n.delivered++
+			n.totalHops += del.Hops
+			return del, nil
+		}
+		if del.Hops >= n.cfg.TTL {
+			del.DropReason = "ttl exceeded"
+			n.dropped++
+			return del, nil
+		}
+		var hop core.Hop
+		var more bool
+		if n.cfg.Unidirectional {
+			hop, more, err = core.NextHopDirected(cur, dst)
+		} else {
+			hop, more, err = core.NextHopUndirected(cur, dst)
+		}
+		if err != nil {
+			return Delivery{}, err
+		}
+		if !more {
+			// Unreachable: cur != dst was checked above.
+			return Delivery{}, fmt.Errorf("network: next-hop reported done at %v ≠ %v", cur, dst)
+		}
+		digit := hop.Digit
+		if hop.Wildcard {
+			digit = n.cfg.Policy.Choose(n, cur, hop)
+			if int(digit) >= n.cfg.D {
+				return Delivery{}, fmt.Errorf("network: policy chose digit %d outside base %d", digit, n.cfg.D)
+			}
+		}
+		var next word.Word
+		if hop.Type == core.TypeL {
+			next = cur.ShiftLeft(digit)
+		} else {
+			next = cur.ShiftRight(digit)
+		}
+		nextV := graph.DeBruijnVertex(next)
+		if n.failed[nextV] {
+			if !n.cfg.Adaptive {
+				del.DropReason = fmt.Sprintf("next site %v failed", next)
+				n.dropped++
+				return del, nil
+			}
+			// Failure fallback: a purely greedy single-step detour can
+			// ping-pong against the failed region, so the site attaches
+			// a full failure-avoiding source route and the message
+			// follows it to the destination (bounded, loop-free).
+			detour, ok := n.rerouteAround(cur, dst)
+			if !ok {
+				del.DropReason = fmt.Sprintf("no route around failures from %v", cur)
+				n.dropped++
+				return del, nil
+			}
+			del.Rerouted++
+			prefixHops := del.Hops
+			sub, err := n.Inject(Message{Control: msg.Control, Source: cur, Dest: dst, Route: detour, Payload: payload})
+			if err != nil {
+				return Delivery{}, err
+			}
+			del.Hops += sub.Hops
+			del.Delivered = sub.Delivered
+			del.DropReason = sub.DropReason
+			del.Rerouted += sub.Rerouted
+			if n.cfg.Trace && len(sub.Trace) > 1 {
+				del.Trace = append(del.Trace, sub.Trace[1:]...)
+			}
+			// Inject counted the tail (delivery and sub.Hops); account
+			// for the prefix hops walked before the failure was met.
+			if sub.Delivered {
+				n.totalHops += prefixHops
+			}
+			return del, nil
+		}
+		curV := graph.DeBruijnVertex(cur)
+		n.linkLoad[[2]int{curV, nextV}]++
+		n.siteLoad[nextV]++
+		del.Hops++
+		cur = next
+		if n.cfg.Trace {
+			del.Trace = append(del.Trace, cur)
+		}
+	}
+}

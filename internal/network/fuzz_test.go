@@ -1,0 +1,37 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+func FuzzUnmarshalMessage(f *testing.F) {
+	good, err := MarshalMessage(Message{
+		Control: ControlData,
+		Source:  word.MustParse(2, "0110"),
+		Dest:    word.MustParse(2, "1001"),
+		Payload: "seed",
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0xDB, 0x17})
+	f.Add(good[:len(good)-2])
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		m, err := UnmarshalMessage(buf)
+		if err != nil {
+			return // rejecting garbage is correct; panicking is not
+		}
+		// Anything that decodes must re-encode to the same bytes.
+		back, err := MarshalMessage(m)
+		if err != nil {
+			t.Fatalf("re-marshal of decoded message failed: %v", err)
+		}
+		if string(back) != string(buf) {
+			t.Fatalf("decode/encode not a fixpoint:\n in  %x\n out %x", buf, back)
+		}
+	})
+}

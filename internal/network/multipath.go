@@ -1,0 +1,53 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// SendMultipath delivers one message per payload from src to dst,
+// rotating through up to width distinct shortest routes (the optimal
+// anchor shapes of core.MultiRouteUndirected). Every copy still takes
+// D(src,dst) hops; repeated traffic between one pair spreads across
+// parallel shortest paths instead of hammering one. Only available on
+// bi-directional networks (the uni-directional shortest path shape is
+// unique up to nothing — Algorithm 1's route is THE route).
+func (n *Network) SendMultipath(src, dst word.Word, payloads []string, width int) ([]Delivery, error) {
+	if n.cfg.Unidirectional {
+		return nil, fmt.Errorf("network: multipath needs the bi-directional network")
+	}
+	if len(payloads) == 0 {
+		return nil, fmt.Errorf("network: no payloads")
+	}
+	if width < 1 {
+		width = 1
+	}
+	if _, err := n.vertex(src); err != nil {
+		return nil, err
+	}
+	if _, err := n.vertex(dst); err != nil {
+		return nil, err
+	}
+	routes, err := core.MultiRouteUndirected(src, dst, width)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Delivery, 0, len(payloads))
+	for i, payload := range payloads {
+		msg := Message{
+			Control: ControlData,
+			Source:  src,
+			Dest:    dst,
+			Route:   routes[i%len(routes)],
+			Payload: payload,
+		}
+		del, err := n.Inject(msg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, del)
+	}
+	return out, nil
+}

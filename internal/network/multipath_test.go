@@ -1,0 +1,88 @@
+package network
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+func payloads(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("p%d", i)
+	}
+	return out
+}
+
+func TestSendMultipathAllOptimal(t *testing.T) {
+	n := mustNet(t, Config{D: 2, K: 6})
+	src := word.MustParse(2, "000010")
+	dst := word.MustParse(2, "110001")
+	want, err := core.UndirectedDistance(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dels, err := n.SendMultipath(src, dst, payloads(40), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dels) != 40 {
+		t.Fatalf("deliveries = %d", len(dels))
+	}
+	for _, d := range dels {
+		if !d.Delivered || d.Hops != want {
+			t.Fatalf("delivery %+v, want %d hops", d, want)
+		}
+	}
+}
+
+func TestSendMultipathSpreadsLoad(t *testing.T) {
+	// Repeating the same pair: multipath must not concentrate load
+	// more than single-path, and should reduce the max link load when
+	// several shapes exist.
+	src := word.MustParse(2, "000010")
+	dst := word.MustParse(2, "110001")
+	routes, err := core.MultiRouteUndirected(src, dst, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routes) < 2 {
+		t.Skip("pair has a unique route shape; pick another pair")
+	}
+	single := mustNet(t, Config{D: 2, K: 6})
+	for i := 0; i < 60; i++ {
+		if _, err := single.Send(src, dst, "s"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	multi := mustNet(t, Config{D: 2, K: 6})
+	if _, err := multi.SendMultipath(src, dst, payloads(60), 8); err != nil {
+		t.Fatal(err)
+	}
+	if multi.Stats().MaxLinkLoad >= single.Stats().MaxLinkLoad {
+		t.Errorf("multipath max link load %d not below single-path %d",
+			multi.Stats().MaxLinkLoad, single.Stats().MaxLinkLoad)
+	}
+}
+
+func TestSendMultipathValidates(t *testing.T) {
+	n := mustNet(t, Config{D: 2, K: 4})
+	src, dst := word.MustParse(2, "0000"), word.MustParse(2, "1111")
+	if _, err := n.SendMultipath(src, dst, nil, 4); err == nil {
+		t.Error("accepted empty payloads")
+	}
+	if _, err := n.SendMultipath(word.MustParse(2, "00"), dst, payloads(1), 4); err == nil {
+		t.Error("accepted short source")
+	}
+	uni := mustNet(t, Config{D: 2, K: 4, Unidirectional: true})
+	if _, err := uni.SendMultipath(src, dst, payloads(1), 4); err == nil {
+		t.Error("accepted unidirectional network")
+	}
+	// width clamp
+	dels, err := n.SendMultipath(src, dst, payloads(3), 0)
+	if err != nil || len(dels) != 3 {
+		t.Errorf("clamped width: %v, %v", dels, err)
+	}
+}

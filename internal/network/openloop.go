@@ -1,0 +1,213 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/stats"
+	"repro/internal/word"
+)
+
+// Open-loop load/latency simulation: messages arrive continuously at a
+// configured rate (per site per round) for a warm/measure window, and
+// the engine reports steady-state latency — the latency-vs-offered-load
+// curve that characterizes an interconnection network. Complements the
+// closed batch engine (Contention): there the backlog drains, here the
+// arrival process pushes the network toward saturation.
+
+// OpenLoopConfig parameterizes an open-loop run.
+type OpenLoopConfig struct {
+	D, K int
+	// Rate is the expected number of new messages per site per round
+	// (Bernoulli arrivals per site).
+	Rate float64
+	// Rounds is the measurement window; messages injected within it
+	// are tracked to delivery (the run continues past the window until
+	// all tracked messages drain).
+	Rounds int
+	// LinkCapacity per round; defaults to 1.
+	LinkCapacity int
+	// Seed drives arrivals, destinations and wildcard resolution.
+	Seed int64
+	// MaxRounds aborts unstable runs (offered load beyond capacity);
+	// defaults to 40·Rounds + 64·k.
+	MaxRounds int
+}
+
+// OpenLoopResult summarizes an open-loop run.
+type OpenLoopResult struct {
+	Offered      int // messages injected during the window
+	Delivered    int
+	MeanLatency  float64 // rounds from injection to delivery
+	P95Latency   int
+	MaxLatency   int
+	MeanSlowdown float64 // latency / hop-count, ≥ 1
+	Saturated    bool    // true when the run hit MaxRounds undrained
+}
+
+type openMsg struct {
+	walk     []word.Word
+	pos      int
+	injected int
+	queue    int
+}
+
+// RunOpenLoop executes the open-loop simulation. When the offered
+// load exceeds what the topology can carry, the run reports
+// Saturated=true with statistics over the messages that did deliver.
+func RunOpenLoop(cfg OpenLoopConfig) (OpenLoopResult, error) {
+	if _, err := word.Count(cfg.D, cfg.K); err != nil {
+		return OpenLoopResult{}, fmt.Errorf("network: %w", err)
+	}
+	if cfg.Rate <= 0 {
+		return OpenLoopResult{}, errors.New("network: rate must be positive")
+	}
+	if cfg.Rounds < 1 {
+		return OpenLoopResult{}, errors.New("network: need at least one round")
+	}
+	if cfg.LinkCapacity == 0 {
+		cfg.LinkCapacity = 1
+	}
+	if cfg.LinkCapacity < 1 {
+		return OpenLoopResult{}, errors.New("network: link capacity must be positive")
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 40*cfg.Rounds + 64*cfg.K
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n, err := word.Count(cfg.D, cfg.K)
+	if err != nil {
+		return OpenLoopResult{}, err
+	}
+	sites := make([]word.Word, n)
+	for i := range sites {
+		w, err := word.Unrank(cfg.D, cfg.K, uint64(i))
+		if err != nil {
+			return OpenLoopResult{}, err
+		}
+		sites[i] = w
+	}
+	var res OpenLoopResult
+	var latency, slowdown stats.Accumulator
+	var p95 stats.Histogram
+	var inflight []*openMsg
+	arrival := 0
+	remaining := 0
+	for round := 1; ; round++ {
+		if round > cfg.MaxRounds {
+			res.Saturated = true
+			break
+		}
+		// Arrivals during the measurement window.
+		if round <= cfg.Rounds {
+			for _, src := range sites {
+				if rng.Float64() >= cfg.Rate {
+					continue
+				}
+				dst := word.Random(cfg.D, cfg.K, rng)
+				route, err := core.RouteUndirectedLinear(src, dst)
+				if err != nil {
+					return OpenLoopResult{}, err
+				}
+				conc, err := route.Concrete(src, func(int, word.Word, core.Hop) byte {
+					return byte(rng.Intn(cfg.D))
+				})
+				if err != nil {
+					return OpenLoopResult{}, err
+				}
+				walk, err := conc.Vertices(src)
+				if err != nil {
+					return OpenLoopResult{}, err
+				}
+				res.Offered++
+				m := &openMsg{walk: walk, injected: round, queue: arrival}
+				arrival++
+				if len(walk) == 1 {
+					res.Delivered++
+					latency.Add(0)
+					slowdown.Add(1)
+					if err := p95.Add(0); err != nil {
+						return OpenLoopResult{}, err
+					}
+					continue
+				}
+				inflight = append(inflight, m)
+				remaining++
+			}
+		} else if remaining == 0 {
+			break
+		}
+		// One synchronous forwarding round (same discipline as the
+		// batch engine: per-link FIFO with capacity).
+		byLink := make(map[[2]int][]*openMsg)
+		for _, m := range inflight {
+			if m.pos >= len(m.walk)-1 {
+				continue
+			}
+			link := [2]int{
+				graph.DeBruijnVertex(m.walk[m.pos]),
+				graph.DeBruijnVertex(m.walk[m.pos+1]),
+			}
+			byLink[link] = append(byLink[link], m)
+		}
+		links := make([][2]int, 0, len(byLink))
+		for link := range byLink {
+			links = append(links, link)
+		}
+		sort.Slice(links, func(i, j int) bool {
+			if links[i][0] != links[j][0] {
+				return links[i][0] < links[j][0]
+			}
+			return links[i][1] < links[j][1]
+		})
+		progressed := false
+		for _, link := range links {
+			queued := byLink[link]
+			sort.Slice(queued, func(i, j int) bool { return queued[i].queue < queued[j].queue })
+			moved := cfg.LinkCapacity
+			if moved > len(queued) {
+				moved = len(queued)
+			}
+			for _, m := range queued[:moved] {
+				m.pos++
+				m.queue = arrival
+				arrival++
+				progressed = true
+				if m.pos == len(m.walk)-1 {
+					remaining--
+					res.Delivered++
+					lat := round - m.injected + 1
+					latency.Add(float64(lat))
+					slowdown.Add(float64(lat) / float64(len(m.walk)-1))
+					if err := p95.Add(lat); err != nil {
+						return OpenLoopResult{}, err
+					}
+					if lat > res.MaxLatency {
+						res.MaxLatency = lat
+					}
+				}
+			}
+		}
+		if round > cfg.Rounds && !progressed && remaining > 0 {
+			return OpenLoopResult{}, errors.New("network: open loop stalled (internal error)")
+		}
+		// Compact delivered messages occasionally.
+		if len(inflight) > 4096 {
+			kept := inflight[:0]
+			for _, m := range inflight {
+				if m.pos < len(m.walk)-1 {
+					kept = append(kept, m)
+				}
+			}
+			inflight = kept
+		}
+	}
+	res.MeanLatency = latency.Mean()
+	res.MeanSlowdown = slowdown.Mean()
+	res.P95Latency = p95.Quantile(0.95)
+	return res, nil
+}

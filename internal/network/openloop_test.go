@@ -1,0 +1,77 @@
+package network
+
+import "testing"
+
+func TestOpenLoopLowLoadNearUncontended(t *testing.T) {
+	res, err := RunOpenLoop(OpenLoopConfig{D: 2, K: 6, Rate: 0.02, Rounds: 120, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated {
+		t.Fatal("low load saturated")
+	}
+	if res.Offered == 0 || res.Delivered != res.Offered {
+		t.Fatalf("offered %d delivered %d", res.Offered, res.Delivered)
+	}
+	// Near-uncontended: slowdown close to 1.
+	if res.MeanSlowdown > 1.3 {
+		t.Errorf("low-load slowdown %v too high", res.MeanSlowdown)
+	}
+}
+
+func TestOpenLoopLatencyGrowsWithLoad(t *testing.T) {
+	low, err := RunOpenLoop(OpenLoopConfig{D: 2, K: 6, Rate: 0.05, Rounds: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := RunOpenLoop(OpenLoopConfig{D: 2, K: 6, Rate: 0.30, Rounds: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.Saturated {
+		t.Fatal("rate 0.05 saturated")
+	}
+	if !(high.MeanLatency > low.MeanLatency) {
+		t.Errorf("latency did not grow: %v → %v", low.MeanLatency, high.MeanLatency)
+	}
+}
+
+func TestOpenLoopSaturationDetected(t *testing.T) {
+	// Absurd offered load must either saturate or show extreme
+	// slowdown; the run must terminate regardless.
+	res, err := RunOpenLoop(OpenLoopConfig{D: 2, K: 5, Rate: 3.0, Rounds: 60, Seed: 3, MaxRounds: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated && res.MeanSlowdown < 2 {
+		t.Errorf("overload neither saturated nor slow: %+v", res)
+	}
+}
+
+func TestOpenLoopDeterministic(t *testing.T) {
+	run := func() OpenLoopResult {
+		res, err := RunOpenLoop(OpenLoopConfig{D: 2, K: 5, Rate: 0.1, Rounds: 60, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("runs differ: %+v vs %+v", a, b)
+	}
+}
+
+func TestOpenLoopValidates(t *testing.T) {
+	if _, err := RunOpenLoop(OpenLoopConfig{D: 1, K: 3, Rate: 0.1, Rounds: 10}); err == nil {
+		t.Error("accepted d=1")
+	}
+	if _, err := RunOpenLoop(OpenLoopConfig{D: 2, K: 3, Rate: 0, Rounds: 10}); err == nil {
+		t.Error("accepted zero rate")
+	}
+	if _, err := RunOpenLoop(OpenLoopConfig{D: 2, K: 3, Rate: 0.1, Rounds: 0}); err == nil {
+		t.Error("accepted zero rounds")
+	}
+	if _, err := RunOpenLoop(OpenLoopConfig{D: 2, K: 3, Rate: 0.1, Rounds: 5, LinkCapacity: -2}); err == nil {
+		t.Error("accepted negative capacity")
+	}
+}

@@ -1,0 +1,73 @@
+package network
+
+import (
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/word"
+)
+
+// Policy resolves a wildcard hop (a,*) at a forwarding site: it picks
+// the digit b identifying which neighbor of the requested type
+// receives the message. The paper's remark motivates this hook: "the
+// site which transmits the message [is] able to select freely one of
+// the neighbors of the specified type, so that the traffic could be
+// more or less balanced."
+type Policy interface {
+	// Choose returns the digit for the wildcard hop taken at site cur.
+	Choose(n *Network, cur word.Word, h core.Hop) byte
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// PolicyFirst always chooses digit 0 — the unbalanced baseline.
+type PolicyFirst struct{}
+
+// Choose implements Policy.
+func (PolicyFirst) Choose(*Network, word.Word, core.Hop) byte { return 0 }
+
+// Name implements Policy.
+func (PolicyFirst) Name() string { return "first" }
+
+// PolicyRandom chooses a uniformly random digit from the network's
+// seeded generator — stateless spreading.
+type PolicyRandom struct{}
+
+// Choose implements Policy.
+func (PolicyRandom) Choose(n *Network, _ word.Word, _ core.Hop) byte {
+	return byte(n.rng.Intn(n.cfg.D))
+}
+
+// Name implements Policy.
+func (PolicyRandom) Name() string { return "random" }
+
+// PolicyLeastLoaded chooses the digit whose outgoing link from the
+// current site has carried the fewest messages so far, preferring
+// live sites — the locally load-balancing policy of experiment E7.
+type PolicyLeastLoaded struct{}
+
+// Choose implements Policy.
+func (PolicyLeastLoaded) Choose(n *Network, cur word.Word, h core.Hop) byte {
+	curV := graph.DeBruijnVertex(cur)
+	best := byte(0)
+	bestLoad := -1
+	for b := 0; b < n.cfg.D; b++ {
+		var next word.Word
+		if h.Type == core.TypeL {
+			next = cur.ShiftLeft(byte(b))
+		} else {
+			next = cur.ShiftRight(byte(b))
+		}
+		nextV := graph.DeBruijnVertex(next)
+		if n.failed[nextV] {
+			continue
+		}
+		load := n.linkLoad[[2]int{curV, nextV}]
+		if bestLoad < 0 || load < bestLoad {
+			best, bestLoad = byte(b), load
+		}
+	}
+	return best
+}
+
+// Name implements Policy.
+func (PolicyLeastLoaded) Name() string { return "least-loaded" }

@@ -1,0 +1,152 @@
+package network
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// Wire format for the paper's five-field message, so simulated sites
+// could exchange real bytes. Layout (big endian):
+//
+//	magic   uint16  0xDB17
+//	control uint8
+//	d       uint8   alphabet size
+//	k       uint16  word length
+//	source  k bytes (one digit per byte)
+//	dest    k bytes
+//	nHops   uint16
+//	route   nHops bytes: bit 7 = type (0 L, 1 R), bit 6 = wildcard,
+//	        bits 0-5 = digit
+//	payload uint32 length + bytes
+//
+// One digit per byte wastes bits for small d but keeps every d ≤ 36
+// uniform and the codec trivially seekable.
+
+const wireMagic = 0xDB17
+
+// Wire-format errors.
+var (
+	ErrWireTruncated = errors.New("network: truncated wire message")
+	ErrWireMagic     = errors.New("network: bad magic")
+	ErrWireField     = errors.New("network: invalid field")
+)
+
+// MarshalMessage encodes m into the wire format.
+func MarshalMessage(m Message) ([]byte, error) {
+	if m.Source.IsZero() || m.Dest.IsZero() {
+		return nil, fmt.Errorf("%w: zero-value address", ErrWireField)
+	}
+	d, k := m.Source.Base(), m.Source.Len()
+	if m.Dest.Base() != d || m.Dest.Len() != k {
+		return nil, fmt.Errorf("%w: source and destination address different networks", ErrWireField)
+	}
+	if k > 0xFFFF || len(m.Route) > 0xFFFF {
+		return nil, fmt.Errorf("%w: length field overflow", ErrWireField)
+	}
+	if len(m.Payload) > 0x7FFFFFFF {
+		return nil, fmt.Errorf("%w: payload too large", ErrWireField)
+	}
+	buf := make([]byte, 0, 8+2*k+2+len(m.Route)+4+len(m.Payload))
+	buf = binary.BigEndian.AppendUint16(buf, wireMagic)
+	buf = append(buf, m.Control, byte(d))
+	buf = binary.BigEndian.AppendUint16(buf, uint16(k))
+	buf = append(buf, m.Source.Digits()...)
+	buf = append(buf, m.Dest.Digits()...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Route)))
+	for i, h := range m.Route {
+		var b byte
+		switch h.Type {
+		case core.TypeL:
+		case core.TypeR:
+			b |= 0x80
+		default:
+			return nil, fmt.Errorf("%w: hop %d has invalid type", ErrWireField, i)
+		}
+		if h.Wildcard {
+			b |= 0x40
+		} else {
+			if int(h.Digit) >= d {
+				return nil, fmt.Errorf("%w: hop %d digit %d out of base %d", ErrWireField, i, h.Digit, d)
+			}
+			b |= h.Digit & 0x3F
+		}
+		buf = append(buf, b)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Payload)))
+	buf = append(buf, m.Payload...)
+	return buf, nil
+}
+
+// UnmarshalMessage decodes a wire-format message, validating every
+// field (addresses are re-checked against the alphabet).
+func UnmarshalMessage(buf []byte) (Message, error) {
+	var m Message
+	if len(buf) < 6 {
+		return m, ErrWireTruncated
+	}
+	if binary.BigEndian.Uint16(buf) != wireMagic {
+		return m, ErrWireMagic
+	}
+	m.Control = buf[2]
+	d := int(buf[3])
+	k := int(binary.BigEndian.Uint16(buf[4:]))
+	if k == 0 {
+		return m, fmt.Errorf("%w: k = 0", ErrWireField)
+	}
+	pos := 6
+	if len(buf) < pos+2*k+2 {
+		return m, ErrWireTruncated
+	}
+	src, err := word.New(d, buf[pos:pos+k])
+	if err != nil {
+		return m, fmt.Errorf("%w: source: %v", ErrWireField, err)
+	}
+	pos += k
+	dst, err := word.New(d, buf[pos:pos+k])
+	if err != nil {
+		return m, fmt.Errorf("%w: dest: %v", ErrWireField, err)
+	}
+	pos += k
+	m.Source, m.Dest = src, dst
+	nHops := int(binary.BigEndian.Uint16(buf[pos:]))
+	pos += 2
+	if len(buf) < pos+nHops+4 {
+		return m, ErrWireTruncated
+	}
+	if nHops > 0 {
+		m.Route = make(core.Path, nHops)
+		for i := 0; i < nHops; i++ {
+			b := buf[pos+i]
+			h := core.Hop{}
+			if b&0x80 != 0 {
+				h.Type = core.TypeR
+			}
+			if b&0x40 != 0 {
+				h.Wildcard = true
+				if b&0x3F != 0 {
+					// Non-canonical: wildcard hops carry no digit.
+					// Rejecting keeps decode∘encode a fixpoint.
+					return Message{}, fmt.Errorf("%w: hop %d sets digit bits under wildcard", ErrWireField, i)
+				}
+			} else {
+				h.Digit = b & 0x3F
+				if int(h.Digit) >= d {
+					return Message{}, fmt.Errorf("%w: hop %d digit %d out of base %d", ErrWireField, i, h.Digit, d)
+				}
+			}
+			m.Route[i] = h
+		}
+	}
+	pos += nHops
+	plen := int(binary.BigEndian.Uint32(buf[pos:]))
+	pos += 4
+	if len(buf) != pos+plen {
+		return Message{}, fmt.Errorf("%w: payload length %d, %d bytes remain", ErrWireTruncated, plen, len(buf)-pos)
+	}
+	m.Payload = string(buf[pos:])
+	return m, nil
+}

@@ -1,0 +1,200 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+func msgEqual(a, b Message) bool {
+	if a.Control != b.Control || a.Payload != b.Payload {
+		return false
+	}
+	if !a.Source.Equal(b.Source) || !a.Dest.Equal(b.Dest) {
+		return false
+	}
+	if len(a.Route) != len(b.Route) {
+		return false
+	}
+	for i := range a.Route {
+		if a.Route[i] != b.Route[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWireRoundTripBasic(t *testing.T) {
+	m := Message{
+		Control: ControlData,
+		Source:  word.MustParse(2, "0110"),
+		Dest:    word.MustParse(2, "1001"),
+		Route:   core.Path{core.L(1), core.RStar(), core.R(0)},
+		Payload: "hello de Bruijn",
+	}
+	buf, err := MarshalMessage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !msgEqual(m, got) {
+		t.Errorf("round trip: %+v != %+v", got, m)
+	}
+}
+
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(seed int64, control byte, payload string) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := 2 + rng.Intn(35)
+		k := 1 + rng.Intn(20)
+		m := Message{
+			Control: control,
+			Source:  word.Random(d, k, rng),
+			Dest:    word.Random(d, k, rng),
+			Payload: payload,
+		}
+		nHops := rng.Intn(3 * k)
+		for i := 0; i < nHops; i++ {
+			h := core.Hop{Digit: byte(rng.Intn(d))}
+			if rng.Intn(2) == 1 {
+				h.Type = core.TypeR
+			}
+			if rng.Intn(4) == 0 {
+				h.Wildcard = true
+				h.Digit = 0
+			}
+			m.Route = append(m.Route, h)
+		}
+		buf, err := MarshalMessage(m)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalMessage(buf)
+		if err != nil {
+			return false
+		}
+		return msgEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireRoundTripRealRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for i := 0; i < 100; i++ {
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(12)
+		src, dst := word.Random(d, k, rng), word.Random(d, k, rng)
+		route, err := core.RouteUndirectedLinear(src, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Message{Control: ControlPing, Source: src, Dest: dst, Route: route, Payload: "p"}
+		buf, err := MarshalMessage(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UnmarshalMessage(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !msgEqual(m, got) {
+			t.Fatalf("round trip failed for %v→%v", src, dst)
+		}
+	}
+}
+
+func TestWireRejectsBadMessages(t *testing.T) {
+	good := Message{
+		Control: ControlData,
+		Source:  word.MustParse(2, "01"),
+		Dest:    word.MustParse(2, "10"),
+	}
+	if _, err := MarshalMessage(Message{}); err == nil {
+		t.Error("marshalled zero-value addresses")
+	}
+	bad := good
+	bad.Dest = word.MustParse(3, "10")
+	if _, err := MarshalMessage(bad); err == nil {
+		t.Error("marshalled mixed-base addresses")
+	}
+	bad = good
+	bad.Route = core.Path{core.Hop{Type: core.HopType(9)}}
+	if _, err := MarshalMessage(bad); err == nil {
+		t.Error("marshalled invalid hop type")
+	}
+	bad = good
+	bad.Route = core.Path{core.L(5)}
+	if _, err := MarshalMessage(bad); err == nil {
+		t.Error("marshalled out-of-base hop digit")
+	}
+}
+
+func TestWireRejectsBadBytes(t *testing.T) {
+	good, err := MarshalMessage(Message{
+		Control: ControlData,
+		Source:  word.MustParse(2, "01"),
+		Dest:    word.MustParse(2, "10"),
+		Route:   core.Path{core.L(1)},
+		Payload: "x",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalMessage(nil); err == nil {
+		t.Error("decoded empty buffer")
+	}
+	if _, err := UnmarshalMessage(good[:5]); err == nil {
+		t.Error("decoded truncated header")
+	}
+	if _, err := UnmarshalMessage(good[:len(good)-1]); err == nil {
+		t.Error("decoded truncated payload")
+	}
+	long := append(append([]byte(nil), good...), 0xEE)
+	if _, err := UnmarshalMessage(long); err == nil {
+		t.Error("decoded over-long buffer")
+	}
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 0x00
+	if _, err := UnmarshalMessage(badMagic); err == nil {
+		t.Error("decoded bad magic")
+	}
+	// Corrupt a source digit to an out-of-base value.
+	badDigit := append([]byte(nil), good...)
+	badDigit[6] = 9
+	if _, err := UnmarshalMessage(badDigit); err == nil {
+		t.Error("decoded out-of-base source digit")
+	}
+}
+
+func TestWireDecodedMessageRoutes(t *testing.T) {
+	// A decoded message is directly injectable.
+	n := mustNet(t, Config{D: 2, K: 4})
+	src, dst := word.MustParse(2, "0011"), word.MustParse(2, "1100")
+	route, err := core.RouteUndirectedLinear(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := MarshalMessage(Message{Control: ControlData, Source: src, Dest: dst, Route: route, Payload: "w"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := UnmarshalMessage(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	del, err := n.Inject(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !del.Delivered {
+		t.Errorf("decoded message dropped: %s", del.DropReason)
+	}
+}

@@ -1,0 +1,174 @@
+// Package routetable precomputes per-site forwarding tables for the
+// de Bruijn network: for every destination, the optimal next hop.
+// This is the classical space/time alternative to the paper's on-line
+// algorithms — O(N) memory per site and O(1) forwarding versus O(1)
+// memory and O(k) (or O(k²)) per-hop computation. The paper's
+// algorithms make the tables unnecessary; this package quantifies what
+// they replace (benchmarked at the repository root).
+package routetable
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// Table is one site's forwarding table.
+type Table struct {
+	site           word.Word
+	unidirectional bool
+	// next[r] is the optimal next hop toward the destination of rank
+	// r; the entry for the site itself is the zero Hop with self[r].
+	next []core.Hop
+	self int // rank of the site
+}
+
+// Build computes the table of one site in O(N·k): one next-hop
+// computation per destination.
+func Build(site word.Word, unidirectional bool) (*Table, error) {
+	if site.IsZero() {
+		return nil, errors.New("routetable: zero-value site")
+	}
+	d, k := site.Base(), site.Len()
+	n, err := word.Count(d, k)
+	if err != nil {
+		return nil, fmt.Errorf("routetable: %w", err)
+	}
+	t := &Table{
+		site:           site,
+		unidirectional: unidirectional,
+		next:           make([]core.Hop, n),
+		self:           int(site.MustRank()),
+	}
+	if _, err := word.ForEach(d, k, func(dst word.Word) bool {
+		r := int(dst.MustRank())
+		if r == t.self {
+			return true
+		}
+		var h core.Hop
+		var more bool
+		var herr error
+		if unidirectional {
+			h, more, herr = core.NextHopDirected(site, dst)
+		} else {
+			h, more, herr = core.NextHopUndirected(site, dst)
+		}
+		if herr != nil || !more {
+			err = fmt.Errorf("routetable: next hop for %v: %v", dst, herr)
+			return false
+		}
+		t.next[r] = h
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Site returns the table's owner.
+func (t *Table) Site() word.Word { return t.site }
+
+// NextHop looks up the optimal next hop toward dst in O(1). The
+// boolean is false when dst is the site itself.
+func (t *Table) NextHop(dst word.Word) (core.Hop, bool, error) {
+	if dst.Base() != t.site.Base() || dst.Len() != t.site.Len() {
+		return core.Hop{}, false, fmt.Errorf("routetable: %v does not address this network", dst)
+	}
+	r := int(dst.MustRank())
+	if r == t.self {
+		return core.Hop{}, false, nil
+	}
+	return t.next[r], true, nil
+}
+
+// Entries returns the number of destinations covered (N).
+func (t *Table) Entries() int { return len(t.next) }
+
+// MemoryBytes estimates the table's storage: one route entry (type +
+// digit + wildcard flag packed into a byte) per destination.
+func (t *Table) MemoryBytes() int { return len(t.next) }
+
+// Network is the full set of tables, one per site — what a de Bruijn
+// deployment would install if it did not use the paper's algorithms.
+type Network struct {
+	d, k   int
+	tables []*Table
+}
+
+// BuildAll computes every site's table: O(N²·k) total.
+func BuildAll(d, k int, unidirectional bool) (*Network, error) {
+	n, err := word.Count(d, k)
+	if err != nil {
+		return nil, fmt.Errorf("routetable: %w", err)
+	}
+	net := &Network{d: d, k: k, tables: make([]*Table, n)}
+	if _, err := word.ForEach(d, k, func(site word.Word) bool {
+		t, berr := Build(site, unidirectional)
+		if berr != nil {
+			err = berr
+			return false
+		}
+		net.tables[int(site.MustRank())] = t
+		return true
+	}); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// Table returns the forwarding table of the given site.
+func (n *Network) Table(site word.Word) (*Table, error) {
+	if site.Base() != n.d || site.Len() != n.k {
+		return nil, fmt.Errorf("routetable: %v does not address DN(%d,%d)", site, n.d, n.k)
+	}
+	return n.tables[int(site.MustRank())], nil
+}
+
+// TotalMemoryBytes sums the storage of all tables: Θ(N²).
+func (n *Network) TotalMemoryBytes() int {
+	total := 0
+	for _, t := range n.tables {
+		total += t.MemoryBytes()
+	}
+	return total
+}
+
+// Route walks a message from src to dst using table lookups only,
+// resolving wildcard entries with choose (digit 0 when nil), and
+// returns the visited sites. The walk is guaranteed optimal because
+// every entry came from the paper's next-hop functions.
+func (n *Network) Route(src, dst word.Word, choose core.Chooser) ([]word.Word, error) {
+	if src.Base() != n.d || src.Len() != n.k || dst.Base() != n.d || dst.Len() != n.k {
+		return nil, fmt.Errorf("routetable: addresses do not match DN(%d,%d)", n.d, n.k)
+	}
+	walk := []word.Word{src}
+	cur := src
+	for hops := 0; !cur.Equal(dst); hops++ {
+		if hops > 4*n.k {
+			return nil, fmt.Errorf("routetable: walk from %v to %v did not converge", src, dst)
+		}
+		t := n.tables[int(cur.MustRank())]
+		h, more, err := t.NextHop(dst)
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+		if h.Wildcard {
+			digit := byte(0)
+			if choose != nil {
+				digit = choose(hops, cur, h)
+			}
+			h = core.Hop{Type: h.Type, Digit: digit}
+		}
+		cur, err = core.Path{h}.Apply(cur, nil)
+		if err != nil {
+			return nil, err
+		}
+		walk = append(walk, cur)
+	}
+	return walk, nil
+}

@@ -1,0 +1,159 @@
+package routetable
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+func TestTableEntriesMatchNextHopFunctions(t *testing.T) {
+	site := word.MustParse(2, "0110")
+	for _, uni := range []bool{true, false} {
+		tbl, err := Build(site, uni)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tbl.Entries() != 16 || tbl.MemoryBytes() != 16 {
+			t.Errorf("entries = %d", tbl.Entries())
+		}
+		if _, err := word.ForEach(2, 4, func(dst word.Word) bool {
+			got, more, err := tbl.NextHop(dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want core.Hop
+			var wantMore bool
+			if uni {
+				want, wantMore, err = core.NextHopDirected(site, dst)
+			} else {
+				want, wantMore, err = core.NextHopUndirected(site, dst)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if more != wantMore || (more && got != want) {
+				t.Fatalf("uni=%v dst=%v: table %v/%v, function %v/%v", uni, dst, got, more, want, wantMore)
+			}
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestNetworkRouteIsOptimalExhaustive(t *testing.T) {
+	net, err := BuildAll(2, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(71))
+	chooser := func(int, word.Word, core.Hop) byte { return byte(rng.Intn(2)) }
+	if _, err := word.ForEach(2, 4, func(src word.Word) bool {
+		if _, err := word.ForEach(2, 4, func(dst word.Word) bool {
+			walk, err := net.Route(src, dst, chooser)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.UndirectedDistance(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(walk)-1 != want {
+				t.Fatalf("%v→%v: %d hops, want %d", src, dst, len(walk)-1, want)
+			}
+			if !walk[len(walk)-1].Equal(dst) {
+				t.Fatalf("walk ends at %v", walk[len(walk)-1])
+			}
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkRouteUnidirectional(t *testing.T) {
+	net, err := BuildAll(3, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := word.ForEach(3, 2, func(src word.Word) bool {
+		if _, err := word.ForEach(3, 2, func(dst word.Word) bool {
+			walk, err := net.Route(src, dst, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := core.DirectedDistance(src, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(walk)-1 != want {
+				t.Fatalf("%v→%v: %d hops, want %d", src, dst, len(walk)-1, want)
+			}
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetworkMemoryScalesQuadratically(t *testing.T) {
+	net3, err := BuildAll(2, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net4, err := BuildAll(2, 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net3.TotalMemoryBytes() != 64 || net4.TotalMemoryBytes() != 256 {
+		t.Errorf("memory: %d, %d", net3.TotalMemoryBytes(), net4.TotalMemoryBytes())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Build(word.Word{}, false); err == nil {
+		t.Error("accepted zero-value site")
+	}
+	tbl, err := Build(word.MustParse(2, "01"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tbl.NextHop(word.MustParse(3, "01")); err == nil {
+		t.Error("accepted wrong-base destination")
+	}
+	if _, more, err := tbl.NextHop(word.MustParse(2, "01")); err != nil || more {
+		t.Error("self lookup should report done")
+	}
+	net, err := BuildAll(2, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := net.Table(word.MustParse(2, "011")); err == nil {
+		t.Error("accepted wrong-length site")
+	}
+	if _, err := net.Route(word.MustParse(2, "011"), word.MustParse(2, "01"), nil); err == nil {
+		t.Error("accepted wrong-length source")
+	}
+	if _, err := BuildAll(2, 80, false); err == nil {
+		t.Error("accepted overflowing size")
+	}
+}
+
+func TestTableSiteAccessor(t *testing.T) {
+	site := word.MustParse(2, "010")
+	tbl, err := Build(site, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tbl.Site().Equal(site) {
+		t.Error("Site accessor wrong")
+	}
+}

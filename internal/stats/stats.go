@@ -1,0 +1,247 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: streaming moments, integer histograms, and
+// fixed-width table rendering for the regenerated tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Accumulator collects streaming first and second moments. The zero
+// value is ready to use.
+type Accumulator struct {
+	n          int
+	sum, sumSq float64
+	min, max   float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	if a.n == 0 || x < a.min {
+		a.min = x
+	}
+	if a.n == 0 || x > a.max {
+		a.max = x
+	}
+	a.n++
+	a.sum += x
+	a.sumSq += x * x
+}
+
+// N returns the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Sum returns the total.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Mean returns the sample mean (0 when empty).
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Variance returns the population variance (0 when empty).
+func (a *Accumulator) Variance() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	m := a.Mean()
+	v := a.sumSq/float64(a.n) - m*m
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (a *Accumulator) StdErr() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (a *Accumulator) Min() float64 {
+	return a.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (a *Accumulator) Max() float64 {
+	return a.max
+}
+
+// Histogram counts non-negative integer observations.
+type Histogram struct {
+	counts []int
+	total  int
+}
+
+// Add records one observation; negative values are rejected.
+func (h *Histogram) Add(v int) error {
+	if v < 0 {
+		return fmt.Errorf("stats: negative histogram value %d", v)
+	}
+	for len(h.counts) <= v {
+		h.counts = append(h.counts, 0)
+	}
+	h.counts[v]++
+	h.total++
+	return nil
+}
+
+// Count returns the number of observations equal to v.
+func (h *Histogram) Count(v int) int {
+	if v < 0 || v >= len(h.counts) {
+		return 0
+	}
+	return h.counts[v]
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// MaxValue returns the largest recorded value (-1 when empty).
+func (h *Histogram) MaxValue() int {
+	for v := len(h.counts) - 1; v >= 0; v-- {
+		if h.counts[v] > 0 {
+			return v
+		}
+	}
+	return -1
+}
+
+// Mean returns the mean of the recorded values.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var sum float64
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	return sum / float64(h.total)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the recorded values.
+func (h *Histogram) Quantile(q float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int(math.Ceil(q * float64(h.total)))
+	if target < 1 {
+		target = 1
+	}
+	cum := 0
+	for v, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return v
+		}
+	}
+	return len(h.counts) - 1
+}
+
+// Counts returns a copy of the per-value counts.
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Table renders rows of columns with right-aligned fixed widths — the
+// output format of the experiment binaries.
+type Table struct {
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{header: header}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Gini computes the Gini coefficient of a set of non-negative loads:
+// 0 is perfectly balanced, →1 maximally skewed. Used by the wildcard
+// load-balancing experiment (E7).
+func Gini(loads []int) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	sorted := make([]int, len(loads))
+	copy(sorted, loads)
+	sort.Ints(sorted)
+	var cum, weighted float64
+	for i, v := range sorted {
+		cum += float64(v)
+		weighted += float64(v) * float64(i+1)
+	}
+	if cum == 0 {
+		return 0
+	}
+	n := float64(len(sorted))
+	return (2*weighted - (n+1)*cum) / (n * cum)
+}

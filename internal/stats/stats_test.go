@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorMoments(t *testing.T) {
+	var a Accumulator
+	if a.Mean() != 0 || a.Variance() != 0 || a.StdErr() != 0 {
+		t.Error("zero-value accumulator not zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 || a.Sum() != 40 {
+		t.Errorf("N=%d Sum=%v", a.N(), a.Sum())
+	}
+	if a.Mean() != 5 {
+		t.Errorf("Mean = %v", a.Mean())
+	}
+	if math.Abs(a.Variance()-4) > 1e-12 {
+		t.Errorf("Variance = %v, want 4", a.Variance())
+	}
+	if math.Abs(a.StdDev()-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", a.StdDev())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Errorf("Min=%v Max=%v", a.Min(), a.Max())
+	}
+	if math.Abs(a.StdErr()-2/math.Sqrt(8)) > 1e-12 {
+		t.Errorf("StdErr = %v", a.StdErr())
+	}
+}
+
+func TestAccumulatorNegativeValues(t *testing.T) {
+	var a Accumulator
+	a.Add(-3)
+	a.Add(3)
+	if a.Mean() != 0 || a.Min() != -3 || a.Max() != 3 {
+		t.Errorf("mean=%v min=%v max=%v", a.Mean(), a.Min(), a.Max())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	if h.MaxValue() != -1 || h.Mean() != 0 {
+		t.Error("empty histogram wrong")
+	}
+	for _, v := range []int{0, 1, 1, 2, 2, 2, 5} {
+		if err := h.Add(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Add(-1); err == nil {
+		t.Error("accepted negative value")
+	}
+	if h.Total() != 7 || h.Count(2) != 3 || h.Count(3) != 0 || h.Count(99) != 0 {
+		t.Errorf("histogram counts wrong: %v", h.Counts())
+	}
+	if h.MaxValue() != 5 {
+		t.Errorf("MaxValue = %d", h.MaxValue())
+	}
+	if want := 13.0 / 7.0; math.Abs(h.Mean()-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", h.Mean(), want)
+	}
+	if h.Quantile(0.5) != 2 {
+		t.Errorf("median = %d, want 2", h.Quantile(0.5))
+	}
+	if h.Quantile(0) != 0 || h.Quantile(1) != 5 {
+		t.Errorf("extreme quantiles %d %d", h.Quantile(0), h.Quantile(1))
+	}
+	if h.Quantile(-1) != 0 || h.Quantile(2) != 5 {
+		t.Error("out-of-range quantiles not clamped")
+	}
+}
+
+func TestHistogramCountsIsCopy(t *testing.T) {
+	var h Histogram
+	_ = h.Add(1)
+	c := h.Counts()
+	c[1] = 99
+	if h.Count(1) != 1 {
+		t.Error("Counts returned aliased storage")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("k", "mean")
+	tb.AddRow(3, 2.25)
+	tb.AddRow(10, 9.0001)
+	got := tb.String()
+	if !strings.Contains(got, "k") || !strings.Contains(got, "2.2500") || !strings.Contains(got, "9.0001") {
+		t.Errorf("table:\n%s", got)
+	}
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Errorf("table has %d lines, want 4", len(lines))
+	}
+	// All rows align to the same width.
+	for _, l := range lines[1:] {
+		if len(l) != len(lines[0]) {
+			t.Errorf("misaligned row %q vs header %q", l, lines[0])
+		}
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]int{5, 5, 5, 5}); math.Abs(g) > 1e-12 {
+		t.Errorf("uniform Gini = %v, want 0", g)
+	}
+	// All load on one of n: Gini = (n-1)/n.
+	if g := Gini([]int{0, 0, 0, 12}); math.Abs(g-0.75) > 1e-12 {
+		t.Errorf("concentrated Gini = %v, want 0.75", g)
+	}
+	if g := Gini(nil); g != 0 {
+		t.Errorf("empty Gini = %v", g)
+	}
+	if g := Gini([]int{0, 0}); g != 0 {
+		t.Errorf("all-zero Gini = %v", g)
+	}
+}
+
+func TestGiniBoundsProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		loads := make([]int, len(raw))
+		for i, v := range raw {
+			loads[i] = int(v)
+		}
+		g := Gini(loads)
+		return g >= -1e-12 && g < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccumulatorMatchesQuickVariance(t *testing.T) {
+	f := func(raw []int8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var a Accumulator
+		var sum float64
+		for _, v := range raw {
+			a.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		var vv float64
+		for _, v := range raw {
+			vv += (float64(v) - mean) * (float64(v) - mean)
+		}
+		vv /= float64(len(raw))
+		return math.Abs(a.Variance()-vv) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

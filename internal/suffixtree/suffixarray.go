@@ -1,0 +1,70 @@
+package suffixtree
+
+import "sort"
+
+// SuffixArray returns the suffix array of the tree's string: the leaf
+// positions in lexicographic order of their suffixes, read off a
+// depth-first traversal with children ordered by edge symbol. O(n)
+// given the built tree.
+func (t *Tree) SuffixArray() []int {
+	sa := make([]int, 0, len(t.s))
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		if n.IsLeaf() {
+			sa = append(sa, n.LeafPos)
+			return
+		}
+		for _, c := range sortedChildren(n) {
+			visit(c)
+		}
+	}
+	visit(t.root)
+	return sa
+}
+
+// LCPArray returns lcp[i] = length of the longest common prefix of
+// the suffixes at SuffixArray()[i-1] and SuffixArray()[i] (lcp[0] =
+// 0): the string depth of the meet of adjacent leaves, computed
+// during the same traversal.
+func (t *Tree) LCPArray() []int {
+	lcp := make([]int, 0, len(t.s))
+	first := true
+	// The meet of consecutive leaves in DFS order is the deepest
+	// node on the stack that separates them: track the minimum depth
+	// seen between leaf emissions.
+	var visit func(n *Node, depthAbove int)
+	pendingMin := 0
+	visit = func(n *Node, depthAbove int) {
+		if n.IsLeaf() {
+			if first {
+				lcp = append(lcp, 0)
+				first = false
+			} else {
+				lcp = append(lcp, pendingMin)
+			}
+			pendingMin = depthAbove
+			return
+		}
+		for _, c := range sortedChildren(n) {
+			if n.Depth < pendingMin {
+				pendingMin = n.Depth
+			}
+			visit(c, n.Depth)
+		}
+	}
+	visit(t.root, 0)
+	return lcp
+}
+
+// NaiveSuffixArray builds the suffix array by sorting, the oracle for
+// SuffixArray.
+func NaiveSuffixArray(s []byte) []int {
+	sa := make([]int, len(s))
+	for i := range sa {
+		sa[i] = i
+	}
+	sort.Slice(sa, func(a, b int) bool {
+		return string(s[sa[a]:]) < string(s[sa[b]:])
+	})
+	return sa
+}

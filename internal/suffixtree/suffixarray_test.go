@@ -1,0 +1,94 @@
+package suffixtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSuffixArrayMatchesNaive(t *testing.T) {
+	fixed := []string{"a", "banana", "mississippi", "aaaa", "abababab"}
+	for _, s := range fixed {
+		tr, err := Build(mark(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := tr.SuffixArray()
+		want := NaiveSuffixArray(mark(s))
+		if !sliceEq(got, want) {
+			t.Errorf("%q: SA = %v, want %v", s, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(111))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(30)
+		s := make([]byte, n, n+1)
+		for i := range s {
+			s[i] = byte(rng.Intn(3))
+		}
+		s = append(s, 0xFF)
+		tr, err := Build(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sliceEq(tr.SuffixArray(), NaiveSuffixArray(s)) {
+			t.Fatalf("SA mismatch for %v", s)
+		}
+	}
+}
+
+func TestLCPArrayMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(24)
+		s := make([]byte, n, n+1)
+		for i := range s {
+			s[i] = byte(rng.Intn(2))
+		}
+		s = append(s, 0xFF)
+		tr, err := Build(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sa := tr.SuffixArray()
+		lcp := tr.LCPArray()
+		if len(lcp) != len(sa) {
+			t.Fatalf("lengths differ: %d vs %d", len(lcp), len(sa))
+		}
+		if lcp[0] != 0 {
+			t.Fatalf("lcp[0] = %d", lcp[0])
+		}
+		for i := 1; i < len(sa); i++ {
+			want := directLCP(s, sa[i-1], sa[i])
+			if lcp[i] != want {
+				t.Fatalf("s=%v: lcp[%d] (suffixes %d,%d) = %d, want %d", s, i, sa[i-1], sa[i], lcp[i], want)
+			}
+		}
+	}
+}
+
+func TestSuffixArrayIsPermutation(t *testing.T) {
+	tr, err := Build(mark("abracadabra"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa := tr.SuffixArray()
+	seen := make([]bool, len(sa))
+	for _, v := range sa {
+		if v < 0 || v >= len(sa) || seen[v] {
+			t.Fatalf("SA not a permutation: %v", sa)
+		}
+		seen[v] = true
+	}
+}
+
+func sliceEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

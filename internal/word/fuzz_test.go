@@ -1,0 +1,49 @@
+package word
+
+import "testing"
+
+func FuzzParseRoundTrip(f *testing.F) {
+	f.Add(2, "0110")
+	f.Add(3, "0212")
+	f.Add(36, "z9a")
+	f.Add(2, "")
+	f.Add(1, "0")
+	f.Add(16, "A3")
+	f.Fuzz(func(t *testing.T, base int, s string) {
+		w, err := Parse(base, s)
+		if err != nil {
+			return // invalid input is fine; it must just not panic
+		}
+		back, err := Parse(base, w.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", w, err)
+		}
+		if !back.Equal(w) {
+			t.Fatalf("round trip changed %q to %q", w, back)
+		}
+		if w.Base() != base || w.Len() != len(s) {
+			t.Fatalf("metadata wrong for %q", s)
+		}
+	})
+}
+
+func FuzzShiftInverses(f *testing.F) {
+	f.Add(uint8(2), []byte{0, 1, 1, 0}, uint8(1))
+	f.Add(uint8(3), []byte{2, 0, 1}, uint8(2))
+	f.Fuzz(func(t *testing.T, base uint8, digits []byte, a uint8) {
+		w, err := New(int(base), digits)
+		if err != nil {
+			return
+		}
+		if int(a) >= int(base) {
+			return
+		}
+		k := w.Len()
+		if got := w.ShiftRight(a).ShiftLeft(w.Digit(k - 1)); !got.Equal(w) {
+			t.Fatalf("shift inverse broken for %v", w)
+		}
+		if got := w.ShiftLeft(a).ShiftRight(w.Digit(0)); !got.Equal(w) {
+			t.Fatalf("shift inverse broken for %v", w)
+		}
+	})
+}
