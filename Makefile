@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz experiments examples clean
+.PHONY: all build vet test race cover bench bench-json fuzz experiments examples clean
 
 all: build vet test
 
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/network/ ./internal/dht/
+	$(GO) test -race ./internal/network/ ./internal/dht/ ./internal/obs/
 
 cover:
 	$(GO) test -cover ./...
@@ -25,6 +25,10 @@ cover:
 # Regenerates bench_output.txt (every table/figure benchmark).
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+# Regenerates BENCH_core.json (machine-readable core routing numbers).
+bench-json:
+	$(GO) run ./cmd/dbbench -out BENCH_core.json
 
 # Short fuzz sessions over the three fuzz targets.
 fuzz:

@@ -1,0 +1,155 @@
+// Command dbbench runs the core routing micro-benchmarks outside the
+// `go test` harness and writes a machine-readable report, so CI and
+// the Makefile (`make bench-json`) can archive ns/op and allocs/op
+// without parsing benchmark text:
+//
+//	dbbench -out BENCH_core.json
+//	dbbench -out - -benchtime 10ms    # quick run to stdout
+//
+// Each (op, d, k) cell is one testing.Benchmark run over a fixed pool
+// of seeded random word pairs. Ops: Router (reusable Router.Route),
+// Distance (Theorem 2, O(k)), Route (Algorithm 4, O(k)).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// Result is one benchmark cell of the report.
+type Result struct {
+	Op          string  `json:"op"`
+	D           int     `json:"d"`
+	K           int     `json:"k"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the BENCH_core.json schema.
+type Report struct {
+	Schema    string   `json:"schema"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+// Schema identifies the report layout for consumers.
+const Schema = "dbbench/core/v1"
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dbbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dbbench", flag.ContinueOnError)
+	outPath := fs.String("out", "BENCH_core.json", `output file ("-" for stdout)`)
+	benchtime := fs.String("benchtime", "100ms", "per-benchmark duration (test.benchtime syntax)")
+	d := fs.Int("d", 2, "alphabet size")
+	ks := fs.String("k", "8,64,512", "comma-separated word lengths")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// testing.Benchmark honors the test.benchtime flag; registering the
+	// testing flags in a normal binary requires testing.Init first.
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		return err
+	}
+
+	rep := Report{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Benchtime: *benchtime,
+	}
+	for _, ktok := range strings.Split(*ks, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(ktok))
+		if err != nil {
+			return fmt.Errorf("parsing -k %q: %w", ktok, err)
+		}
+		cells, err := benchCells(*d, k)
+		if err != nil {
+			return err
+		}
+		rep.Results = append(rep.Results, cells...)
+		fmt.Fprintf(out, "d=%d k=%d done\n", *d, k)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *outPath == "-" {
+		_, err = out.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s (%d results)\n", *outPath, len(rep.Results))
+	return nil
+}
+
+// benchCells measures the three core ops at one (d,k) point.
+func benchCells(d, k int) ([]Result, error) {
+	rng := rand.New(rand.NewSource(17))
+	pairs := make([][2]word.Word, 64)
+	for i := range pairs {
+		pairs[i] = [2]word.Word{word.Random(d, k, rng), word.Random(d, k, rng)}
+	}
+	router := core.NewRouter(k)
+	ops := []struct {
+		name string
+		fn   func(x, y word.Word) error
+	}{
+		{"Router", func(x, y word.Word) error { _, err := router.Route(x, y); return err }},
+		{"Distance", func(x, y word.Word) error { _, err := core.UndirectedDistanceLinear(x, y); return err }},
+		{"Route", func(x, y word.Word) error { _, err := core.RouteUndirectedLinear(x, y); return err }},
+	}
+	out := make([]Result, 0, len(ops))
+	for _, op := range ops {
+		fn := op.fn
+		var failure error
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				if err := fn(p[0], p[1]); err != nil {
+					failure = err
+					b.FailNow()
+				}
+			}
+		})
+		if failure != nil {
+			return nil, fmt.Errorf("%s d=%d k=%d: %w", op.name, d, k, failure)
+		}
+		out = append(out, Result{
+			Op: op.name, D: d, K: k,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		})
+	}
+	return out, nil
+}

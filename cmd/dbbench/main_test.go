@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReportRoundTrip runs a tiny benchmark sweep and validates the
+// emitted BENCH_core.json against the schema consumers rely on.
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_core.json")
+	var b strings.Builder
+	if err := run([]string{"-out", path, "-benchtime", "1ms", "-k", "8,16"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if rep.Schema != Schema {
+		t.Errorf("schema = %q, want %q", rep.Schema, Schema)
+	}
+	if rep.GoVersion == "" || rep.Benchtime != "1ms" {
+		t.Errorf("header incomplete: %+v", rep)
+	}
+	// 3 ops × 2 k values.
+	if len(rep.Results) != 6 {
+		t.Fatalf("got %d results, want 6", len(rep.Results))
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Results {
+		seen[r.Op] = true
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Errorf("%s d=%d k=%d: non-positive measurement %+v", r.Op, r.D, r.K, r)
+		}
+		if r.D != 2 || (r.K != 8 && r.K != 16) {
+			t.Errorf("unexpected cell %+v", r)
+		}
+	}
+	for _, op := range []string{"Router", "Distance", "Route"} {
+		if !seen[op] {
+			t.Errorf("op %s missing from report", op)
+		}
+	}
+}
+
+func TestStdoutOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-out", "-", "-benchtime", "1ms", "-k", "8"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"schema": "dbbench/core/v1"`) {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-k", "eight"}, &b); err == nil {
+		t.Error("accepted unparsable -k")
+	}
+}

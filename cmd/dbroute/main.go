@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	dbroute -d 2 -from 0110 -to 1001 [-unidirectional] [-verify]
+//	dbroute -d 2 -from 0110 -to 1001 [-unidirectional] [-verify] [-trace]
 //
 // The word length k is taken from the addresses. -verify cross-checks
 // the result against breadth-first search on the explicit graph.
+// -trace simulates the message through the network engine and prints
+// the structured per-hop event log.
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/network"
 	"repro/internal/word"
 )
 
@@ -34,6 +37,7 @@ func run(args []string, out io.Writer) error {
 	to := fs.String("to", "", "destination address")
 	uni := fs.Bool("unidirectional", false, "route in the uni-directional network (Algorithm 1)")
 	verify := fs.Bool("verify", false, "cross-check against BFS on the explicit graph (small k only)")
+	trace := fs.Bool("trace", false, "simulate the message and print per-hop trace events (small k only)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +73,9 @@ func run(args []string, out io.Writer) error {
 			if err := verifyBFS(out, graph.Directed, *d, k, x, y, dist); err != nil {
 				return err
 			}
+		}
+		if *trace {
+			return printTrace(out, *d, k, true, x, y)
 		}
 		return nil
 	}
@@ -109,6 +116,27 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if *trace {
+		return printTrace(out, *d, k, false, x, y)
+	}
+	return nil
+}
+
+// printTrace sends the message through the synchronous engine with
+// structured tracing on and renders the per-hop event log.
+func printTrace(out io.Writer, d, k int, uni bool, x, y word.Word) error {
+	if sites, err := word.Count(d, k); err != nil || sites > 1<<20 {
+		return fmt.Errorf("graph too large to simulate a trace (d=%d, k=%d)", d, k)
+	}
+	n, err := network.New(network.Config{D: d, K: k, Unidirectional: uni, Trace: true})
+	if err != nil {
+		return err
+	}
+	del, err := n.Send(x, y, "")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trace:\n%s", del.Trace)
 	return nil
 }
 

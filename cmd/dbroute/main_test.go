@@ -69,3 +69,59 @@ func TestRunVerifyTooLarge(t *testing.T) {
 		t.Error("verify accepted 2^64-vertex graph")
 	}
 }
+
+func TestTraceFlagMatchesWalk(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-d", "2", "-from", "011010", "-to", "010011", "-trace"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The walk line and the trace must list the same site sequence.
+	var walk []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "walk (wildcards") {
+			walk = strings.Split(strings.TrimSpace(strings.SplitN(line, ":", 2)[1]), " → ")
+		}
+	}
+	if len(walk) == 0 {
+		t.Fatalf("no walk line:\n%s", out)
+	}
+	var traced []string
+	for _, line := range strings.Split(out, "\n") {
+		f := strings.Fields(line)
+		if len(f) == 3 && (f[1] == "inject" || strings.HasPrefix(f[1], "L(") || strings.HasPrefix(f[1], "R(")) {
+			traced = append(traced, f[2])
+		}
+	}
+	if len(traced) != len(walk) {
+		t.Fatalf("trace has %d sites, walk has %d:\n%s", len(traced), len(walk), out)
+	}
+	for i := range walk {
+		if walk[i] != traced[i] {
+			t.Errorf("site %d: walk %s, trace %s", i, walk[i], traced[i])
+		}
+	}
+	if !strings.Contains(out, "✓ delivered at 010011 after") {
+		t.Errorf("no delivery line:\n%s", out)
+	}
+}
+
+func TestTraceFlagUnidirectional(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-d", "2", "-from", "0110", "-to", "1001", "-unidirectional", "-trace"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "inject") || !strings.Contains(out, "✓ delivered at 1001") {
+		t.Errorf("output:\n%s", out)
+	}
+}
+
+func TestTraceFlagTooLarge(t *testing.T) {
+	var b strings.Builder
+	from := strings.Repeat("01", 32)
+	to := strings.Repeat("10", 32)
+	if err := run([]string{"-from", from, "-to", to, "-trace"}, &b); err == nil {
+		t.Error("trace accepted 2^64-vertex graph")
+	}
+}

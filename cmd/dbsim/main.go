@@ -6,6 +6,8 @@
 //	dbsim -d 2 -k 8 -policy least-loaded -workload hotspot
 //	dbsim -d 2 -k 6 -fail 000111,010101 -adaptive
 //	dbsim -d 2 -k 8 -engine cluster      # concurrent goroutine engine
+//	dbsim -d 2 -k 8 -metrics             # Prometheus text dump after the run
+//	dbsim -d 2 -k 8 -debug-addr :8080    # live /metrics + /debug/pprof
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"strings"
 
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -39,12 +42,30 @@ func run(args []string, out io.Writer) error {
 	failList := fs.String("fail", "", "comma-separated site addresses to fail")
 	adaptive := fs.Bool("adaptive", false, "reroute around failed sites")
 	engine := fs.String("engine", "sync", "sync (deterministic) | cluster (goroutine per site)")
+	metrics := fs.Bool("metrics", false, "print the metrics registry (Prometheus text) after the run")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address during the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var reg *obs.Registry
+	if *metrics || *debugAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	if *debugAddr != "" {
+		srv, addr, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "debug server on http://%s (/metrics, /metrics.json, /debug/pprof/)\n", addr)
+	}
+
 	if *engine == "cluster" {
-		return runCluster(out, *d, *k, *uni, *messages, *seed)
+		if err := runCluster(out, *d, *k, *uni, *messages, *seed, reg); err != nil {
+			return err
+		}
+		return dumpMetrics(out, reg, *metrics)
 	}
 	if *engine != "sync" {
 		return fmt.Errorf("unknown engine %q", *engine)
@@ -68,6 +89,7 @@ func run(args []string, out io.Writer) error {
 		Policy:         policy,
 		Seed:           *seed,
 		Adaptive:       *adaptive,
+		Obs:            reg,
 	})
 	if err != nil {
 		return err
@@ -122,16 +144,26 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "mean link load: %.4f\n", sum.Net.MeanLinkLoad)
 	fmt.Fprintf(out, "load gini:      %.4f\n", sum.Net.LoadGini)
 	fmt.Fprintf(out, "max site load:  %d\n", sum.Net.MaxSiteLoad)
-	return nil
+	return dumpMetrics(out, reg, *metrics)
 }
 
-func runCluster(out io.Writer, d, k int, uni bool, messages int, seed int64) error {
+// dumpMetrics prints the Prometheus exposition after the summary.
+func dumpMetrics(out io.Writer, reg *obs.Registry, enabled bool) error {
+	if !enabled || reg == nil {
+		return nil
+	}
+	fmt.Fprintln(out, "\n# metrics")
+	return reg.WritePrometheus(out)
+}
+
+func runCluster(out io.Writer, d, k int, uni bool, messages int, seed int64, reg *obs.Registry) error {
 	c, err := network.NewCluster(network.ClusterConfig{
 		D: d, K: k,
 		Unidirectional: uni,
 		Seed:           seed,
 		MaxInflight:    256,
 		RandomWildcard: true,
+		Obs:            reg,
 	})
 	if err != nil {
 		return err

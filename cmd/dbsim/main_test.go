@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -80,4 +81,78 @@ func TestErrors(t *testing.T) {
 	if err := run([]string{"-d", "1"}, &b); err == nil {
 		t.Error("accepted d=1")
 	}
+}
+
+func TestMetricsFlag(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-d", "2", "-k", "5", "-messages", "300", "-fail", "00111,01010", "-adaptive", "-metrics"}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# metrics") {
+		t.Fatalf("no metrics section:\n%s", out)
+	}
+	sent := promValue(t, out, "dn_messages_sent_total")
+	delivered := promValue(t, out, "dn_messages_delivered_total")
+	dropped := promValue(t, out, "dn_messages_dropped_total")
+	if sent != 300 {
+		t.Errorf("sent = %d, want 300", sent)
+	}
+	if sent != delivered+dropped {
+		t.Errorf("sent %d != delivered %d + dropped %d", sent, delivered, dropped)
+	}
+	byReason := int64(0)
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, `dn_drops_total{reason=`) {
+			var v int64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			byReason += v
+		}
+	}
+	if byReason != dropped {
+		t.Errorf("drops by reason sum to %d, dropped counter says %d", byReason, dropped)
+	}
+}
+
+func TestClusterMetricsFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-engine", "cluster", "-d", "2", "-k", "4", "-messages", "100", "-metrics"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	sent := promValue(t, out, "dn_cluster_messages_sent_total")
+	delivered := promValue(t, out, "dn_cluster_messages_delivered_total")
+	dropped := promValue(t, out, "dn_cluster_messages_dropped_total")
+	if sent != 100 || sent != delivered+dropped {
+		t.Errorf("sent %d, delivered %d, dropped %d:\n%s", sent, delivered, dropped, out)
+	}
+}
+
+func TestDebugAddrFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-d", "2", "-k", "4", "-messages", "50", "-debug-addr", "127.0.0.1:0"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "debug server on http://127.0.0.1:") {
+		t.Errorf("output:\n%s", b.String())
+	}
+}
+
+// promValue extracts an unlabelled counter value from Prometheus text.
+func promValue(t *testing.T, out, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, name+" ") {
+			var v int64
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, name+" "), "%d", &v); err != nil {
+				t.Fatalf("parsing %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not in output:\n%s", name, out)
+	return 0
 }

@@ -20,7 +20,9 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -40,8 +42,21 @@ func run(args []string, out io.Writer) error {
 	samples := fs.Int("samples", 20000, "sample count for large fig2 points")
 	seed := fs.Int64("seed", 1, "random seed")
 	messages := fs.Int("messages", 5000, "messages for -table policy")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address while tables generate")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *debugAddr != "" {
+		reg := obs.NewRegistry()
+		fault.SetObserver(reg)
+		defer fault.SetObserver(nil)
+		srv, addr, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "debug server on http://%s (/metrics, /metrics.json, /debug/pprof/)\n", addr)
 	}
 
 	printers := map[string]func() (*stats.Table, error){

@@ -65,7 +65,7 @@ func main() {
 		if del.Delivered {
 			fmt.Printf("%s: delivered in %d hops (%d reroutes)\n", mode, del.Hops, del.Rerouted)
 			fmt.Print("  trace: ")
-			for i, w := range del.Trace {
+			for i, w := range del.TraceSites() {
 				if i > 0 {
 					fmt.Print(" → ")
 				}

@@ -2,9 +2,28 @@ package core
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/word"
 )
+
+// Router metric names (README.md § Observability).
+const (
+	metricRoutesBuilt   = "core_routes_built_total"
+	metricDistanceEvals = "core_distance_evals_total"
+	metricAnchorRows    = "core_anchor_rows_total"
+	metricRouterRouteNs = "core_router_route_ns"
+)
+
+// routerMetrics are pre-resolved instrument handles; all nil when
+// observation is off, so the hot path pays one nil check per call.
+type routerMetrics struct {
+	routesBuilt   *obs.Counter
+	distanceEvals *obs.Counter
+	anchorRows    *obs.Counter
+	routeNs       *obs.Histogram
+}
 
 // Router is the §4 remark made concrete: "appropriately implemented,
 // the constant factors of our linear algorithms are low enough to make
@@ -21,6 +40,7 @@ type Router struct {
 	yrev []byte
 	xd   []byte
 	yd   []byte
+	m    routerMetrics
 }
 
 // NewRouter returns a Router for words of length k.
@@ -33,6 +53,23 @@ func NewRouter(k int) *Router {
 		yrev: make([]byte, k),
 		xd:   make([]byte, k),
 		yd:   make([]byte, k),
+	}
+}
+
+// SetObserver attaches a metrics registry: routes built, Theorem-2
+// distance evaluations, anchor-scan rows, and per-route latency land
+// in it. A nil registry detaches (the default — instrumentation then
+// costs one nil check per operation).
+func (r *Router) SetObserver(reg *obs.Registry) {
+	if reg == nil {
+		r.m = routerMetrics{}
+		return
+	}
+	r.m = routerMetrics{
+		routesBuilt:   reg.Counter(metricRoutesBuilt),
+		distanceEvals: reg.Counter(metricDistanceEvals),
+		anchorRows:    reg.Counter(metricAnchorRows),
+		routeNs:       reg.Histogram(metricRouterRouteNs, obs.NsBuckets),
 	}
 }
 
@@ -79,6 +116,8 @@ func (r *Router) matchRowInto(pattern, text []byte) []int {
 // time and O(k) space with no allocation.
 func (r *Router) anchors(xd, yd []byte) (aL, aR anchor) {
 	k := len(xd)
+	// 2k Morris–Pratt rows per evaluation (k per anchor direction).
+	r.m.anchorRows.Add(int64(2 * k))
 	aL = anchor{dist: 1 << 30}
 	aR = anchor{dist: 1 << 30}
 	for i := 1; i <= k; i++ {
@@ -112,6 +151,7 @@ func (r *Router) Distance(x, y word.Word) (int, error) {
 	if err := r.load(x, y); err != nil {
 		return 0, err
 	}
+	r.m.distanceEvals.Inc()
 	if x.Equal(y) {
 		return 0, nil
 	}
@@ -125,14 +165,23 @@ func (r *Router) Distance(x, y word.Word) (int, error) {
 // Route builds an Algorithm 2 shortest path, allocating only the
 // returned Path.
 func (r *Router) Route(x, y word.Word) (Path, error) {
+	var start time.Time
+	if r.m.routeNs != nil {
+		start = time.Now()
+	}
 	if err := r.load(x, y); err != nil {
 		return nil, err
 	}
+	r.m.routesBuilt.Inc()
 	if x.Equal(y) {
 		return Path{}, nil
 	}
 	aL, aR := r.anchors(r.xd, r.yd)
-	return buildUndirectedPath(y, aL, aR), nil
+	p := buildUndirectedPath(y, aL, aR)
+	if r.m.routeNs != nil {
+		r.m.routeNs.Observe(float64(time.Since(start)))
+	}
+	return p, nil
 }
 
 func (r *Router) load(x, y word.Word) error {

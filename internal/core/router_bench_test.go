@@ -1,0 +1,49 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/word"
+)
+
+func benchPairs(k, n int) [][2]word.Word {
+	rng := rand.New(rand.NewSource(17))
+	out := make([][2]word.Word, n)
+	for i := range out {
+		out[i] = [2]word.Word{word.Random(2, k, rng), word.Random(2, k, rng)}
+	}
+	return out
+}
+
+// BenchmarkRoute is the §4 constant-factor guard: the observability
+// acceptance bar is that BenchmarkRouteInstrumented stays within 5%
+// of this disabled baseline (run both with -benchmem and compare).
+func BenchmarkRoute(b *testing.B) {
+	const k = 64
+	r := NewRouter(k)
+	pairs := benchPairs(k, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if _, err := r.Route(p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteInstrumented is BenchmarkRoute with a live registry.
+func BenchmarkRouteInstrumented(b *testing.B) {
+	const k = 64
+	r := NewRouter(k)
+	r.SetObserver(obs.NewRegistry())
+	pairs := benchPairs(k, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pairs[i%len(pairs)]
+		if _, err := r.Route(p[0], p[1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/word"
+)
+
+func TestRouterObserver(t *testing.T) {
+	const k = 6
+	reg := obs.NewRegistry()
+	r := NewRouter(k)
+	r.SetObserver(reg)
+	rng := rand.New(rand.NewSource(41))
+
+	routes := 0
+	for i := 0; i < 20; i++ {
+		x, y := word.Random(2, k, rng), word.Random(2, k, rng)
+		if x.Equal(y) {
+			continue
+		}
+		if _, err := r.Route(x, y); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.Distance(x, y); err != nil {
+			t.Fatal(err)
+		}
+		routes++
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counter("core_routes_built_total"); got != int64(routes) {
+		t.Errorf("routes built = %d, want %d", got, routes)
+	}
+	if got := snap.Counter("core_distance_evals_total"); got != int64(routes) {
+		t.Errorf("distance evals = %d, want %d", got, routes)
+	}
+	// Each Route and each Distance scans 2k anchor rows.
+	if got := snap.Counter("core_anchor_rows_total"); got != int64(4*k*routes) {
+		t.Errorf("anchor rows = %d, want %d", got, 4*k*routes)
+	}
+	if got := snap.Histograms["core_router_route_ns"].Count; got != int64(routes) {
+		t.Errorf("route ns observations = %d, want %d", got, routes)
+	}
+
+	// Detaching freezes the counters.
+	r.SetObserver(nil)
+	if _, err := r.Route(word.MustParse(2, "010101"), word.MustParse(2, "101010")); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Snapshot().Counter("core_routes_built_total"); got != int64(routes) {
+		t.Errorf("detached router still counted: %d", got)
+	}
+}

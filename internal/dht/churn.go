@@ -31,6 +31,7 @@ func (r *Ring) AddNode(id word.Word) (*Node, error) {
 		return nil, err
 	}
 	r.nodes = rebuilt.nodes
+	r.m.joins.Inc()
 	n, _ := r.NodeAt(id)
 	return n, nil
 }
@@ -55,5 +56,6 @@ func (r *Ring) RemoveNode(id word.Word) error {
 		return err
 	}
 	r.nodes = rebuilt.nodes
+	r.m.leaves.Inc()
 	return nil
 }

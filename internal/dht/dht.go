@@ -22,8 +22,28 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/word"
 )
+
+// DHT metric names (README.md § Observability).
+const (
+	metricLookups       = "dht_lookups_total"
+	metricLookupHops    = "dht_lookup_hops"
+	metricDeBruijnHops  = "dht_debruijn_hops_total"
+	metricSuccessorHops = "dht_successor_hops_total"
+	metricTimeouts      = "dht_lookup_timeouts_total"
+	metricJoins         = "dht_joins_total"
+	metricLeaves        = "dht_leaves_total"
+)
+
+// ringMetrics are pre-resolved instrument handles; all nil when
+// observation is off.
+type ringMetrics struct {
+	lookups, debruijnHops, successorHops *obs.Counter
+	timeouts, joins, leaves              *obs.Counter
+	lookupHops                           *obs.Histogram
+}
 
 // Node is one DHT participant.
 type Node struct {
@@ -50,6 +70,26 @@ func (n *Node) Finger() *Node { return n.finger }
 type Ring struct {
 	d, k  int
 	nodes []*Node // sorted by rank
+	m     ringMetrics
+}
+
+// SetObserver attaches a metrics registry: lookup counts and hop
+// histograms, de Bruijn vs successor hop split, convergence-guard
+// timeouts, and churn events land in it. A nil registry detaches.
+func (r *Ring) SetObserver(reg *obs.Registry) {
+	if reg == nil {
+		r.m = ringMetrics{}
+		return
+	}
+	r.m = ringMetrics{
+		lookups:       reg.Counter(metricLookups),
+		debruijnHops:  reg.Counter(metricDeBruijnHops),
+		successorHops: reg.Counter(metricSuccessorHops),
+		timeouts:      reg.Counter(metricTimeouts),
+		joins:         reg.Counter(metricJoins),
+		leaves:        reg.Counter(metricLeaves),
+		lookupHops:    reg.Histogram(metricLookupHops, obs.HopBuckets),
+	}
 }
 
 // Errors returned by the ring.
@@ -215,16 +255,19 @@ func (r *Ring) lookup(start *Node, key word.Word, imaginary word.Word, inject []
 	guard := 4*r.k + 2*len(r.nodes) + 4
 	for step := 0; ; step++ {
 		if step > guard {
+			r.m.timeouts.Inc()
 			return LookupResult{}, fmt.Errorf("dht: lookup did not converge within %d steps", guard)
 		}
 		if keyRank == cur.rank {
 			res.Owner = cur
+			r.observeLookup(res)
 			return res, nil
 		}
 		if inHalfOpen(cur.rank, cur.successor.rank, keyRank) {
 			res.Owner = cur.successor
 			res.Hops++
 			res.Path = append(res.Path, cur.successor.id)
+			r.observeLookup(res)
 			return res, nil
 		}
 		if len(inject) > 0 && inBlock(cur.rank, cur.successor.rank, imaginary.MustRank()) {
@@ -246,6 +289,14 @@ func (r *Ring) lookup(start *Node, key word.Word, imaginary word.Word, inject []
 		res.Hops++
 		res.Path = append(res.Path, cur.id)
 	}
+}
+
+// observeLookup records one resolved lookup in the registry.
+func (r *Ring) observeLookup(res LookupResult) {
+	r.m.lookups.Inc()
+	r.m.lookupHops.Observe(float64(res.Hops))
+	r.m.debruijnHops.Add(int64(res.DeBruijnHops))
+	r.m.successorHops.Add(int64(res.Hops - res.DeBruijnHops))
 }
 
 // bestImaginary returns the identifier in start's block [start,

@@ -9,10 +9,33 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
+
+// Fault metric names (README.md § Observability).
+const (
+	metricSetsExamined  = "fault_sets_examined_total"
+	metricDisconnecting = "fault_disconnecting_sets_total"
+	metricStretchPairs  = "fault_stretch_pairs_total"
+	metricDisconnected  = "fault_disconnected_pairs_total"
+)
+
+// observer is the package-wide registry: the tolerance checks are
+// free functions over graphs, so the hook is package level rather
+// than per-object. Atomic so concurrent sweeps may run while tests
+// attach their own registry.
+var observer atomic.Pointer[obs.Registry]
+
+// SetObserver attaches a metrics registry counting failure-set
+// examinations, disconnecting sets found, and reroute-stretch pair
+// outcomes. Pass nil to detach.
+func SetObserver(reg *obs.Registry) { observer.Store(reg) }
+
+func obsReg() *obs.Registry { return observer.Load() }
 
 // ErrTooManySets is returned when exhaustive enumeration of failure
 // sets would exceed the configured budget.
@@ -42,12 +65,14 @@ func ExhaustiveTolerance(g *graph.Graph, f int) (Report, error) {
 	if total < 0 || total > maxExhaustiveSets {
 		return Report{}, fmt.Errorf("%w: C(%d,%d)", ErrTooManySets, n, f)
 	}
+	reg := obsReg()
 	rep := Report{Failures: f, Tolerated: true}
 	set := make([]int, f)
 	var rec func(start, idx int) bool
 	rec = func(start, idx int) bool {
 		if idx == f {
 			rep.Sets++
+			reg.Counter(metricSetsExamined).Inc()
 			blocked := make(map[int]bool, f)
 			for _, v := range set {
 				blocked[v] = true
@@ -55,6 +80,7 @@ func ExhaustiveTolerance(g *graph.Graph, f int) (Report, error) {
 			if !g.IsConnectedAvoiding(blocked) {
 				rep.Tolerated = false
 				rep.CounterExample = append([]int(nil), set...)
+				reg.Counter(metricDisconnecting).Inc()
 				return false
 			}
 			return true
@@ -81,6 +107,7 @@ func SampledTolerance(g *graph.Graph, f, trials int, seed int64) (Report, error)
 	if trials < 1 {
 		return Report{}, fmt.Errorf("fault: need at least one trial, got %d", trials)
 	}
+	reg := obsReg()
 	rng := rand.New(rand.NewSource(seed))
 	rep := Report{Failures: f, Tolerated: true}
 	for trial := 0; trial < trials; trial++ {
@@ -89,9 +116,11 @@ func SampledTolerance(g *graph.Graph, f, trials int, seed int64) (Report, error)
 			blocked[rng.Intn(n)] = true
 		}
 		rep.Sets++
+		reg.Counter(metricSetsExamined).Inc()
 		if !g.IsConnectedAvoiding(blocked) {
 			rep.Tolerated = false
 			rep.CounterExample = keys(blocked)
+			reg.Counter(metricDisconnecting).Inc()
 			return rep, nil
 		}
 	}
@@ -192,9 +221,11 @@ func RerouteStretch(g *graph.Graph, failed []int, pairs int, seed int64) (Stretc
 		}
 		if avoid[t] < 0 {
 			res.Disconnected++
+			obsReg().Counter(metricDisconnected).Inc()
 			continue
 		}
 		res.Pairs++
+		obsReg().Counter(metricStretchPairs).Inc()
 		stretch.Add(float64(avoid[t]) / float64(base[t]))
 		extra.Add(float64(avoid[t] - base[t]))
 	}

@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -27,6 +29,13 @@ type ClusterConfig struct {
 	// RandomWildcard resolves wildcard hops with the site's own
 	// seeded generator instead of digit 0.
 	RandomWildcard bool
+	// Trace records structured per-hop events (including per-hop
+	// queue wait) on each Delivery.
+	Trace bool
+	// Obs receives engine metrics (dn_cluster_* series, including the
+	// queue-wait histogram and the inflight gauge); nil disables
+	// instrumentation.
+	Obs *obs.Registry
 }
 
 // Cluster simulates DN(d,k) with one goroutine per site, links being
@@ -52,16 +61,21 @@ type Cluster struct {
 	stopped bool
 	failed  map[int]bool
 
+	m         engineMetrics
+	timestamp bool // stamp envelopes with enqueue time (metrics or trace on)
+
 	mu         sync.Mutex
 	deliveries []Delivery
 	linkLoad   map[[2]int]int
 }
 
 type envelope struct {
-	msg  Message
-	cur  word.Word
-	left core.Path
-	hops int
+	msg      Message
+	cur      word.Word
+	left     core.Path
+	hops     int
+	trace    obs.Trace
+	enqueued time.Time // zero unless queue-wait measurement is on
 }
 
 // NewCluster validates the configuration and builds the cluster.
@@ -80,14 +94,20 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.MaxInflight < 1 {
 		return nil, fmt.Errorf("network: MaxInflight %d must be positive", cfg.MaxInflight)
 	}
+	m := newEngineMetrics(cfg.Obs, metricClusterSent, metricClusterDelivered,
+		metricClusterDropped, metricClusterDrops, metricClusterLinksCrossed, metricClusterHops)
+	m.queueWait = cfg.Obs.Histogram(metricClusterQueueWait, obs.NsBuckets)
+	m.inflight = cfg.Obs.Gauge(metricClusterInflight)
 	c := &Cluster{
-		cfg:      cfg,
-		g:        g,
-		inboxes:  make([]chan envelope, g.NumVertices()),
-		quit:     make(chan struct{}),
-		slots:    make(chan struct{}, cfg.MaxInflight),
-		failed:   make(map[int]bool),
-		linkLoad: make(map[[2]int]int),
+		cfg:       cfg,
+		g:         g,
+		inboxes:   make([]chan envelope, g.NumVertices()),
+		quit:      make(chan struct{}),
+		slots:     make(chan struct{}, cfg.MaxInflight),
+		failed:    make(map[int]bool),
+		m:         m,
+		timestamp: cfg.Obs != nil || cfg.Trace,
+		linkLoad:  make(map[[2]int]int),
 	}
 	for i := range c.inboxes {
 		c.inboxes[i] = make(chan envelope, cfg.MaxInflight)
@@ -107,6 +127,8 @@ func (c *Cluster) FailSite(w word.Word) error {
 		return fmt.Errorf("network: word %v does not address DN(%d,%d)", w, c.cfg.D, c.cfg.K)
 	}
 	c.failed[graph.DeBruijnVertex(w)] = true
+	c.cfg.Obs.Counter(metricFaultInject).Inc()
+	c.cfg.Obs.Gauge(metricFailedSites).Set(float64(len(c.failed)))
 	return nil
 }
 
@@ -140,13 +162,19 @@ func (c *Cluster) runSite(v int, rng *rand.Rand) {
 }
 
 func (c *Cluster) process(env envelope, rng *rand.Rand) {
+	var wait time.Duration
+	if c.timestamp {
+		wait = time.Since(env.enqueued)
+		c.m.queueWait.Observe(float64(wait))
+	}
 	if len(env.left) == 0 {
 		delivered := env.cur.Equal(env.msg.Dest)
-		reason := ""
+		del := Delivery{Msg: env.msg, Delivered: delivered, Hops: env.hops, Trace: env.trace}
 		if !delivered {
-			reason = fmt.Sprintf("route exhausted at %v", env.cur)
+			del.DropReason = DropRouteExhausted
+			del.DropDetail = fmt.Sprintf("at %v", env.cur)
 		}
-		c.record(Delivery{Msg: env.msg, Delivered: delivered, Hops: env.hops, DropReason: reason})
+		c.record(del, env.cur)
 		return
 	}
 	hop := env.left[0]
@@ -165,33 +193,68 @@ func (c *Cluster) process(env envelope, rng *rand.Rand) {
 		next = env.cur.ShiftLeft(digit)
 	case core.TypeR:
 		if c.cfg.Unidirectional {
-			c.record(Delivery{Msg: env.msg, Hops: env.hops, DropReason: "type-R hop in uni-directional network"})
+			c.record(Delivery{Msg: env.msg, Hops: env.hops, Trace: env.trace,
+				DropReason: DropTypeRUnidirectional, DropDetail: fmt.Sprintf("at %v", env.cur)}, env.cur)
 			return
 		}
 		next = env.cur.ShiftRight(digit)
 	default:
-		c.record(Delivery{Msg: env.msg, Hops: env.hops, DropReason: fmt.Sprintf("invalid hop type %d", hop.Type)})
+		c.record(Delivery{Msg: env.msg, Hops: env.hops, Trace: env.trace,
+			DropReason: DropInvalidHop, DropDetail: fmt.Sprintf("hop type %d", hop.Type)}, env.cur)
 		return
 	}
 	nextV := graph.DeBruijnVertex(next)
 	if c.failed[nextV] {
 		// The failure set is immutable after Start, so reading it
 		// without the mutex is race-free.
-		c.record(Delivery{Msg: env.msg, Hops: env.hops, DropReason: fmt.Sprintf("next site %v failed", next)})
+		c.record(Delivery{Msg: env.msg, Hops: env.hops, Trace: env.trace,
+			DropReason: DropSiteFailed, DropDetail: fmt.Sprintf("next site %v", next)}, env.cur)
 		return
 	}
 	c.mu.Lock()
 	c.linkLoad[[2]int{graph.DeBruijnVertex(env.cur), nextV}]++
 	c.mu.Unlock()
+	c.m.linksCrossed.Inc()
 	env.cur = next
 	env.hops++
+	if c.cfg.Trace {
+		env.trace = append(env.trace, obs.HopEvent{
+			Hop: env.hops, Cause: obs.CauseForward, Site: next.String(),
+			Link: hop.Type.String(), Digit: int(digit), Wildcard: hop.Wildcard,
+			Wait: wait,
+		})
+	}
+	if c.timestamp {
+		env.enqueued = time.Now()
+	}
 	c.inboxes[nextV] <- env
 }
 
-func (c *Cluster) record(d Delivery) {
+// record finalizes one delivery (site is where the message ended).
+func (c *Cluster) record(d Delivery, site word.Word) {
+	if d.Delivered {
+		c.m.delivered.Inc()
+		c.m.hops.Observe(float64(d.Hops))
+	} else {
+		c.m.countDrop(d.DropReason)
+	}
+	if c.cfg.Trace {
+		ev := obs.HopEvent{Hop: d.Hops, Site: site.String(), Digit: -1}
+		if d.Delivered {
+			ev.Cause = obs.CauseDeliver
+		} else {
+			ev.Cause = obs.CauseDrop
+			ev.Detail = d.DropReason
+			if d.DropDetail != "" {
+				ev.Detail += " (" + d.DropDetail + ")"
+			}
+		}
+		d.Trace = append(d.Trace, ev)
+	}
 	c.mu.Lock()
 	c.deliveries = append(c.deliveries, d)
 	c.mu.Unlock()
+	c.m.inflight.Add(-1)
 	<-c.slots
 	c.flight.Done()
 }
@@ -224,7 +287,16 @@ func (c *Cluster) Send(src, dst word.Word, payload string) error {
 	msg := Message{Control: ControlData, Source: src, Dest: dst, Route: route, Payload: payload}
 	c.slots <- struct{}{}
 	c.flight.Add(1)
-	c.inboxes[graph.DeBruijnVertex(src)] <- envelope{msg: msg, cur: src, left: route}
+	c.m.sent.Inc()
+	c.m.inflight.Add(1)
+	env := envelope{msg: msg, cur: src, left: route}
+	if c.cfg.Trace {
+		env.trace = obs.Trace{{Cause: obs.CauseInject, Site: src.String(), Digit: -1}}
+	}
+	if c.timestamp {
+		env.enqueued = time.Now()
+	}
+	c.inboxes[graph.DeBruijnVertex(src)] <- env
 	return nil
 }
 

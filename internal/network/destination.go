@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -23,27 +24,26 @@ func (n *Network) SendDestinationRouted(src, dst word.Word, payload string) (Del
 	if _, err := n.vertex(dst); err != nil {
 		return Delivery{}, err
 	}
+	n.m.sent.Inc()
 	msg := Message{Control: ControlData, Source: src, Dest: dst, Payload: payload}
 	del := Delivery{Msg: msg}
 	if n.cfg.Trace {
-		del.Trace = append(del.Trace, src)
+		del.Trace = append(del.Trace, obs.HopEvent{
+			Cause: obs.CauseInject, Site: src.String(), Digit: -1,
+		})
 	}
 	if n.failed[srcV] {
-		del.DropReason = "source failed"
-		n.dropped++
+		n.drop(&del, src, DropSourceFailed, "")
 		return del, nil
 	}
 	cur := src
 	for {
 		if cur.Equal(dst) {
-			del.Delivered = true
-			n.delivered++
-			n.totalHops += del.Hops
+			n.deliver(&del, cur)
 			return del, nil
 		}
 		if del.Hops >= n.cfg.TTL {
-			del.DropReason = "ttl exceeded"
-			n.dropped++
+			n.drop(&del, cur, DropTTLExceeded, fmt.Sprintf("ttl %d at %v", n.cfg.TTL, cur))
 			return del, nil
 		}
 		var hop core.Hop
@@ -76,8 +76,7 @@ func (n *Network) SendDestinationRouted(src, dst word.Word, payload string) (Del
 		nextV := graph.DeBruijnVertex(next)
 		if n.failed[nextV] {
 			if !n.cfg.Adaptive {
-				del.DropReason = fmt.Sprintf("next site %v failed", next)
-				n.dropped++
+				n.drop(&del, cur, DropSiteFailed, fmt.Sprintf("next site %v", next))
 				return del, nil
 			}
 			// Failure fallback: a purely greedy single-step detour can
@@ -86,37 +85,45 @@ func (n *Network) SendDestinationRouted(src, dst word.Word, payload string) (Del
 			// follows it to the destination (bounded, loop-free).
 			detour, ok := n.rerouteAround(cur, dst)
 			if !ok {
-				del.DropReason = fmt.Sprintf("no route around failures from %v", cur)
-				n.dropped++
+				n.drop(&del, cur, DropNoReroute, fmt.Sprintf("from %v", cur))
 				return del, nil
 			}
 			del.Rerouted++
+			n.m.reroutes.Inc()
+			if n.cfg.Trace {
+				del.Trace = append(del.Trace, obs.HopEvent{
+					Hop: del.Hops, Cause: obs.CauseReroute, Site: cur.String(),
+					Digit: -1, Detail: fmt.Sprintf("next site %v failed", next),
+				})
+			}
 			prefixHops := del.Hops
-			sub, err := n.Inject(Message{Control: msg.Control, Source: cur, Dest: dst, Route: detour, Payload: payload})
+			// forward (not Inject): the tail continuation is the same
+			// message, already counted as sent.
+			sub, err := n.forward(Message{Control: msg.Control, Source: cur, Dest: dst, Route: detour, Payload: payload})
 			if err != nil {
 				return Delivery{}, err
 			}
 			del.Hops += sub.Hops
 			del.Delivered = sub.Delivered
 			del.DropReason = sub.DropReason
+			del.DropDetail = sub.DropDetail
 			del.Rerouted += sub.Rerouted
 			if n.cfg.Trace && len(sub.Trace) > 1 {
-				del.Trace = append(del.Trace, sub.Trace[1:]...)
+				// Skip the tail's injection event and renumber its hops
+				// to continue the prefix walk.
+				for _, ev := range sub.Trace[1:] {
+					ev.Hop += prefixHops
+					del.Trace = append(del.Trace, ev)
+				}
 			}
-			// Inject counted the tail (delivery and sub.Hops); account
+			// forward counted the tail (delivery and sub.Hops); account
 			// for the prefix hops walked before the failure was met.
 			if sub.Delivered {
 				n.totalHops += prefixHops
 			}
 			return del, nil
 		}
-		curV := graph.DeBruijnVertex(cur)
-		n.linkLoad[[2]int{curV, nextV}]++
-		n.siteLoad[nextV]++
-		del.Hops++
+		n.crossLink(&del, cur, next, hop, digit)
 		cur = next
-		if n.cfg.Trace {
-			del.Trace = append(del.Trace, cur)
-		}
 	}
 }

@@ -106,13 +106,14 @@ func TestDestinationRoutingFailures(t *testing.T) {
 		t.Fatalf("adaptive destination routing: %+v", del)
 	}
 	// Trace must avoid the failed site.
-	for _, w := range del.Trace {
+	sites := del.TraceSites()
+	for _, w := range sites {
 		if w.Equal(mid) {
 			t.Error("trace crosses failed site")
 		}
 	}
-	if len(del.Trace) != del.Hops+1 {
-		t.Errorf("trace %v vs hops %d", del.Trace, del.Hops)
+	if len(sites) != del.Hops+1 {
+		t.Errorf("trace %v vs hops %d", sites, del.Hops)
 	}
 
 	failedSrc := mustNet(t, Config{D: 2, K: 3})

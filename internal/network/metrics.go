@@ -1,0 +1,99 @@
+package network
+
+import (
+	"repro/internal/obs"
+)
+
+// Drop reasons. Delivery.DropReason always holds one of these stable
+// codes (Delivery.DropDetail carries the free-form context), and the
+// registry counts one dn_drops_total{reason=...} series per code, so
+// sent = delivered + Σ drops-by-reason holds exactly.
+const (
+	// DropSourceFailed: the message was injected at a failed site.
+	DropSourceFailed = "source failed"
+	// DropRouteExhausted: the routing-path field emptied away from the
+	// destination.
+	DropRouteExhausted = "route exhausted"
+	// DropTTLExceeded: the hop budget (Config.TTL; 0 means 4k) ran out.
+	DropTTLExceeded = "ttl exceeded"
+	// DropSiteFailed: the next site is failed and the engine is not
+	// adaptive.
+	DropSiteFailed = "next site failed"
+	// DropNoReroute: adaptive mode found no failure-avoiding route.
+	DropNoReroute = "no reroute"
+	// DropTypeRUnidirectional: a type-R hop in a uni-directional
+	// network.
+	DropTypeRUnidirectional = "type-R in uni-directional"
+	// DropInvalidHop: a hop with an invalid type byte (Cluster engine;
+	// the synchronous engine reports it as an error).
+	DropInvalidHop = "invalid hop"
+)
+
+// Registry metric names of the synchronous engine (prefix dn_) and
+// the concurrent engine (prefix dn_cluster_). Documented in
+// README.md § Observability.
+const (
+	metricSent         = "dn_messages_sent_total"
+	metricDelivered    = "dn_messages_delivered_total"
+	metricDropped      = "dn_messages_dropped_total"
+	metricDrops        = "dn_drops_total" // labelled by reason
+	metricLinksCrossed = "dn_links_crossed_total"
+	metricReroutes     = "dn_reroutes_total"
+	metricHops         = "dn_hops"
+	metricRouteNs      = "dn_route_ns"
+	metricLinkGini     = "dn_link_load_gini"
+	metricFailedSites  = "dn_failed_sites"
+	metricFaultInject  = "dn_fault_injections_total"
+
+	metricClusterSent         = "dn_cluster_messages_sent_total"
+	metricClusterDelivered    = "dn_cluster_messages_delivered_total"
+	metricClusterDropped      = "dn_cluster_messages_dropped_total"
+	metricClusterDrops        = "dn_cluster_drops_total" // labelled by reason
+	metricClusterLinksCrossed = "dn_cluster_links_crossed_total"
+	metricClusterHops         = "dn_cluster_hops"
+	metricClusterQueueWait    = "dn_cluster_queue_wait_ns"
+	metricClusterInflight     = "dn_cluster_inflight"
+)
+
+var dropReasons = []string{
+	DropSourceFailed, DropRouteExhausted, DropTTLExceeded,
+	DropSiteFailed, DropNoReroute, DropTypeRUnidirectional, DropInvalidHop,
+}
+
+// engineMetrics are the pre-resolved instrument handles of one engine.
+// Built once at construction; with a nil registry every handle is nil
+// and each call degrades to a single nil check, keeping the disabled
+// overhead on the forwarding hot path within noise.
+type engineMetrics struct {
+	sent, delivered, dropped *obs.Counter
+	linksCrossed, reroutes   *obs.Counter
+	dropBy                   map[string]*obs.Counter
+	hops                     *obs.Histogram
+	queueWait                *obs.Histogram
+	inflight                 *obs.Gauge
+}
+
+func newEngineMetrics(reg *obs.Registry, sent, delivered, dropped, drops, links, hops string) engineMetrics {
+	m := engineMetrics{
+		sent:         reg.Counter(sent),
+		delivered:    reg.Counter(delivered),
+		dropped:      reg.Counter(dropped),
+		linksCrossed: reg.Counter(links),
+		hops:         reg.Histogram(hops, obs.HopBuckets),
+	}
+	if reg != nil {
+		m.dropBy = make(map[string]*obs.Counter, len(dropReasons))
+		for _, r := range dropReasons {
+			m.dropBy[r] = reg.Counter(obs.Label(drops, "reason", r))
+		}
+	}
+	return m
+}
+
+// countDrop increments the aggregate and the per-reason drop counters.
+func (m *engineMetrics) countDrop(reason string) {
+	m.dropped.Inc()
+	if c := m.dropBy[reason]; c != nil {
+		c.Inc()
+	}
+}

@@ -75,15 +75,16 @@ func TestTraceFollowsGraphEdges(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if len(del.Trace) != del.Hops+1 {
-			t.Fatalf("trace %v for %d hops", del.Trace, del.Hops)
+		sites := del.TraceSites()
+		if len(sites) != del.Hops+1 {
+			t.Fatalf("trace %v for %d hops", sites, del.Hops)
 		}
-		if !del.Trace[0].Equal(src) || !del.Trace[len(del.Trace)-1].Equal(dst) {
-			t.Fatalf("trace endpoints %v", del.Trace)
+		if !sites[0].Equal(src) || !sites[len(sites)-1].Equal(dst) {
+			t.Fatalf("trace endpoints %v", sites)
 		}
-		for j := 1; j < len(del.Trace); j++ {
-			if _, ok := core.HopBetween(del.Trace[j-1], del.Trace[j]); !ok {
-				t.Fatalf("trace step %v→%v not a shift", del.Trace[j-1], del.Trace[j])
+		for j := 1; j < len(sites); j++ {
+			if _, ok := core.HopBetween(sites[j-1], sites[j]); !ok {
+				t.Fatalf("trace step %v→%v not a shift", sites[j-1], sites[j])
 			}
 		}
 	}

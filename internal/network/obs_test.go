@@ -1,0 +1,352 @@
+package network
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/word"
+)
+
+// TestRegistrySentEqualsDeliveredPlusDropped checks the bookkeeping
+// invariant on the synchronous engine: every injected message is
+// counted exactly once as sent and exactly once as delivered or as a
+// drop with a reason, even under failures and adaptive rerouting.
+func TestRegistrySentEqualsDeliveredPlusDropped(t *testing.T) {
+	reg := obs.NewRegistry()
+	n, err := New(Config{D: 2, K: 5, Adaptive: true, Seed: 3, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		if err := n.FailSite(word.Random(2, 5, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 300; i++ {
+		src, dst := word.Random(2, 5, rng), word.Random(2, 5, rng)
+		if _, err := n.Send(src, dst, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A destination-routed message exercises the adaptive fallback
+	// path, which re-enters forwarding without re-counting the send.
+	if _, err := n.SendDestinationRouted(word.Random(2, 5, rng), word.Random(2, 5, rng), ""); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := reg.Snapshot()
+	sent := snap.Counter("dn_messages_sent_total")
+	delivered := snap.Counter("dn_messages_delivered_total")
+	dropped := snap.Counter("dn_messages_dropped_total")
+	if sent != 301 {
+		t.Errorf("sent = %d, want 301", sent)
+	}
+	if sent != delivered+dropped {
+		t.Errorf("sent %d != delivered %d + dropped %d", sent, delivered, dropped)
+	}
+	if byReason := snap.CounterSum("dn_drops_total"); byReason != dropped {
+		t.Errorf("drops by reason sum to %d, dropped counter says %d", byReason, dropped)
+	}
+	if delivered == 0 || dropped == 0 {
+		t.Errorf("want a mix of outcomes, got delivered=%d dropped=%d", delivered, dropped)
+	}
+	if snap.Histograms["dn_hops"].Count != delivered {
+		t.Errorf("hops histogram count %d != delivered %d", snap.Histograms["dn_hops"].Count, delivered)
+	}
+}
+
+// TestClusterRegistryInvariant checks the same invariant on the
+// concurrent engine.
+func TestClusterRegistryInvariant(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := NewCluster(ClusterConfig{D: 2, K: 4, Seed: 3, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := word.MustParse(2, "0110")
+	if err := c.FailSite(failed); err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	rng := rand.New(rand.NewSource(5))
+	sent := 0
+	for sent < 200 {
+		src, dst := word.Random(2, 4, rng), word.Random(2, 4, rng)
+		if src.Equal(failed) {
+			continue
+		}
+		if err := c.Send(src, dst, ""); err != nil {
+			t.Fatal(err)
+		}
+		sent++
+	}
+	c.Drain()
+	c.Stop()
+
+	snap := reg.Snapshot()
+	if got := snap.Counter("dn_cluster_messages_sent_total"); got != int64(sent) {
+		t.Errorf("sent = %d, want %d", got, sent)
+	}
+	delivered := snap.Counter("dn_cluster_messages_delivered_total")
+	dropped := snap.Counter("dn_cluster_messages_dropped_total")
+	if delivered+dropped != int64(sent) {
+		t.Errorf("delivered %d + dropped %d != sent %d", delivered, dropped, sent)
+	}
+	if byReason := snap.CounterSum("dn_cluster_drops_total"); byReason != dropped {
+		t.Errorf("drops by reason sum to %d, dropped counter says %d", byReason, dropped)
+	}
+	if got := snap.Gauge("dn_cluster_inflight"); got != 0 {
+		t.Errorf("inflight gauge = %v after drain, want 0", got)
+	}
+	if snap.Histograms["dn_cluster_queue_wait_ns"].Count == 0 {
+		t.Error("queue wait histogram empty with registry attached")
+	}
+}
+
+// TestTTLZeroMeansFourK covers the documented default: TTL 0 resolves
+// to 4k, generous enough that a bi-directional message at d=2, k=6
+// survives worst-case adaptive rerouting around a failed site.
+func TestTTLZeroMeansFourK(t *testing.T) {
+	const d, k = 2, 6
+	reg := obs.NewRegistry()
+	n, err := New(Config{D: d, K: k, Adaptive: true, Seed: 11, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Config().TTL; got != 4*k {
+		t.Fatalf("TTL 0 resolved to %d, want %d", got, 4*k)
+	}
+	failed := word.MustParse(d, "010101")
+	if err := n.FailSite(failed); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	rerouted := 0
+	for i := 0; i < 200; i++ {
+		src, dst := word.Random(d, k, rng), word.Random(d, k, rng)
+		if src.Equal(failed) || dst.Equal(failed) {
+			continue
+		}
+		del, err := n.Send(src, dst, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !del.Delivered {
+			t.Fatalf("%v -> %v dropped (%s %s) under adaptive rerouting with TTL %d",
+				src, dst, del.DropReason, del.DropDetail, n.Config().TTL)
+		}
+		if del.Hops > 4*k {
+			t.Fatalf("%v -> %v took %d hops, above TTL %d", src, dst, del.Hops, 4*k)
+		}
+		rerouted += del.Rerouted
+	}
+	if rerouted == 0 {
+		t.Error("no reroutes triggered; the worst case was not exercised")
+	}
+	if got := reg.Snapshot().Counter(obs.Label("dn_drops_total", "reason", DropTTLExceeded)); got != 0 {
+		t.Errorf("ttl drops = %d before the forced expiry, want 0", got)
+	}
+
+	// Force a TTL expiry with a deliberately over-long route and check
+	// it lands in its own labelled drop counter.
+	// All-1 digits converge on the 111111 self-loop, away from the
+	// failed site, so only the TTL can stop the message.
+	long := make(core.Path, 4*k+6)
+	for i := range long {
+		long[i] = core.Hop{Type: core.TypeL, Digit: 1}
+	}
+	src := word.MustParse(d, "110011")
+	del, err := n.Inject(Message{Control: ControlData, Source: src, Dest: word.MustParse(d, "000000"), Route: long})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del.Delivered || del.DropReason != DropTTLExceeded {
+		t.Fatalf("over-long route: delivered=%v reason=%q, want TTL drop", del.Delivered, del.DropReason)
+	}
+	if got := reg.Snapshot().Counter(obs.Label("dn_drops_total", "reason", DropTTLExceeded)); got != 1 {
+		t.Errorf("ttl drop counter = %d, want 1", got)
+	}
+}
+
+// TestNoPackageGlobalRand guards the determinism contract: every
+// random choice in this package must flow from a seeded *rand.Rand, so
+// the only math/rand selectors allowed in non-test sources are the
+// constructors.
+func TestNoPackageGlobalRand(t *testing.T) {
+	allowed := map[string]bool{"New": true, "NewSource": true, "Rand": true, "Source": true}
+	sel := regexp.MustCompile(`\brand\.(\w+)`)
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(string(src), "\n") {
+			if i := strings.Index(line, "//"); i >= 0 {
+				line = line[:i]
+			}
+			for _, m := range sel.FindAllStringSubmatch(line, -1) {
+				if !allowed[m[1]] {
+					t.Errorf("%s: package-global rand.%s — use the engine's seeded *rand.Rand", f, m[1])
+				}
+			}
+		}
+	}
+}
+
+// traceWalk compares the structured trace of one delivery against the
+// expected vertex walk.
+func traceWalk(t *testing.T, del Delivery, want []word.Word) {
+	t.Helper()
+	sites := del.TraceSites()
+	if len(sites) != len(want) {
+		t.Fatalf("%v -> %v: trace has %d sites, path has %d", del.Msg.Source, del.Msg.Dest, len(sites), len(want))
+	}
+	for i := range sites {
+		if !sites[i].Equal(want[i]) {
+			t.Fatalf("%v -> %v: trace site %d = %v, path says %v", del.Msg.Source, del.Msg.Dest, i, sites[i], want[i])
+		}
+	}
+}
+
+// expectedWalk recomputes the optimal route for a delivered message
+// and expands it to vertices, resolving wildcards with digit 0 (the
+// PolicyFirst / non-RandomWildcard default both engines use here).
+func expectedWalk(t *testing.T, unidirectional bool, src, dst word.Word) []word.Word {
+	t.Helper()
+	var route core.Path
+	var err error
+	if unidirectional {
+		route, err = core.RouteDirected(src, dst)
+	} else {
+		route, err = core.RouteUndirectedLinear(src, dst)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	conc, err := route.Concrete(src, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	walk, err := conc.Vertices(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return walk
+}
+
+// TestTraceFidelityNetwork checks, for 100 random pairs in both
+// directionalities, that the synchronous engine's structured trace
+// reproduces the computed route's site sequence hop for hop.
+func TestTraceFidelityNetwork(t *testing.T) {
+	for _, uni := range []bool{false, true} {
+		n, err := New(Config{D: 2, K: 6, Unidirectional: uni, Trace: true, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 100; i++ {
+			src, dst := word.Random(2, 6, rng), word.Random(2, 6, rng)
+			del, err := n.Send(src, dst, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !del.Delivered {
+				t.Fatalf("uni=%v %v -> %v dropped: %s", uni, src, dst, del.DropReason)
+			}
+			traceWalk(t, del, expectedWalk(t, uni, src, dst))
+			if got := del.Trace.Hops(); got != del.Hops {
+				t.Fatalf("trace counts %d hops, delivery says %d", got, del.Hops)
+			}
+		}
+	}
+}
+
+// TestTraceFidelityCluster runs the same fidelity check through the
+// concurrent engine.
+func TestTraceFidelityCluster(t *testing.T) {
+	c, err := NewCluster(ClusterConfig{D: 2, K: 6, Seed: 7, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start()
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		if err := c.Send(word.Random(2, 6, rng), word.Random(2, 6, rng), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Drain()
+	c.Stop()
+	deliveries := c.Deliveries()
+	if len(deliveries) != 100 {
+		t.Fatalf("recorded %d deliveries, want 100", len(deliveries))
+	}
+	for _, del := range deliveries {
+		if !del.Delivered {
+			t.Fatalf("%v -> %v dropped: %s", del.Msg.Source, del.Msg.Dest, del.DropReason)
+		}
+		traceWalk(t, del, expectedWalk(t, false, del.Msg.Source, del.Msg.Dest))
+	}
+}
+
+// TestTraceFidelityAdaptiveFault checks the trace under an injected
+// fault with Adaptive set: delivered messages must show a valid walk
+// that avoids the failed site, with one trace site per hop.
+func TestTraceFidelityAdaptiveFault(t *testing.T) {
+	n, err := New(Config{D: 2, K: 6, Adaptive: true, Trace: true, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := word.MustParse(2, "011011")
+	if err := n.FailSite(failed); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(19))
+	rerouted := 0
+	for i := 0; i < 100; i++ {
+		src, dst := word.Random(2, 6, rng), word.Random(2, 6, rng)
+		if src.Equal(failed) || dst.Equal(failed) {
+			continue
+		}
+		del, err := n.Send(src, dst, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !del.Delivered {
+			t.Fatalf("%v -> %v dropped: %s %s", src, dst, del.DropReason, del.DropDetail)
+		}
+		sites := del.TraceSites()
+		if len(sites) != del.Hops+1 {
+			t.Fatalf("%v -> %v: %d trace sites for %d hops", src, dst, len(sites), del.Hops)
+		}
+		if !sites[0].Equal(src) || !sites[len(sites)-1].Equal(dst) {
+			t.Fatalf("%v -> %v: trace runs %v .. %v", src, dst, sites[0], sites[len(sites)-1])
+		}
+		for j := 1; j < len(sites); j++ {
+			if sites[j].Equal(failed) {
+				t.Fatalf("%v -> %v: trace crosses failed site %v", src, dst, failed)
+			}
+			if _, ok := core.HopBetween(sites[j-1], sites[j]); !ok {
+				t.Fatalf("%v -> %v: %v and %v are not neighbors", src, dst, sites[j-1], sites[j])
+			}
+		}
+		rerouted += del.Rerouted
+	}
+	if rerouted == 0 {
+		t.Error("no reroutes observed; the fault was never in the way")
+	}
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("msgs_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters only go up
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("msgs_total") != c {
+		t.Error("second lookup returned a different counter")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.0 {
+		t.Errorf("gauge = %v, want 2", got)
+	}
+
+	h := r.Histogram("hops", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("hist count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106.5 {
+		t.Errorf("hist sum = %v, want 106.5", h.Sum())
+	}
+	snap := r.Snapshot()
+	hs := snap.Histograms["hops"]
+	want := []int64{2, 1, 1, 1} // ≤1, ≤2, ≤4, +Inf
+	for i, w := range want {
+		if hs.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (%v)", i, hs.Counts[i], w, hs.Counts)
+		}
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1)
+	r.Histogram("c", HopBuckets).Observe(3)
+	if err := r.WritePrometheus(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || snap.Counter("a") != 0 {
+		t.Errorf("nil registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dn_sent_total").Add(7)
+	r.Counter(Label("dn_drops_total", "reason", "ttl exceeded")).Inc()
+	r.Gauge("dn_gini").Set(0.25)
+	r.Histogram("dn_hops", []float64{1, 2}).Observe(2)
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE dn_sent_total counter\ndn_sent_total 7\n",
+		"dn_drops_total{reason=\"ttl exceeded\"} 1",
+		"# TYPE dn_gini gauge\ndn_gini 0.25\n",
+		"dn_hops_bucket{le=\"2\"} 1",
+		"dn_hops_bucket{le=\"+Inf\"} 1",
+		"dn_hops_sum 2",
+		"dn_hops_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Histogram("h", []float64{1}).Observe(0.5)
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(b.Bytes(), &snap); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if snap.Counter("a_total") != 3 {
+		t.Errorf("round-tripped counter = %d", snap.Counter("a_total"))
+	}
+	if snap.Histograms["h"].Count != 1 {
+		t.Errorf("round-tripped histogram = %+v", snap.Histograms["h"])
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total")
+	h := r.Histogram("lat", []float64{10, 100})
+	c.Add(2)
+	h.Observe(5)
+	before := r.Snapshot()
+	c.Add(3)
+	h.Observe(50)
+	h.Observe(50)
+	r.Gauge("depth").Set(9)
+	diff := r.Snapshot().Diff(before)
+	if diff.Counter("ops_total") != 3 {
+		t.Errorf("diff counter = %d, want 3", diff.Counter("ops_total"))
+	}
+	if d := diff.Histograms["lat"]; d.Count != 2 || d.Counts[1] != 2 || d.Sum != 100 {
+		t.Errorf("diff histogram = %+v", d)
+	}
+	if diff.Gauge("depth") != 9 {
+		t.Errorf("diff gauge = %v, want current value 9", diff.Gauge("depth"))
+	}
+}
+
+func TestCounterSum(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(Label("drops_total", "reason", "a")).Add(2)
+	r.Counter(Label("drops_total", "reason", "b")).Add(5)
+	r.Counter("other_total").Add(100)
+	if got := r.Snapshot().CounterSum("drops_total"); got != 7 {
+		t.Errorf("CounterSum = %d, want 7", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c_total").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h", HopBuckets).Observe(float64(j % 64))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.Counter("c_total") != 8000 {
+		t.Errorf("counter = %d, want 8000", snap.Counter("c_total"))
+	}
+	if snap.Gauge("g") != 8000 {
+		t.Errorf("gauge = %v, want 8000", snap.Gauge("g"))
+	}
+	if snap.Histograms["h"].Count != 8000 {
+		t.Errorf("histogram count = %d, want 8000", snap.Histograms["h"].Count)
+	}
+}

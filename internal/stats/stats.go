@@ -189,15 +189,22 @@ func (t *Table) AddRow(cells ...interface{}) {
 	t.rows = append(t.rows, row)
 }
 
-// String renders the table.
+// String renders the table. Rows wider than the header get unheaded
+// columns rather than a panic; short rows leave their tail blank.
 func (t *Table) String() string {
-	widths := make([]int, len(t.header))
+	cols := len(t.header)
+	for _, row := range t.rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range t.header {
 		widths[i] = len(h)
 	}
 	for _, row := range t.rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}

@@ -1,0 +1,33 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression: a row with more cells than the header used to index
+// past the widths slice and panic in String.
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.AddRow(1, 2, 3, "extra-wide-cell")
+	tb.AddRow(4)
+	out := tb.String()
+	for _, want := range []string{"a", "b", "3", "extra-wide-cell", "4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header, separator, two rows
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestTableEmptyHeaderWideRows(t *testing.T) {
+	tb := NewTable()
+	tb.AddRow("x", 1.5)
+	out := tb.String()
+	if !strings.Contains(out, "x") || !strings.Contains(out, "1.5000") {
+		t.Errorf("unexpected render:\n%s", out)
+	}
+}
