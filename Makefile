@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/network/ ./internal/dht/ ./internal/obs/
+	$(GO) test -race ./internal/network/ ./internal/dht/ ./internal/obs/ ./internal/deflect/
 
 cover:
 	$(GO) test -cover ./...
@@ -26,15 +26,18 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
 
-# Regenerates BENCH_core.json (machine-readable core routing numbers).
+# Regenerates BENCH_core.json and BENCH_network.json (machine-readable
+# routing and engine numbers).
 bench-json:
-	$(GO) run ./cmd/dbbench -out BENCH_core.json
+	$(GO) run ./cmd/dbbench -suite core -out BENCH_core.json
+	$(GO) run ./cmd/dbbench -suite network -out BENCH_network.json
 
-# Short fuzz sessions over the three fuzz targets.
+# Short fuzz sessions over the fuzz targets.
 fuzz:
 	$(GO) test -fuzz=FuzzDistanceEquivalence -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzUnmarshalMessage -fuzztime=30s ./internal/network/
 	$(GO) test -fuzz=FuzzParseRoundTrip -fuzztime=30s ./internal/word/
+	$(GO) test -fuzz=FuzzDeflectInvariant -fuzztime=30s ./internal/deflect/
 
 # Regenerates every experiment table (EXPERIMENTS.md source data).
 experiments:
@@ -48,6 +51,7 @@ examples:
 	$(GO) run ./examples/selfrouting
 	$(GO) run ./examples/dht
 	$(GO) run ./examples/sorting
+	$(GO) run ./examples/deflection
 
 clean:
 	$(GO) clean -testcache

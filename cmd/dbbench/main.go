@@ -1,14 +1,18 @@
-// Command dbbench runs the core routing micro-benchmarks outside the
-// `go test` harness and writes a machine-readable report, so CI and
-// the Makefile (`make bench-json`) can archive ns/op and allocs/op
-// without parsing benchmark text:
+// Command dbbench runs the routing benchmarks outside the `go test`
+// harness and writes a machine-readable report, so CI and the Makefile
+// (`make bench-json`) can archive ns/op and allocs/op without parsing
+// benchmark text:
 //
-//	dbbench -out BENCH_core.json
-//	dbbench -out - -benchtime 10ms    # quick run to stdout
+//	dbbench -out BENCH_core.json                      # core suite (default)
+//	dbbench -suite network -out BENCH_network.json    # whole-engine runs
+//	dbbench -out - -benchtime 10ms                    # quick run to stdout
 //
-// Each (op, d, k) cell is one testing.Benchmark run over a fixed pool
-// of seeded random word pairs. Ops: Router (reusable Router.Route),
-// Distance (Theorem 2, O(k)), Route (Algorithm 4, O(k)).
+// The core suite measures per-call routing primitives over a fixed
+// pool of seeded random word pairs: Router (reusable Router.Route),
+// Distance (Theorem 2, O(k)), Route (Algorithm 4, O(k)). The network
+// suite measures whole seeded simulation runs per iteration:
+// Contention (batch store-and-forward), OpenLoop (Bernoulli-arrival
+// store-and-forward), Deflect (bufferless deflection, layer-aware).
 package main
 
 import (
@@ -24,6 +28,8 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/deflect"
+	"repro/internal/network"
 	"repro/internal/word"
 )
 
@@ -38,7 +44,7 @@ type Result struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// Report is the BENCH_core.json schema.
+// Report is the BENCH_core.json / BENCH_network.json schema.
 type Report struct {
 	Schema    string   `json:"schema"`
 	GoVersion string   `json:"go_version"`
@@ -48,8 +54,11 @@ type Report struct {
 	Results   []Result `json:"results"`
 }
 
-// Schema identifies the report layout for consumers.
+// Schema identifies the core-suite report layout for consumers.
 const Schema = "dbbench/core/v1"
+
+// SchemaNetwork identifies the network-suite report layout.
+const SchemaNetwork = "dbbench/network/v1"
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -60,12 +69,32 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dbbench", flag.ContinueOnError)
-	outPath := fs.String("out", "BENCH_core.json", `output file ("-" for stdout)`)
+	suite := fs.String("suite", "core", "benchmark suite: core (per-call primitives) | network (whole engine runs)")
+	outPath := fs.String("out", "", `output file ("-" for stdout; default BENCH_<suite>.json)`)
 	benchtime := fs.String("benchtime", "100ms", "per-benchmark duration (test.benchtime syntax)")
 	d := fs.Int("d", 2, "alphabet size")
-	ks := fs.String("k", "8,64,512", "comma-separated word lengths")
+	ks := fs.String("k", "", `comma-separated word lengths (default "8,64,512" core, "5,7" network)`)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	schema := Schema
+	cells := benchCells
+	switch *suite {
+	case "core":
+		if *ks == "" {
+			*ks = "8,64,512"
+		}
+	case "network":
+		schema = SchemaNetwork
+		cells = benchNetworkCells
+		if *ks == "" {
+			*ks = "5,7"
+		}
+	default:
+		return fmt.Errorf("unknown suite %q", *suite)
+	}
+	if *outPath == "" {
+		*outPath = fmt.Sprintf("BENCH_%s.json", *suite)
 	}
 	// testing.Benchmark honors the test.benchtime flag; registering the
 	// testing flags in a normal binary requires testing.Init first.
@@ -75,7 +104,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	rep := Report{
-		Schema:    Schema,
+		Schema:    schema,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -86,11 +115,11 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("parsing -k %q: %w", ktok, err)
 		}
-		cells, err := benchCells(*d, k)
+		cs, err := cells(*d, k)
 		if err != nil {
 			return err
 		}
-		rep.Results = append(rep.Results, cells...)
+		rep.Results = append(rep.Results, cs...)
 		fmt.Fprintf(out, "d=%d k=%d done\n", *d, k)
 	}
 
@@ -135,6 +164,74 @@ func benchCells(d, k int) ([]Result, error) {
 			for i := 0; i < b.N; i++ {
 				p := pairs[i%len(pairs)]
 				if err := fn(p[0], p[1]); err != nil {
+					failure = err
+					b.FailNow()
+				}
+			}
+		})
+		if failure != nil {
+			return nil, fmt.Errorf("%s d=%d k=%d: %w", op.name, d, k, failure)
+		}
+		out = append(out, Result{
+			Op: op.name, D: d, K: k,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		})
+	}
+	return out, nil
+}
+
+// benchNetworkCells measures the three network engines at one (d,k)
+// point. Each iteration is one whole seeded simulation run — a
+// fixed-size batch for Contention, a fixed open-loop window for
+// OpenLoop and Deflect — so ns/op compares end-to-end engine cost on
+// the same traffic scale.
+func benchNetworkCells(d, k int) ([]Result, error) {
+	const (
+		messages = 128
+		rate     = 0.3
+		rounds   = 40
+		seed     = 17
+	)
+	ops := []struct {
+		name string
+		fn   func() error
+	}{
+		{"Contention", func() error {
+			c, err := network.NewContention(network.ContentionConfig{D: d, K: k, Seed: seed})
+			if err != nil {
+				return err
+			}
+			if err := c.AddUniform(messages); err != nil {
+				return err
+			}
+			_, err = c.Run()
+			return err
+		}},
+		{"OpenLoop", func() error {
+			_, err := network.RunOpenLoop(network.OpenLoopConfig{
+				D: d, K: k, Rate: rate, Rounds: rounds, Seed: seed,
+			})
+			return err
+		}},
+		{"Deflect", func() error {
+			_, err := deflect.RunLoad(deflect.LoadConfig{
+				D: d, K: k, Policy: deflect.PolicyLayerAware{},
+				Rate: rate, Rounds: rounds, Seed: seed,
+			})
+			return err
+		}},
+	}
+	out := make([]Result, 0, len(ops))
+	for _, op := range ops {
+		fn := op.fn
+		var failure error
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fn(); err != nil {
 					failure = err
 					b.FailNow()
 				}

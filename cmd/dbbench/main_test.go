@@ -51,6 +51,50 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 }
 
+// TestNetworkSuiteRoundTrip validates the BENCH_network.json report:
+// one whole-engine cell per (op, k), under its own schema.
+func TestNetworkSuiteRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_network.json")
+	var b strings.Builder
+	if err := run([]string{"-suite", "network", "-out", path, "-benchtime", "1x", "-k", "4,5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if rep.Schema != SchemaNetwork {
+		t.Errorf("schema = %q, want %q", rep.Schema, SchemaNetwork)
+	}
+	// 3 engines × 2 k values.
+	if len(rep.Results) != 6 {
+		t.Fatalf("got %d results, want 6", len(rep.Results))
+	}
+	seen := map[string]bool{}
+	for _, r := range rep.Results {
+		seen[r.Op] = true
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Errorf("%s d=%d k=%d: non-positive measurement %+v", r.Op, r.D, r.K, r)
+		}
+	}
+	for _, op := range []string{"Contention", "OpenLoop", "Deflect"} {
+		if !seen[op] {
+			t.Errorf("op %s missing from report", op)
+		}
+	}
+}
+
+func TestUnknownSuite(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-suite", "nope"}, &b); err == nil {
+		t.Error("accepted unknown suite")
+	}
+}
+
 func TestStdoutOutput(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-out", "-", "-benchtime", "1ms", "-k", "8"}, &b); err != nil {

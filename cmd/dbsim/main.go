@@ -6,6 +6,7 @@
 //	dbsim -d 2 -k 8 -policy least-loaded -workload hotspot
 //	dbsim -d 2 -k 6 -fail 000111,010101 -adaptive
 //	dbsim -d 2 -k 8 -engine cluster      # concurrent goroutine engine
+//	dbsim -d 2 -k 6 -engine deflect -rate 0.6 -deflect-policy layer-aware
 //	dbsim -d 2 -k 8 -metrics             # Prometheus text dump after the run
 //	dbsim -d 2 -k 8 -debug-addr :8080    # live /metrics + /debug/pprof
 package main
@@ -18,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/deflect"
 	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/word"
@@ -41,7 +43,11 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	failList := fs.String("fail", "", "comma-separated site addresses to fail")
 	adaptive := fs.Bool("adaptive", false, "reroute around failed sites")
-	engine := fs.String("engine", "sync", "sync (deterministic) | cluster (goroutine per site)")
+	engine := fs.String("engine", "sync", "sync (deterministic) | cluster (goroutine per site) | deflect (bufferless hot-potato)")
+	rate := fs.Float64("rate", 0.3, "deflect engine: per-site per-round injection probability")
+	rounds := fs.Int("rounds", 200, "deflect engine: injection window in rounds")
+	deflectPolicy := fs.String("deflect-policy", "layer-aware", "deflect engine: random | min-increase | layer-aware")
+	maxAge := fs.Int("max-age", 0, "deflect engine: livelock-guard age in rounds (0 = 64·k)")
 	metrics := fs.Bool("metrics", false, "print the metrics registry (Prometheus text) after the run")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /metrics.json and /debug/pprof on this address during the run")
 	if err := fs.Parse(args); err != nil {
@@ -61,13 +67,19 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "debug server on http://%s (/metrics, /metrics.json, /debug/pprof/)\n", addr)
 	}
 
-	if *engine == "cluster" {
+	switch *engine {
+	case "cluster":
 		if err := runCluster(out, *d, *k, *uni, *messages, *seed, reg); err != nil {
 			return err
 		}
 		return dumpMetrics(out, reg, *metrics)
-	}
-	if *engine != "sync" {
+	case "deflect":
+		if err := runDeflect(out, *d, *k, *uni, *deflectPolicy, *rate, *rounds, *maxAge, *seed, reg); err != nil {
+			return err
+		}
+		return dumpMetrics(out, reg, *metrics)
+	case "sync":
+	default:
 		return fmt.Errorf("unknown engine %q", *engine)
 	}
 
@@ -154,6 +166,49 @@ func dumpMetrics(out io.Writer, reg *obs.Registry, enabled bool) error {
 	}
 	fmt.Fprintln(out, "\n# metrics")
 	return reg.WritePrometheus(out)
+}
+
+// runDeflect drives the bufferless deflection engine through one
+// open-loop offered-load run and prints its latency/deflection summary.
+func runDeflect(out io.Writer, d, k int, uni bool, policyName string, rate float64, rounds, maxAge int, seed int64, reg *obs.Registry) error {
+	policy := deflect.PolicyByName(policyName)
+	if policy == nil {
+		return fmt.Errorf("unknown deflect policy %q", policyName)
+	}
+	res, err := deflect.RunLoad(deflect.LoadConfig{
+		D: d, K: k,
+		Unidirectional: uni,
+		Policy:         policy,
+		Rate:           rate,
+		Rounds:         rounds,
+		MaxAge:         maxAge,
+		Seed:           seed,
+		Obs:            reg,
+	})
+	if err != nil {
+		return err
+	}
+	sites, err := word.Count(d, k)
+	if err != nil {
+		return err
+	}
+	dir := "bi-directional"
+	if uni {
+		dir = "uni-directional"
+	}
+	fmt.Fprintf(out, "DN(%d,%d) %s bufferless deflection, %d sites, policy %s, rate %.3f\n",
+		d, k, dir, sites, policy.Name(), rate)
+	fmt.Fprintf(out, "rounds:       %d (+%d drain)\n", rounds, res.DrainRounds)
+	fmt.Fprintf(out, "offered:      %d\n", res.Offered)
+	fmt.Fprintf(out, "injected:     %d\n", res.Injected)
+	fmt.Fprintf(out, "refused:      %d\n", res.Refused)
+	fmt.Fprintf(out, "delivered:    %d\n", res.Delivered)
+	fmt.Fprintf(out, "guard trips:  %d\n", res.GuardDropped)
+	fmt.Fprintf(out, "mean latency: %.4f rounds (p99 %d, max %d)\n", res.MeanLatency, res.P99Latency, res.MaxLatency)
+	fmt.Fprintf(out, "deflections:  %d (%.4f per hop, %.4f per message)\n",
+		res.Deflections, res.DeflectionRate, res.MeanDeflections)
+	fmt.Fprintf(out, "throughput:   %.4f delivered/round\n", res.Throughput)
+	return nil
 }
 
 func runCluster(out io.Writer, d, k int, uni bool, messages int, seed int64, reg *obs.Registry) error {

@@ -54,6 +54,48 @@ func TestClusterEngine(t *testing.T) {
 	}
 }
 
+func TestDeflectEngine(t *testing.T) {
+	for _, policy := range []string{"random", "min-increase", "layer-aware"} {
+		var b strings.Builder
+		args := []string{"-engine", "deflect", "-d", "2", "-k", "5", "-rate", "0.4", "-rounds", "60", "-deflect-policy", policy}
+		if err := run(args, &b); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		out := b.String()
+		if !strings.Contains(out, "bufferless deflection") || !strings.Contains(out, "policy "+policy) {
+			t.Errorf("%s output:\n%s", policy, out)
+		}
+		if !strings.Contains(out, "guard trips:  0") {
+			t.Errorf("%s: guard tripped under oldest-first:\n%s", policy, out)
+		}
+	}
+}
+
+func TestDeflectEngineMetrics(t *testing.T) {
+	var b strings.Builder
+	args := []string{"-engine", "deflect", "-d", "2", "-k", "5", "-rate", "0.5", "-rounds", "80", "-metrics"}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	injected := promValue(t, out, "dn_deflect_injected_total")
+	delivered := promValue(t, out, "dn_deflect_delivered_total")
+	guard := promValue(t, out, "dn_deflect_guard_trips_total")
+	if injected == 0 || injected != delivered+guard {
+		t.Errorf("injected %d != delivered %d + guard %d:\n%s", injected, delivered, guard, out)
+	}
+}
+
+func TestDeflectEngineErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-engine", "deflect", "-deflect-policy", "nope"}, &b); err == nil {
+		t.Error("accepted unknown deflect policy")
+	}
+	if err := run([]string{"-engine", "deflect", "-rate", "1.5"}, &b); err == nil {
+		t.Error("accepted rate > 1")
+	}
+}
+
 func TestUnidirectionalFlag(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-unidirectional", "-d", "2", "-k", "4", "-messages", "50"}, &b); err != nil {

@@ -10,6 +10,7 @@
 //	dbstats -table moore      # E10: diameter vs Moore bound (§1 claim)
 //	dbstats -table broadcast  # E11: flood vs tree dissemination
 //	dbstats -table diversity  # E12: shortest-path multiplicity
+//	dbstats -table deflect    # E18: bufferless deflection load × policy
 //	dbstats -table all        # everything above
 package main
 
@@ -104,6 +105,9 @@ func run(args []string, out io.Writer) error {
 		"stretch": func() (*stats.Table, error) {
 			return experiments.StretchTable(2, 8, []int{0, 1, 2, 4, 8, 16}, 2000, *seed)
 		},
+		"deflect": func() (*stats.Table, error) {
+			return experiments.DeflectTable(2, 6, []float64{0.05, 0.15, 0.30, 0.60, 0.90}, 300, *seed)
+		},
 	}
 	titles := map[string]string{
 		"eq5":       "E3 — directed average distance: equation (5) vs exact",
@@ -120,8 +124,9 @@ func run(args []string, out io.Writer) error {
 		"dht":       "E15 — Koorde DHT: lookup cost on sparse de Bruijn rings",
 		"loadcurve": "E16 — open-loop latency vs offered load (saturation curve)",
 		"stretch":   "E17 — reroute stretch vs failure count",
+		"deflect":   "E18 — bufferless deflection: load × policy vs store-and-forward",
 	}
-	order := []string{"census", "eq5", "fig2", "crossover", "policy", "fault", "dist", "moore", "broadcast", "diversity", "latency", "dht", "loadcurve", "stretch"}
+	order := []string{"census", "eq5", "fig2", "crossover", "policy", "fault", "dist", "moore", "broadcast", "diversity", "latency", "dht", "loadcurve", "stretch", "deflect"}
 
 	emit := func(name string) error {
 		t, err := printers[name]()

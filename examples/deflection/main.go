@@ -1,0 +1,80 @@
+// Deflection: bufferless hot-potato routing on DN(2,6). The paper's
+// distance function tells every site how far each neighbor is from any
+// destination, so a site with no queues can still route well: winners
+// take distance-decreasing links, contention losers are deflected onto
+// whatever is free. The example walks one destination's distance-layer
+// decomposition (B_0..B_k), then sweeps offered load under the three
+// deflection policies and the store-and-forward baseline, showing the
+// regime trade: deflection holds latency nearly flat by refusing
+// injections at saturation, while store-and-forward accepts everything
+// and lets queueing delay blow up.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/deflect"
+	"repro/internal/graph"
+	"repro/internal/network"
+	"repro/internal/stats"
+	"repro/internal/word"
+)
+
+const (
+	d      = 2
+	k      = 6
+	rounds = 300
+	seed   = 2026
+)
+
+func main() {
+	// 1. The distance-layer structure toward one destination.
+	g, err := graph.DeBruijn(graph.Undirected, d, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dst := word.MustParse(d, "101100")
+	ly, err := deflect.NewLayers(g, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distance layers of DN(%d,%d) toward %v (Theorem 2 distances):\n", d, k, dst)
+	for i := 0; i < ly.NumLayers(); i++ {
+		fmt.Printf("  B_%d: %4d sites\n", i, len(ly.Layer(i)))
+	}
+	adv := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		adv += ly.Advancing(v)
+	}
+	fmt.Printf("advancing links: %d of %d directed channels\n\n", adv, 2*g.NumEdges())
+
+	// 2. Offered load × policy, against the store-and-forward baseline.
+	table := stats.NewTable("rate", "policy", "delivered/offered", "mean latency", "p99", "deflect/hop")
+	for _, rate := range []float64{0.1, 0.5, 0.9} {
+		for _, pol := range deflect.Policies() {
+			res, err := deflect.RunLoad(deflect.LoadConfig{
+				D: d, K: k, Policy: pol, Rate: rate, Rounds: rounds, Seed: seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			table.AddRow(rate, pol.Name(),
+				fmt.Sprintf("%d/%d", res.Delivered, res.Offered),
+				res.MeanLatency, res.P99Latency, res.DeflectionRate)
+		}
+		base, err := network.RunOpenLoop(network.OpenLoopConfig{
+			D: d, K: k, Rate: rate, Rounds: rounds, Seed: seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		table.AddRow(rate, "store-fwd",
+			fmt.Sprintf("%d/%d", base.Delivered, base.Offered),
+			base.MeanLatency, base.P95Latency, 0.0)
+	}
+	fmt.Println(table)
+	fmt.Println("deflection refuses injections instead of queueing: at rate 0.9 it")
+	fmt.Println("delivers fewer messages but keeps latency near the diameter, while")
+	fmt.Println("store-and-forward delivers everything at many times the latency.")
+}

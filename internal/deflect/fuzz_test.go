@@ -1,0 +1,45 @@
+package deflect
+
+import "testing"
+
+// FuzzDeflectInvariant fuzzes the open-loop driver over topology,
+// policy, load, and seed, asserting the conservation invariant: the
+// network never loses or duplicates a message — every injected message
+// is either delivered or dropped by the age guard, nothing stays in
+// flight after the drain, and offered = injected + refused.
+func FuzzDeflectInvariant(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(4), uint8(0), uint8(0), uint8(50), uint8(20))
+	f.Add(int64(7), uint8(3), uint8(3), uint8(1), uint8(1), uint8(100), uint8(30))
+	f.Add(int64(42), uint8(2), uint8(6), uint8(0), uint8(2), uint8(80), uint8(10))
+	f.Add(int64(-9), uint8(3), uint8(2), uint8(1), uint8(0), uint8(5), uint8(40))
+	f.Fuzz(func(t *testing.T, seed int64, d, k, uni, polByte, ratePct, rounds uint8) {
+		dd := 2 + int(d)%2   // 2..3
+		kk := 2 + int(k)%4   // 2..5
+		rate := (float64(ratePct%100) + 1) / 100 // (0, 1]
+		nr := 1 + int(rounds)%40
+		pols := Policies()
+		cfg := LoadConfig{
+			D: dd, K: kk,
+			Unidirectional: uni%2 == 1,
+			Policy:         pols[int(polByte)%len(pols)],
+			Rate:           rate,
+			Rounds:         nr,
+			Seed:           seed,
+		}
+		res, err := RunLoad(cfg)
+		if err != nil {
+			t.Fatalf("RunLoad(%+v): %v", cfg, err)
+		}
+		if res.Injected != res.Delivered+res.GuardDropped {
+			t.Fatalf("lost or duplicated messages: injected %d, delivered %d, guard %d (cfg %+v)",
+				res.Injected, res.Delivered, res.GuardDropped, cfg)
+		}
+		if res.Inflight != 0 {
+			t.Fatalf("%d messages in flight after drain (cfg %+v)", res.Inflight, cfg)
+		}
+		if res.Offered != res.Injected+res.Refused {
+			t.Fatalf("offered %d ≠ injected %d + refused %d (cfg %+v)",
+				res.Offered, res.Injected, res.Refused, cfg)
+		}
+	})
+}

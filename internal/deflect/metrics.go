@@ -1,0 +1,70 @@
+package deflect
+
+import "repro/internal/obs"
+
+// Registry metric names of the deflection engine (prefix dn_deflect_),
+// following the internal/obs conventions of the other engines.
+// Documented in README.md § Observability. The accounting invariant is
+//
+//	dn_deflect_injected_total =
+//	    dn_deflect_delivered_total
+//	  + dn_deflect_guard_trips_total
+//	  + inflight (dn_deflect_inflight gauge)
+//
+// at every round boundary; offered = injected + refused.
+const (
+	// metricInjected counts messages accepted into the network.
+	metricInjected = "dn_deflect_injected_total"
+	// metricRefused counts injection attempts refused because the
+	// source site had no free output slot (bufferless backpressure).
+	metricRefused = "dn_deflect_refused_total"
+	// metricDelivered counts messages absorbed at their destination.
+	metricDelivered = "dn_deflect_delivered_total"
+	// metricDeflections counts link crossings that did not decrease
+	// the distance to the destination.
+	metricDeflections = "dn_deflect_deflections_total"
+	// metricGuardTrips counts messages removed by the age guard — the
+	// engine's detectable-livelock signal.
+	metricGuardTrips = "dn_deflect_guard_trips_total"
+	// metricRounds counts synchronous rounds executed.
+	metricRounds = "dn_deflect_rounds_total"
+	// metricHopsMoved counts all link crossings (advancing + deflected).
+	metricHopsMoved = "dn_deflect_hops_moved_total"
+	// metricLatency is the delivered-latency histogram in rounds.
+	metricLatency = "dn_deflect_latency_rounds"
+	// metricMsgDeflections is the per-delivered-message deflection
+	// count histogram.
+	metricMsgDeflections = "dn_deflect_msg_deflections"
+	// metricInflight gauges messages currently resident in the network.
+	metricInflight = "dn_deflect_inflight"
+	// metricThroughput gauges delivered messages per round, refreshed
+	// every Step.
+	metricThroughput = "dn_deflect_throughput"
+)
+
+// deflectMetrics are the engine's pre-resolved instrument handles; all
+// nil with a nil registry, so the disabled cost is one nil check per
+// event (the repo-wide observability pattern).
+type deflectMetrics struct {
+	injected, refused, delivered *obs.Counter
+	deflections, guardTrips      *obs.Counter
+	rounds, hopsMoved            *obs.Counter
+	latency, msgDeflections      *obs.Histogram
+	inflight, throughput         *obs.Gauge
+}
+
+func newDeflectMetrics(reg *obs.Registry) deflectMetrics {
+	return deflectMetrics{
+		injected:       reg.Counter(metricInjected),
+		refused:        reg.Counter(metricRefused),
+		delivered:      reg.Counter(metricDelivered),
+		deflections:    reg.Counter(metricDeflections),
+		guardTrips:     reg.Counter(metricGuardTrips),
+		rounds:         reg.Counter(metricRounds),
+		hopsMoved:      reg.Counter(metricHopsMoved),
+		latency:        reg.Histogram(metricLatency, obs.HopBuckets),
+		msgDeflections: reg.Histogram(metricMsgDeflections, obs.HopBuckets),
+		inflight:       reg.Gauge(metricInflight),
+		throughput:     reg.Gauge(metricThroughput),
+	}
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"repro/internal/deflect"
+	"repro/internal/network"
+	"repro/internal/stats"
+)
+
+// DeflectRow is one (policy, offered-load) point of experiment E18,
+// the bufferless deflection load/latency study. Policy "store-fwd"
+// rows are the rate-matched store-and-forward baseline (the open-loop
+// member of the Contention engine family, same Bernoulli arrivals),
+// for which deflections and guard trips are identically zero.
+type DeflectRow struct {
+	Policy         string
+	Rate           float64
+	Offered        int
+	Delivered      int
+	MeanLatency    float64
+	P99Latency     int
+	DeflectionRate float64
+	GuardTrips     int
+}
+
+// StoreFwdPolicy names the baseline rows of E18.
+const StoreFwdPolicy = "store-fwd"
+
+// DeflectSweep runs E18 on the undirected DN(d,k): for every offered
+// load in rates, one open-loop run per deflection policy plus the
+// store-and-forward baseline at the same rate.
+func DeflectSweep(d, k int, rates []float64, rounds int, seed int64) ([]DeflectRow, error) {
+	var rows []DeflectRow
+	for _, rate := range rates {
+		for _, pol := range deflect.Policies() {
+			res, err := deflect.RunLoad(deflect.LoadConfig{
+				D: d, K: k,
+				Policy: pol,
+				Rate:   rate,
+				Rounds: rounds,
+				Seed:   seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, DeflectRow{
+				Policy:         pol.Name(),
+				Rate:           rate,
+				Offered:        res.Offered,
+				Delivered:      res.Delivered,
+				MeanLatency:    res.MeanLatency,
+				P99Latency:     res.P99Latency,
+				DeflectionRate: res.DeflectionRate,
+				GuardTrips:     res.GuardDropped,
+			})
+		}
+		base, err := network.RunOpenLoop(network.OpenLoopConfig{
+			D: d, K: k, Rate: rate, Rounds: rounds, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DeflectRow{
+			Policy:      StoreFwdPolicy,
+			Rate:        rate,
+			Offered:     base.Offered,
+			Delivered:   base.Delivered,
+			MeanLatency: base.MeanLatency,
+			P99Latency:  base.P95Latency, // open-loop engine reports p95; see EXPERIMENTS.md deviation note
+		})
+	}
+	return rows, nil
+}
+
+// DeflectTable renders E18.
+func DeflectTable(d, k int, rates []float64, rounds int, seed int64) (*stats.Table, error) {
+	rows, err := DeflectSweep(d, k, rates, rounds, seed)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("policy", "rate", "offered", "delivered", "meanLatency", "p99", "deflectRate", "guardTrips")
+	for _, r := range rows {
+		t.AddRow(r.Policy, r.Rate, r.Offered, r.Delivered, r.MeanLatency, r.P99Latency, r.DeflectionRate, r.GuardTrips)
+	}
+	return t, nil
+}

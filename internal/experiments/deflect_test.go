@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/deflect"
+)
+
+// TestDeflectSweepShape certifies the E18 table the CLI prints with
+// its default parameters (seed 1): per policy, mean latency and
+// deflection rate rise from the lightest to the heaviest offered load,
+// and the distance-aware policies dominate random at the heaviest
+// load. These are the ISSUE acceptance criteria for the experiment.
+func TestDeflectSweepShape(t *testing.T) {
+	rates := []float64{0.05, 0.15, 0.30, 0.60, 0.90}
+	rows, err := DeflectSweep(2, 6, rates, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perPolicy := len(deflect.Policies()) + 1 // + store-fwd baseline
+	if len(rows) != len(rates)*perPolicy {
+		t.Fatalf("got %d rows, want %d", len(rows), len(rates)*perPolicy)
+	}
+	byPolicy := map[string][]DeflectRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = append(byPolicy[r.Policy], r)
+		if r.GuardTrips != 0 {
+			t.Errorf("policy %s rate %v: %d guard trips under oldest-first", r.Policy, r.Rate, r.GuardTrips)
+		}
+		if r.Policy == StoreFwdPolicy && r.DeflectionRate != 0 {
+			t.Errorf("store-and-forward baseline reports deflections: %+v", r)
+		}
+	}
+	for _, pol := range deflect.Policies() {
+		rs := byPolicy[pol.Name()]
+		if len(rs) != len(rates) {
+			t.Fatalf("policy %s: %d rows, want %d", pol.Name(), len(rs), len(rates))
+		}
+		first, last := rs[0], rs[len(rs)-1]
+		if last.MeanLatency <= first.MeanLatency {
+			t.Errorf("policy %s: mean latency did not rise with load (%.4f → %.4f)",
+				pol.Name(), first.MeanLatency, last.MeanLatency)
+		}
+		if last.P99Latency <= first.P99Latency {
+			t.Errorf("policy %s: p99 latency did not rise with load (%d → %d)",
+				pol.Name(), first.P99Latency, last.P99Latency)
+		}
+		if last.DeflectionRate <= first.DeflectionRate {
+			t.Errorf("policy %s: deflection rate did not rise with load (%.4f → %.4f)",
+				pol.Name(), first.DeflectionRate, last.DeflectionRate)
+		}
+	}
+	heaviest := func(policy string) DeflectRow {
+		rs := byPolicy[policy]
+		return rs[len(rs)-1]
+	}
+	random := heaviest("random")
+	for _, policy := range []string{"min-increase", "layer-aware"} {
+		if r := heaviest(policy); r.MeanLatency >= random.MeanLatency {
+			t.Errorf("%s (%.4f) does not dominate random (%.4f) at the heaviest load",
+				policy, r.MeanLatency, random.MeanLatency)
+		}
+	}
+}
+
+// TestDeflectTableShape checks the rendered table's column layout.
+func TestDeflectTableShape(t *testing.T) {
+	tab, err := DeflectTable(2, 4, []float64{0.2, 0.8}, 60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	for _, col := range []string{"policy", "rate", "meanLatency", "p99", "deflectRate", "guardTrips"} {
+		if !strings.Contains(s, col) {
+			t.Fatalf("table missing column %q:\n%s", col, s)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 // Package experiments regenerates every quantitative artefact of the
 // paper (DESIGN.md §4): each function produces one table of the
-// experiment index E1–E17, shared by cmd/dbstats, the test suite
+// experiment index E1–E18, shared by cmd/dbstats, the test suite
 // (which asserts the paper's qualitative shapes hold) and
 // EXPERIMENTS.md.
 package experiments

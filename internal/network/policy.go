@@ -43,10 +43,27 @@ func (PolicyRandom) Name() string { return "random" }
 // PolicyLeastLoaded chooses the digit whose outgoing link from the
 // current site has carried the fewest messages so far, preferring
 // live sites — the locally load-balancing policy of experiment E7.
+// When every candidate neighbor is failed no choice can avoid a dead
+// site; the policy then falls back to the least-loaded link over all
+// candidates (rather than silently returning digit 0, which biased the
+// doomed hop toward the 0-neighbor) and the forwarding path records
+// the delivery failure.
 type PolicyLeastLoaded struct{}
 
 // Choose implements Policy.
 func (PolicyLeastLoaded) Choose(n *Network, cur word.Word, h core.Hop) byte {
+	if b, ok := leastLoaded(n, cur, h, true); ok {
+		return b
+	}
+	// All candidates failed: an explicit fallback, no liveness filter.
+	b, _ := leastLoaded(n, cur, h, false)
+	return b
+}
+
+// leastLoaded scans the wildcard candidates of h at cur, optionally
+// skipping failed neighbors, and reports whether any candidate
+// survived the filter.
+func leastLoaded(n *Network, cur word.Word, h core.Hop, skipFailed bool) (byte, bool) {
 	curV := graph.DeBruijnVertex(cur)
 	best := byte(0)
 	bestLoad := -1
@@ -58,7 +75,7 @@ func (PolicyLeastLoaded) Choose(n *Network, cur word.Word, h core.Hop) byte {
 			next = cur.ShiftRight(byte(b))
 		}
 		nextV := graph.DeBruijnVertex(next)
-		if n.failed[nextV] {
+		if skipFailed && n.failed[nextV] {
 			continue
 		}
 		load := n.linkLoad[[2]int{curV, nextV}]
@@ -66,7 +83,7 @@ func (PolicyLeastLoaded) Choose(n *Network, cur word.Word, h core.Hop) byte {
 			best, bestLoad = byte(b), load
 		}
 	}
-	return best
+	return best, bestLoad >= 0
 }
 
 // Name implements Policy.

@@ -1,0 +1,60 @@
+package network
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/word"
+)
+
+// TestLeastLoadedPrefersLiveNeighbor: with one candidate failed, the
+// policy must pick the live one regardless of load.
+func TestLeastLoadedPrefersLiveNeighbor(t *testing.T) {
+	n := mustNet(t, Config{D: 2, K: 4, Policy: PolicyLeastLoaded{}})
+	cur := word.MustParse(2, "0110")
+	dead := cur.ShiftLeft(0) // 1100
+	if err := n.FailSite(dead); err != nil {
+		t.Fatal(err)
+	}
+	// Load the live digit-1 link heavily: liveness must still win.
+	live := cur.ShiftLeft(1)
+	n.linkLoad[[2]int{graph.DeBruijnVertex(cur), graph.DeBruijnVertex(live)}] = 100
+	h := core.Hop{Type: core.TypeL, Wildcard: true}
+	if got := (PolicyLeastLoaded{}).Choose(n, cur, h); got != 1 {
+		t.Fatalf("Choose = %d, want the live digit 1", got)
+	}
+}
+
+// TestLeastLoadedAllFailedFallsBackToLeastLoaded is the regression
+// test for the all-candidates-failed case: the policy used to return
+// digit 0 unconditionally, ignoring link load. It must instead apply
+// the same least-loaded rule over the (all doomed) candidates.
+func TestLeastLoadedAllFailedFallsBackToLeastLoaded(t *testing.T) {
+	// Unidirectional: every route out of cur crosses a left-shift
+	// neighbor, so failing both of them guarantees the drop below.
+	n := mustNet(t, Config{D: 2, K: 4, Unidirectional: true, Policy: PolicyLeastLoaded{}})
+	cur := word.MustParse(2, "0110")
+	for b := 0; b < 2; b++ {
+		if err := n.FailSite(cur.ShiftLeft(byte(b))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Digit 0's link has carried traffic; digit 1's has not.
+	zeroNext := cur.ShiftLeft(0)
+	n.linkLoad[[2]int{graph.DeBruijnVertex(cur), graph.DeBruijnVertex(zeroNext)}] = 5
+	h := core.Hop{Type: core.TypeL, Wildcard: true}
+	if got := (PolicyLeastLoaded{}).Choose(n, cur, h); got != 1 {
+		t.Fatalf("Choose = %d, want least-loaded digit 1 in the all-failed fallback", got)
+	}
+	// And the message is still dropped at the failed hop — the fallback
+	// changes which dead link carries it, not the outcome.
+	dst := word.MustParse(2, "0000")
+	del, err := n.Send(cur, dst, "probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del.Delivered {
+		t.Fatal("message delivered through a failed neighborhood")
+	}
+}
