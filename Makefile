@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-json fuzz experiments examples clean
+.PHONY: all build vet test race cover bench bench-json check fuzz experiments examples clean
 
 all: build vet test
 
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/network/ ./internal/dht/ ./internal/obs/ ./internal/deflect/
+	$(GO) test -race ./internal/network/ ./internal/dht/ ./internal/obs/ ./internal/deflect/ ./internal/check/
 
 cover:
 	$(GO) test -cover ./...
@@ -32,12 +32,19 @@ bench-json:
 	$(GO) run ./cmd/dbbench -suite core -out BENCH_core.json
 	$(GO) run ./cmd/dbbench -suite network -out BENCH_network.json
 
+# The differential-verification sweep: every oracle on every graph
+# with at most 4096 vertices (CI's standing gate; see internal/check).
+check:
+	$(GO) run ./cmd/dbcheck -mode all
+
 # Short fuzz sessions over the fuzz targets.
 fuzz:
 	$(GO) test -fuzz=FuzzDistanceEquivalence -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzUnmarshalMessage -fuzztime=30s ./internal/network/
 	$(GO) test -fuzz=FuzzParseRoundTrip -fuzztime=30s ./internal/word/
 	$(GO) test -fuzz=FuzzDeflectInvariant -fuzztime=30s ./internal/deflect/
+	$(GO) test -fuzz=FuzzCheckRoutes -fuzztime=30s ./internal/check/
+	$(GO) test -fuzz=FuzzEngineEquivalence -fuzztime=30s ./internal/check/
 
 # Regenerates every experiment table (EXPERIMENTS.md source data).
 experiments:

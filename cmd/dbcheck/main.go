@@ -1,0 +1,164 @@
+// Command dbcheck runs the differential-verification harness
+// (internal/check) and writes machine-readable JSON verdicts:
+//
+//	dbcheck -d 2 -k 5                    # all three oracles on DG(2,5)
+//	dbcheck -d 2 -k 5 -mode routes       # just the route oracle
+//	dbcheck -mode all                    # sweep every DG(d,k) ≤ 4096 vertices
+//	dbcheck -mode all -max-vertices 256  # a faster sweep
+//
+// With no -d/-k, dbcheck sweeps every de Bruijn graph DG(d,k) with
+// d ∈ [2, 36], k ≥ 1 and at most -max-vertices vertices — the CI gate
+// runs this with the default 4096 bound. The exit status is nonzero
+// iff any oracle reported a finding, so the command doubles as a
+// scriptable regression gate; the JSON document on stdout carries the
+// per-graph, per-mode reports either way.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/word"
+)
+
+// Verdict is the top-level JSON document.
+type Verdict struct {
+	Schema string `json:"schema"`
+	// OK is true iff every report is clean.
+	OK bool `json:"ok"`
+	// Graphs and Findings summarize the sweep.
+	Graphs   int `json:"graphs"`
+	Findings int `json:"findings"`
+	// ElapsedMS is the wall-clock cost of the whole run.
+	ElapsedMS int64          `json:"elapsed_ms"`
+	Reports   []check.Report `json:"reports"`
+}
+
+// Schema identifies the verdict layout for consumers.
+const Schema = "dbcheck/v1"
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dbcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dbcheck", flag.ContinueOnError)
+	d := fs.Int("d", 0, "alphabet size (0 with -k 0: sweep all graphs under -max-vertices)")
+	k := fs.Int("k", 0, "word length")
+	mode := fs.String("mode", "all", "oracle selection: routes | engines | invariants | all")
+	maxVertices := fs.Int("max-vertices", 4096, "sweep bound on d^k when -d/-k are not given")
+	seed := fs.Int64("seed", 1, "seed for sampling, workloads and fault plans")
+	samplePairs := fs.Int("sample-pairs", 4096, "route-oracle pairs sampled per graph above -sample-above vertices")
+	sampleAbove := fs.Int("sample-above", 4096, "route-oracle vertex count above which pairs are sampled")
+	messages := fs.Int("messages", 0, "messages per engine scenario (0 = auto)")
+	maxFindings := fs.Int("max-findings", 32, "findings kept per report before truncating the scan")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*d == 0) != (*k == 0) {
+		return fmt.Errorf("give both -d and -k, or neither (sweep)")
+	}
+	switch *mode {
+	case "routes", "engines", "invariants", "all":
+	default:
+		return fmt.Errorf("unknown -mode %q (routes | engines | invariants | all)", *mode)
+	}
+
+	var graphs [][2]int
+	if *d != 0 {
+		graphs = append(graphs, [2]int{*d, *k})
+	} else {
+		graphs = sweepGraphs(*maxVertices)
+	}
+
+	start := time.Now()
+	v := Verdict{Schema: Schema, OK: true, Graphs: len(graphs)}
+	for _, g := range graphs {
+		reps, err := runGraph(g[0], g[1], *mode, check.RoutesOptions{
+			Seed:        *seed,
+			SampleAbove: *sampleAbove,
+			SamplePairs: *samplePairs,
+			MaxFindings: *maxFindings,
+		}, check.EnginesOptions{
+			Seed:        *seed,
+			Messages:    *messages,
+			MaxFindings: *maxFindings,
+		}, check.InvariantsOptions{
+			Seed:        *seed,
+			Messages:    *messages,
+			MaxFindings: *maxFindings,
+		})
+		if err != nil {
+			return err
+		}
+		for _, r := range reps {
+			if !r.OK() {
+				v.OK = false
+			}
+			v.Findings += len(r.Findings)
+			v.Reports = append(v.Reports, r)
+		}
+	}
+	v.ElapsedMS = time.Since(start).Milliseconds()
+
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return err
+	}
+	if !v.OK {
+		return fmt.Errorf("%d finding(s) across %d graph(s)", v.Findings, v.Graphs)
+	}
+	return nil
+}
+
+// runGraph runs the selected oracles on one DG(d,k).
+func runGraph(d, k int, mode string, ro check.RoutesOptions, eo check.EnginesOptions, vo check.InvariantsOptions) ([]check.Report, error) {
+	var reps []check.Report
+	if mode == "routes" || mode == "all" {
+		r, err := check.Routes(d, k, ro)
+		if err != nil {
+			return nil, err
+		}
+		reps = append(reps, r)
+	}
+	if mode == "engines" || mode == "all" {
+		r, err := check.Engines(d, k, eo)
+		if err != nil {
+			return nil, err
+		}
+		reps = append(reps, r)
+	}
+	if mode == "invariants" || mode == "all" {
+		r, err := check.Invariants(d, k, vo)
+		if err != nil {
+			return nil, err
+		}
+		reps = append(reps, r)
+	}
+	return reps, nil
+}
+
+// sweepGraphs enumerates every DG(d,k), d ∈ [2, MaxBase], k ≥ 1, with
+// at most maxVertices vertices, smallest first.
+func sweepGraphs(maxVertices int) [][2]int {
+	var out [][2]int
+	for d := 2; d <= word.MaxBase; d++ {
+		for k := 1; ; k++ {
+			n, err := word.Count(d, k)
+			if err != nil || n > maxVertices {
+				break
+			}
+			out = append(out, [2]int{d, k})
+		}
+	}
+	return out
+}

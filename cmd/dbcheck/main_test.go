@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleGraph(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-d", "2", "-k", "3", "-mode", "all"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var v Verdict
+	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+		t.Fatalf("verdict is not JSON: %v", err)
+	}
+	if !v.OK || v.Findings != 0 {
+		t.Fatalf("DG(2,3) not clean: %+v", v)
+	}
+	if v.Graphs != 1 || len(v.Reports) != 3 {
+		t.Fatalf("want 1 graph and 3 reports, got %d and %d", v.Graphs, len(v.Reports))
+	}
+	for i, mode := range []string{"routes", "engines", "invariants"} {
+		if v.Reports[i].Mode != mode {
+			t.Errorf("report %d mode %q, want %q", i, v.Reports[i].Mode, mode)
+		}
+		if v.Reports[i].Findings == nil {
+			t.Errorf("report %d findings marshalled as null, want []", i)
+		}
+	}
+}
+
+func TestRunSingleMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-d", "2", "-k", "2", "-mode", "routes"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var v Verdict
+	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Reports) != 1 || v.Reports[0].Mode != "routes" {
+		t.Fatalf("want exactly the routes report, got %+v", v.Reports)
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	var out bytes.Buffer
+	// d^k ≤ 8: DG(2,1..3), DG(3,1), DG(4,1), DG(5,1), DG(6,1),
+	// DG(7,1), DG(8,1) — nine graphs.
+	if err := run([]string{"-mode", "routes", "-max-vertices", "8"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var v Verdict
+	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Graphs != 9 {
+		t.Fatalf("sweep found %d graphs under 8 vertices, want 9", v.Graphs)
+	}
+	if !v.OK {
+		t.Fatalf("sweep not clean: %+v", v)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-d", "2"},                          // -d without -k
+		{"-k", "3"},                          // -k without -d
+		{"-d", "2", "-k", "3", "-mode", "x"}, // unknown mode
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v): want error", args)
+		}
+	}
+}
+
+func TestSweepGraphsBound(t *testing.T) {
+	for _, g := range sweepGraphs(4096) {
+		n := 1
+		for i := 0; i < g[1]; i++ {
+			n *= g[0]
+		}
+		if n > 4096 {
+			t.Fatalf("sweep emitted DG(%d,%d) with %d vertices", g[0], g[1], n)
+		}
+	}
+	if got := len(sweepGraphs(3)); got != 2 { // DG(2,1), DG(3,1)
+		t.Fatalf("sweepGraphs(3) = %d graphs, want 2", got)
+	}
+}
+
+func TestRunReportsFindingsNonzero(t *testing.T) {
+	// There is no divergence to provoke from the CLI layer (that is the
+	// point of the harness), so just pin that the error path formats a
+	// count — the run() contract the CI gate relies on is: clean sweep
+	// → nil error, findings → non-nil error mentioning the count.
+	err := run([]string{"-d", "2", "-k", "2"}, &bytes.Buffer{})
+	if err != nil && !strings.Contains(err.Error(), "finding") {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+}

@@ -59,12 +59,16 @@ func run(args []string, out io.Writer) error {
 		reg = obs.NewRegistry()
 	}
 	if *debugAddr != "" {
-		srv, addr, err := obs.ServeDebug(*debugAddr, reg)
+		srv, err := obs.ServeDebug(*debugAddr, reg)
 		if err != nil {
 			return err
 		}
-		defer srv.Close()
-		fmt.Fprintf(out, "debug server on http://%s (/metrics, /metrics.json, /debug/pprof/)\n", addr)
+		defer func() {
+			if err := srv.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "debug server:", err)
+			}
+		}()
+		fmt.Fprintf(out, "debug server on http://%s (/metrics, /metrics.json, /debug/pprof/)\n", srv.Addr())
 	}
 
 	switch *engine {

@@ -1,0 +1,240 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"repro/internal/graph"
+	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/word"
+)
+
+// EnginesOptions parameterizes the engine-equivalence oracle.
+type EnginesOptions struct {
+	// Seed drives the message plan and the fault plan.
+	Seed int64
+	// Messages per directionality. 0 means min(4·N, 2048).
+	Messages int
+	// FailFraction of sites marked failed before traffic (at least one
+	// site, never the majority). 0 means 0.05; negative disables faults.
+	FailFraction float64
+	// MaxFindings caps the findings per report. 0 means 32.
+	MaxFindings int
+}
+
+// outcome is the engine-independent fate of one planned message.
+type outcome struct {
+	src, dst   word.Word
+	delivered  bool
+	hops       int
+	dropReason string
+}
+
+func (o outcome) String() string {
+	if o.delivered {
+		return fmt.Sprintf("%v→%v delivered in %d hops", o.src, o.dst, o.hops)
+	}
+	return fmt.Sprintf("%v→%v dropped (%q) after %d hops", o.src, o.dst, o.dropReason, o.hops)
+}
+
+// Engines runs the same seeded message plan — identical sources,
+// destinations and fault plan, deterministic digit-0 wildcard
+// resolution — through the stepped engine (network.Network) and the
+// goroutine-per-site cluster engine (network.Cluster), in both the
+// uni- and bi-directional network, and requires identical per-message
+// outcomes: delivered flag, hop count and drop reason. Both engines
+// claim to implement the one Section 3 forwarding rule; any
+// disagreement is a bug in one of them.
+func Engines(d, k int, opt EnginesOptions) (Report, error) {
+	rep := Report{Mode: "engines", D: d, K: k}
+	n, err := word.Count(d, k)
+	if err != nil {
+		return rep, fmt.Errorf("check: DG(%d,%d): %w", d, k, err)
+	}
+	if opt.Messages <= 0 {
+		opt.Messages = 4 * n
+		if opt.Messages > 2048 {
+			opt.Messages = 2048
+		}
+	}
+	if opt.FailFraction == 0 {
+		opt.FailFraction = 0.05
+	}
+	f := newFindings(opt.MaxFindings)
+	for _, uni := range []bool{false, true} {
+		checked, err := enginePair(d, k, uni, opt, f)
+		rep.Checked += checked
+		if err != nil {
+			return rep, err
+		}
+	}
+	rep.Findings = f.result()
+	rep.Truncated = f.full()
+	return rep, nil
+}
+
+// enginePair compares the two engines for one directionality.
+func enginePair(d, k int, uni bool, opt EnginesOptions, f *findings) (int, error) {
+	n, _ := word.Count(d, k)
+	rng := rand.New(rand.NewSource(opt.Seed + boolSalt(uni)))
+
+	// Fault plan: a seeded minority of sites. Sources are drawn from
+	// the survivors — the stepped engine records an injection at a
+	// failed source as a DropSourceFailed delivery while the cluster
+	// refuses the Send outright, so failed sources have no common
+	// observable outcome to compare.
+	failed := map[int]bool{}
+	if opt.FailFraction > 0 {
+		want := int(float64(n) * opt.FailFraction)
+		if want < 1 {
+			want = 1
+		}
+		if want > n/2 {
+			want = n / 2
+		}
+		for len(failed) < want {
+			failed[rng.Intn(n)] = true
+		}
+	}
+	plan := make([]outcome, 0, opt.Messages)
+	for len(plan) < opt.Messages {
+		src := rng.Intn(n)
+		if failed[src] {
+			continue
+		}
+		sw, err := graph.DeBruijnWord(d, k, src)
+		if err != nil {
+			return 0, fmt.Errorf("check: %w", err)
+		}
+		dw, err := graph.DeBruijnWord(d, k, rng.Intn(n))
+		if err != nil {
+			return 0, fmt.Errorf("check: %w", err)
+		}
+		plan = append(plan, outcome{src: sw, dst: dw})
+	}
+
+	stepped, err := runStepped(d, k, uni, opt.Seed, failed, plan)
+	if err != nil {
+		return 0, err
+	}
+	cluster, err := runCluster(d, k, uni, opt.Seed, failed, plan)
+	if err != nil {
+		return 0, err
+	}
+	diffOutcomes(d, k, uni, plan, stepped, cluster, f)
+	return len(plan), nil
+}
+
+// runStepped sends the plan through the deterministic stepped engine.
+func runStepped(d, k int, uni bool, seed int64, failed map[int]bool, plan []outcome) ([]outcome, error) {
+	nw, err := network.New(network.Config{
+		D: d, K: k,
+		Unidirectional: uni,
+		Policy:         network.PolicyFirst{}, // digit 0: matches the cluster's deterministic resolution
+		Seed:           seed,
+		Obs:            obs.NewRegistry(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	if err := failSites(d, k, failed, nw.FailSite); err != nil {
+		return nil, err
+	}
+	out := make([]outcome, len(plan))
+	for i, m := range plan {
+		del, err := nw.Send(m.src, m.dst, strconv.Itoa(i))
+		if err != nil {
+			return nil, fmt.Errorf("check: stepped send %v→%v: %w", m.src, m.dst, err)
+		}
+		out[i] = outcome{src: m.src, dst: m.dst, delivered: del.Delivered, hops: del.Hops, dropReason: del.DropReason}
+	}
+	return out, nil
+}
+
+// runCluster sends the plan through the goroutine-per-site engine and
+// reassembles per-message outcomes from the unordered delivery log via
+// the index payload.
+func runCluster(d, k int, uni bool, seed int64, failed map[int]bool, plan []outcome) ([]outcome, error) {
+	c, err := network.NewCluster(network.ClusterConfig{
+		D: d, K: k,
+		Unidirectional: uni,
+		Seed:           seed,
+		RandomWildcard: false, // digit 0, as in the stepped run
+		Obs:            obs.NewRegistry(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("check: %w", err)
+	}
+	if err := failSites(d, k, failed, c.FailSite); err != nil {
+		return nil, err
+	}
+	c.Start()
+	defer c.Stop()
+	for i, m := range plan {
+		if err := c.Send(m.src, m.dst, strconv.Itoa(i)); err != nil {
+			return nil, fmt.Errorf("check: cluster send %v→%v: %w", m.src, m.dst, err)
+		}
+	}
+	c.Drain()
+	out := make([]outcome, len(plan))
+	seen := make([]bool, len(plan))
+	for _, del := range c.Deliveries() {
+		i, err := strconv.Atoi(del.Msg.Payload)
+		if err != nil || i < 0 || i >= len(plan) {
+			return nil, fmt.Errorf("check: cluster delivery with foreign payload %q", del.Msg.Payload)
+		}
+		if seen[i] {
+			return nil, fmt.Errorf("check: cluster delivered message %d twice", i)
+		}
+		seen[i] = true
+		out[i] = outcome{src: del.Msg.Source, dst: del.Msg.Dest, delivered: del.Delivered, hops: del.Hops, dropReason: del.DropReason}
+	}
+	for i, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("check: cluster lost message %d (%v→%v): no delivery record after Drain",
+				i, plan[i].src, plan[i].dst)
+		}
+	}
+	return out, nil
+}
+
+func failSites(d, k int, failed map[int]bool, fail func(word.Word) error) error {
+	for v := range failed {
+		w, err := graph.DeBruijnWord(d, k, v)
+		if err != nil {
+			return fmt.Errorf("check: %w", err)
+		}
+		if err := fail(w); err != nil {
+			return fmt.Errorf("check: %w", err)
+		}
+	}
+	return nil
+}
+
+// diffOutcomes records a finding for every message the two engines
+// disagree on.
+func diffOutcomes(d, k int, uni bool, plan, stepped, cluster []outcome, f *findings) {
+	dir := "bidirectional"
+	if uni {
+		dir = "unidirectional"
+	}
+	for i := range plan {
+		s, c := stepped[i], cluster[i]
+		if s.delivered != c.delivered || s.hops != c.hops || s.dropReason != c.dropReason {
+			f.addf("engine-equivalence",
+				"DN(%d,%d) %s message %d: stepped %v, cluster %v", d, k, dir, i, s, c)
+			if f.full() {
+				return
+			}
+		}
+	}
+}
+
+func boolSalt(b bool) int64 {
+	if b {
+		return 0x5bf03635
+	}
+	return 0
+}

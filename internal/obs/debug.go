@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"errors"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync"
 )
 
 // Handler returns the debug mux: /metrics (Prometheus text),
@@ -28,15 +30,82 @@ func Handler(reg *Registry) http.Handler {
 	return mux
 }
 
+// DebugServer is a running debug endpoint. It wraps the http.Server
+// so serve-loop failures — previously discarded inside the background
+// goroutine — are captured and reported: Err returns the failure after
+// the loop exits (Done signals when), and Close is idempotent.
+type DebugServer struct {
+	srv  *http.Server
+	ln   net.Listener
+	addr string
+
+	done chan struct{} // closed when the serve loop exits
+
+	mu       sync.Mutex
+	closed   bool
+	serveErr error
+}
+
 // ServeDebug binds addr (e.g. "localhost:6060"; ":0" picks a free
-// port) and serves Handler(reg) in a background goroutine. It returns
-// the server (Close it to stop) and the bound address.
-func ServeDebug(addr string, reg *Registry) (*http.Server, string, error) {
+// port) and serves Handler(reg) in a background goroutine. Bind
+// failures are returned directly; failures of the serve loop itself
+// are available from Err once Done is closed.
+func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, "", err
+		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg)}
-	go func() { _ = srv.Serve(ln) }()
-	return srv, ln.Addr().String(), nil
+	ds := &DebugServer{
+		srv:  &http.Server{Handler: Handler(reg)},
+		ln:   ln,
+		addr: ln.Addr().String(),
+		done: make(chan struct{}),
+	}
+	go func() {
+		err := ds.srv.Serve(ln)
+		if errors.Is(err, http.ErrServerClosed) {
+			err = nil // orderly Close, not a failure
+		}
+		ds.mu.Lock()
+		ds.serveErr = err
+		ds.mu.Unlock()
+		close(ds.done)
+	}()
+	return ds, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (ds *DebugServer) Addr() string { return ds.addr }
+
+// Done is closed when the serve loop has exited — after Close, or
+// after a serve failure. Select on it to detect an endpoint dying
+// behind a long-running process.
+func (ds *DebugServer) Done() <-chan struct{} { return ds.done }
+
+// Err returns the serve-loop failure, nil while the loop is still
+// running or when it exited by an orderly Close.
+func (ds *DebugServer) Err() error {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.serveErr
+}
+
+// Close stops the server and waits for the serve loop to exit. It is
+// idempotent: extra calls return the first outcome. The error is the
+// close failure or, if the loop had already died on its own, the
+// serve failure.
+func (ds *DebugServer) Close() error {
+	ds.mu.Lock()
+	if ds.closed {
+		ds.mu.Unlock()
+		<-ds.done
+		return ds.Err()
+	}
+	ds.closed = true
+	ds.mu.Unlock()
+	if err := ds.srv.Close(); err != nil {
+		return err
+	}
+	<-ds.done
+	return ds.Err()
 }

@@ -2,22 +2,24 @@ package obs
 
 import (
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestServeDebug(t *testing.T) {
 	reg := NewRegistry()
 	reg.Counter("dn_sent_total").Add(11)
-	srv, addr, err := ServeDebug("127.0.0.1:0", reg)
+	srv, err := ServeDebug("127.0.0.1:0", reg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer srv.Close()
 
 	get := func(path string) string {
-		resp, err := http.Get("http://" + addr + path)
+		resp, err := http.Get("http://" + srv.Addr() + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
 		}
@@ -40,5 +42,71 @@ func TestServeDebug(t *testing.T) {
 	}
 	if body := get("/debug/pprof/"); !strings.Contains(body, "goroutine") {
 		t.Errorf("/debug/pprof/ index unexpected:\n%s", body)
+	}
+}
+
+func TestServeDebugBindFailure(t *testing.T) {
+	// Occupy a port, then ask ServeDebug for the same one.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := ServeDebug(ln.Addr().String(), nil); err == nil {
+		t.Fatal("bind to an occupied port succeeded")
+	}
+}
+
+func TestServeDebugCloseIdempotent(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first Close: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := srv.Close(); err != nil {
+			t.Fatalf("Close #%d after orderly shutdown: %v", i+2, err)
+		}
+	}
+	select {
+	case <-srv.Done():
+	default:
+		t.Fatal("Done not closed after Close returned")
+	}
+	if err := srv.Err(); err != nil {
+		t.Fatalf("orderly Close surfaced a serve error: %v", err)
+	}
+	// The socket must actually be released.
+	if _, err := net.DialTimeout("tcp", srv.Addr(), 100*time.Millisecond); err == nil {
+		t.Fatal("address still accepting connections after Close")
+	}
+}
+
+func TestServeDebugSurfacesServeFailure(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the listener out from under the serve loop: Serve returns a
+	// real error (not ErrServerClosed), and the wrapper must surface it
+	// instead of swallowing it — the bug this type exists to fix.
+	srv.ln.Close()
+	select {
+	case <-srv.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("serve loop did not exit after its listener died")
+	}
+	if err := srv.Err(); err == nil {
+		t.Fatal("serve failure swallowed: Err() is nil after the listener died")
+	}
+	// Close after the loop already died reports that same failure, and
+	// stays idempotent.
+	if err := srv.Close(); err == nil {
+		t.Fatal("Close after serve failure must report it")
+	}
+	if err := srv.Close(); err == nil {
+		t.Fatal("second Close must report the same failure")
 	}
 }
