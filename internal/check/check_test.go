@@ -36,20 +36,24 @@ func TestRoutesClean(t *testing.T) {
 	}
 }
 
-// TestRoutesSampled exercises the seeded-sample branch.
+// TestRoutesSampled exercises the seeded-sample branch, including
+// sample sizes that don't divide into the per-source grouping (the
+// remainder must be checked, not silently dropped).
 func TestRoutesSampled(t *testing.T) {
-	rep, err := Routes(2, 6, RoutesOptions{Seed: 2, SampleAbove: 32, SamplePairs: 256})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !rep.Sampled {
-		t.Fatal("expected a sampled report above the threshold")
-	}
-	if rep.Checked != 256 {
-		t.Fatalf("checked %d pairs, want 256", rep.Checked)
-	}
-	if !rep.OK() {
-		t.Fatalf("findings on DG(2,6): %v", rep.Findings)
+	for _, pairs := range []int{256, 100, 65, 17} {
+		rep, err := Routes(2, 6, RoutesOptions{Seed: 2, SampleAbove: 32, SamplePairs: pairs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Sampled {
+			t.Fatal("expected a sampled report above the threshold")
+		}
+		if rep.Checked != pairs {
+			t.Fatalf("checked %d pairs, want %d", rep.Checked, pairs)
+		}
+		if !rep.OK() {
+			t.Fatalf("findings on DG(2,6): %v", rep.Findings)
+		}
 	}
 }
 
@@ -225,6 +229,24 @@ func TestInvariantsDetectImbalance(t *testing.T) {
 	// sent ≠ delivered+dropped AND dropped ≠ Σ by-reason.
 	if len(iv.f.list) != 2 {
 		t.Fatalf("cooked books: got %d findings, want 2: %v", len(iv.f.list), iv.f.list)
+	}
+}
+
+// TestWorkloadSaltDistinct pins that scenarios whose names merely
+// share a length (the old salt) still get distinct RNG streams.
+func TestWorkloadSaltDistinct(t *testing.T) {
+	iv := &invariantScan{d: 2, k: 3, opt: InvariantsOptions{Seed: 1, Messages: 16}}
+	_, a := iv.workload("stepped/static-faults")
+	_, b := iv.workload("stepped/midrun-faults")
+	same := true
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("scenarios with same-length names drew identical message plans")
 	}
 }
 

@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"strconv"
 
@@ -112,8 +113,14 @@ func (iv *invariantScan) assert(ok bool, format string, args ...any) {
 	}
 }
 
-func (iv *invariantScan) workload(salt int64) (*rand.Rand, []word.Word) {
-	rng := rand.New(rand.NewSource(iv.opt.Seed + salt))
+// workload derives the scenario's RNG stream and message plan. The
+// salt is a hash of the full scenario name — not its length, which
+// collides (e.g. "static-faults" vs "midrun-faults") and would hand
+// distinct scenarios identical streams.
+func (iv *invariantScan) workload(scenario string) (*rand.Rand, []word.Word) {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(scenario))
+	rng := rand.New(rand.NewSource(iv.opt.Seed + int64(h.Sum64())))
 	plan := make([]word.Word, 2*iv.opt.Messages)
 	for i := range plan {
 		plan[i] = word.Random(iv.d, iv.k, rng)
@@ -135,7 +142,7 @@ func (iv *invariantScan) stepped(name string, uni, adaptive, faults, midFaults b
 	if err != nil {
 		return fmt.Errorf("check: %w", err)
 	}
-	rng, plan := iv.workload(int64(len(name)))
+	rng, plan := iv.workload("stepped/" + name)
 	if faults && !midFaults {
 		if err := iv.failSome(rng, nw.FailSite); err != nil {
 			return err
@@ -179,7 +186,7 @@ func (iv *invariantScan) cluster(name string, uni, faults bool) error {
 	if err != nil {
 		return fmt.Errorf("check: %w", err)
 	}
-	rng, plan := iv.workload(int64(len(name)) * 7)
+	rng, plan := iv.workload("cluster/" + name)
 	failed := map[string]bool{}
 	if faults {
 		if err := iv.failSome(rng, func(w word.Word) error {
@@ -248,7 +255,7 @@ func (iv *invariantScan) deflect(pol deflect.Policy) error {
 	if err != nil {
 		return fmt.Errorf("check: %w", err)
 	}
-	rng, plan := iv.workload(int64(len(name)) * 13)
+	rng, plan := iv.workload(name)
 	// Small destination pool: distance layers are memoized per
 	// destination, so a pool keeps the run cheap on big graphs while
 	// still contending every link class.

@@ -76,25 +76,34 @@ func Routes(d, k int, opt RoutesOptions) (Report, error) {
 	if n > opt.SampleAbove {
 		rep.Sampled = true
 		rng := rand.New(rand.NewSource(opt.Seed))
-		// Group sampled pairs by source so each source pays one BFS.
+		// Group sampled pairs by source so each source pays one BFS;
+		// the last source absorbs the division remainder so exactly
+		// SamplePairs pairs are checked.
 		perSource := 64
 		sources := opt.SamplePairs / perSource
+		rem := opt.SamplePairs % perSource
 		if sources < 1 {
-			sources, perSource = 1, opt.SamplePairs
+			sources, perSource, rem = 1, opt.SamplePairs, 0
 		}
 		for s := 0; s < sources && !f.full(); s++ {
 			x := word.Random(d, k, rng)
 			if err := sc.openSource(x); err != nil {
 				return rep, err
 			}
-			for t := 0; t < perSource && !f.full(); t++ {
+			pairs := perSource
+			if s == sources-1 {
+				pairs += rem
+			}
+			for t := 0; t < pairs && !f.full(); t++ {
 				sc.checkPair(word.Random(d, k, rng))
 				rep.Checked++
 			}
 		}
 	} else {
+		var scanErr error // openSource/inner failures escape the closures here
 		if _, err := word.ForEach(d, k, func(x word.Word) bool {
 			if err := sc.openSource(x); err != nil {
+				scanErr = err
 				return false
 			}
 			_, inner := word.ForEach(d, k, func(y word.Word) bool {
@@ -103,11 +112,15 @@ func Routes(d, k int, opt RoutesOptions) (Report, error) {
 				return !f.full()
 			})
 			if inner != nil {
+				scanErr = fmt.Errorf("check: %w", inner)
 				return false
 			}
 			return !f.full()
 		}); err != nil {
 			return rep, fmt.Errorf("check: %w", err)
+		}
+		if scanErr != nil {
+			return rep, scanErr
 		}
 	}
 	rep.Findings = f.result()

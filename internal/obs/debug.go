@@ -42,7 +42,8 @@ type DebugServer struct {
 	done chan struct{} // closed when the serve loop exits
 
 	mu       sync.Mutex
-	closed   bool
+	closing  chan struct{} // non-nil after the first Close; closed once its outcome is stashed
+	closeErr error
 	serveErr error
 }
 
@@ -96,16 +97,26 @@ func (ds *DebugServer) Err() error {
 // serve failure.
 func (ds *DebugServer) Close() error {
 	ds.mu.Lock()
-	if ds.closed {
+	if ds.closing != nil {
+		ch := ds.closing
 		ds.mu.Unlock()
-		<-ds.done
-		return ds.Err()
+		<-ch
+		ds.mu.Lock()
+		defer ds.mu.Unlock()
+		return ds.closeErr
 	}
-	ds.closed = true
+	ch := make(chan struct{})
+	ds.closing = ch
 	ds.mu.Unlock()
-	if err := ds.srv.Close(); err != nil {
-		return err
+
+	err := ds.srv.Close()
+	<-ds.done // wait for the serve loop even when Close itself errored
+	ds.mu.Lock()
+	if err == nil {
+		err = ds.serveErr
 	}
-	<-ds.done
-	return ds.Err()
+	ds.closeErr = err
+	ds.mu.Unlock()
+	close(ch)
+	return err
 }

@@ -84,6 +84,30 @@ func TestServeDebugCloseIdempotent(t *testing.T) {
 	}
 }
 
+// TestServeDebugCloseConcurrent pins the shared-outcome contract:
+// however many callers race into Close, all of them wait for the serve
+// loop to exit and return the same outcome as the call that won.
+func TestServeDebugCloseConcurrent(t *testing.T) {
+	srv, err := ServeDebug("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() { errs <- srv.Close() }()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("concurrent Close: %v", err)
+		}
+		select {
+		case <-srv.Done():
+		default:
+			t.Fatal("Close returned before the serve loop exited")
+		}
+	}
+}
+
 func TestServeDebugSurfacesServeFailure(t *testing.T) {
 	srv, err := ServeDebug("127.0.0.1:0", nil)
 	if err != nil {
