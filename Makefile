@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-json check fuzz experiments examples clean
+.PHONY: all build vet test race cover bench bench-json bench-compare check fuzz experiments examples clean
 
 all: build vet test
 
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/network/ ./internal/dht/ ./internal/obs/ ./internal/deflect/ ./internal/check/
+	$(GO) test -race ./internal/network/ ./internal/dht/ ./internal/obs/ ./internal/deflect/ ./internal/check/ ./internal/core/ ./internal/match/ ./internal/suffixtree/
 
 cover:
 	$(GO) test -cover ./...
@@ -32,8 +32,21 @@ bench-json:
 	$(GO) run ./cmd/dbbench -suite core -out BENCH_core.json
 	$(GO) run ./cmd/dbbench -suite network -out BENCH_network.json
 
+# Perf gate: rerun the suites and compare cell-by-cell against the
+# committed baselines without touching them (compare-only mode).
+# BENCH_TOL is the fractional ns/op slack; allocation counts always
+# gate at baseline + max(8, 25%). CI overrides BENCH_TOL because
+# cross-machine ns/op is noisy — the allocs gate is the hard one.
+BENCH_TOL ?= 0.75
+bench-compare:
+	$(GO) run ./cmd/dbbench -suite core -compare BENCH_core.json -tol-ns $(BENCH_TOL)
+	$(GO) run ./cmd/dbbench -suite network -compare BENCH_network.json -tol-ns $(BENCH_TOL)
+
 # The differential-verification sweep: every oracle on every graph
 # with at most 4096 vertices (CI's standing gate; see internal/check).
+# dbcheck shards each oracle across GOMAXPROCS workers by default with
+# a deterministic merge; add -workers 1 to reproduce the historical
+# sequential scan (the configuration E19 was measured with).
 check:
 	$(GO) run ./cmd/dbcheck -mode all
 

@@ -6,6 +6,18 @@
 //	dbbench -out BENCH_core.json                      # core suite (default)
 //	dbbench -suite network -out BENCH_network.json    # whole-engine runs
 //	dbbench -out - -benchtime 10ms                    # quick run to stdout
+//	dbbench -compare BENCH_core.json                  # perf gate vs baseline
+//
+// With -compare, the fresh measurements are checked cell-by-cell
+// against a committed baseline report and the exit status is nonzero
+// if any cell regressed: ns/op beyond -tol-ns (a fraction, generous by
+// default because CI machines are noisy) or allocs/op beyond the
+// baseline plus max(8, 25%). Allocation counts are deterministic, so
+// the tight allocs gate is the one that catches a pooled kernel
+// quietly falling back to per-call allocation. The baseline is read
+// before -out is written, so comparing against the file being
+// refreshed works; -compare without an explicit -out runs compare-only
+// and writes nothing.
 //
 // The core suite measures per-call routing primitives over a fixed
 // pool of seeded random word pairs: Router (reusable Router.Route),
@@ -74,6 +86,8 @@ func run(args []string, out io.Writer) error {
 	benchtime := fs.String("benchtime", "100ms", "per-benchmark duration (test.benchtime syntax)")
 	d := fs.Int("d", 2, "alphabet size")
 	ks := fs.String("k", "", `comma-separated word lengths (default "8,64,512" core, "5,7" network)`)
+	compare := fs.String("compare", "", "baseline report to compare against; regressions exit nonzero")
+	tolNs := fs.Float64("tol-ns", 0.75, "allowed fractional ns/op slowdown vs the baseline")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,8 +107,24 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown suite %q", *suite)
 	}
-	if *outPath == "" {
+	if *outPath == "" && *compare == "" {
 		*outPath = fmt.Sprintf("BENCH_%s.json", *suite)
+	}
+	// Read the baseline before any output is written so that comparing
+	// against the very file -out is about to refresh sees the old data.
+	var baseline *Report
+	if *compare != "" {
+		data, err := os.ReadFile(*compare)
+		if err != nil {
+			return err
+		}
+		baseline = new(Report)
+		if err := json.Unmarshal(data, baseline); err != nil {
+			return fmt.Errorf("parsing baseline %s: %w", *compare, err)
+		}
+		if baseline.Schema != schema {
+			return fmt.Errorf("baseline %s has schema %q, want %q (wrong -suite?)", *compare, baseline.Schema, schema)
+		}
 	}
 	// testing.Benchmark honors the test.benchtime flag; registering the
 	// testing flags in a normal binary requires testing.Init first.
@@ -128,15 +158,67 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	data = append(data, '\n')
-	if *outPath == "-" {
-		_, err = out.Write(data)
-		return err
+	switch *outPath {
+	case "": // compare-only
+	case "-":
+		if _, err := out.Write(data); err != nil {
+			return err
+		}
+	default:
+		if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s (%d results)\n", *outPath, len(rep.Results))
 	}
-	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
-		return err
+	if baseline != nil {
+		regs, compared := compareReports(*baseline, rep, *tolNs)
+		for _, r := range regs {
+			fmt.Fprintln(out, "regression:", r)
+		}
+		if len(regs) > 0 {
+			return fmt.Errorf("%d regression(s) vs baseline %s", len(regs), *compare)
+		}
+		fmt.Fprintf(out, "no regressions vs %s (%d cells compared)\n", *compare, compared)
 	}
-	fmt.Fprintf(out, "wrote %s (%d results)\n", *outPath, len(rep.Results))
 	return nil
+}
+
+// cellKey identifies one benchmark cell across reports.
+type cellKey struct {
+	Op   string
+	D, K int
+}
+
+// compareReports checks every fresh cell that also exists in the
+// baseline. A cell regresses when ns/op exceeds baseline×(1+tolNs) or
+// allocs/op exceeds baseline + max(8, baseline/4). Cells only in one
+// report are skipped, so a baseline from a wider -k sweep still gates
+// a quick run.
+func compareReports(base, cur Report, tolNs float64) (regs []string, compared int) {
+	baseBy := make(map[cellKey]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[cellKey{r.Op, r.D, r.K}] = r
+	}
+	for _, c := range cur.Results {
+		b, ok := baseBy[cellKey{c.Op, c.D, c.K}]
+		if !ok {
+			continue
+		}
+		compared++
+		if limit := b.NsPerOp * (1 + tolNs); c.NsPerOp > limit {
+			regs = append(regs, fmt.Sprintf("%s d=%d k=%d: %.1f ns/op, baseline %.1f (limit %.1f)",
+				c.Op, c.D, c.K, c.NsPerOp, b.NsPerOp, limit))
+		}
+		slack := b.AllocsPerOp / 4
+		if slack < 8 {
+			slack = 8
+		}
+		if c.AllocsPerOp > b.AllocsPerOp+slack {
+			regs = append(regs, fmt.Sprintf("%s d=%d k=%d: %d allocs/op, baseline %d (limit %d)",
+				c.Op, c.D, c.K, c.AllocsPerOp, b.AllocsPerOp, b.AllocsPerOp+slack))
+		}
+	}
+	return regs, compared
 }
 
 // benchCells measures the three core ops at one (d,k) point.

@@ -111,3 +111,128 @@ func TestBadFlags(t *testing.T) {
 		t.Error("accepted unparsable -k")
 	}
 }
+
+// TestCompareReports pins the perf-gate arithmetic on synthetic
+// reports: both regression kinds fire, both tolerances hold, and
+// unmatched cells are skipped.
+func TestCompareReports(t *testing.T) {
+	base := Report{Results: []Result{
+		{Op: "Router", D: 2, K: 8, NsPerOp: 1000, AllocsPerOp: 1},
+		{Op: "Route", D: 2, K: 64, NsPerOp: 2000, AllocsPerOp: 100},
+		{Op: "Distance", D: 2, K: 512, NsPerOp: 9000, AllocsPerOp: 0},
+	}}
+
+	// Identical measurements: clean.
+	if regs, compared := compareReports(base, base, 0.75); len(regs) != 0 || compared != 3 {
+		t.Errorf("self-compare = (%v, %d), want no regressions over 3 cells", regs, compared)
+	}
+
+	// Within tolerance: ns under ×1.75, allocs under base+max(8, base/4).
+	cur := Report{Results: []Result{
+		{Op: "Router", D: 2, K: 8, NsPerOp: 1700, AllocsPerOp: 9},    // 1+8 slack
+		{Op: "Route", D: 2, K: 64, NsPerOp: 3400, AllocsPerOp: 125},  // 100+25 slack
+		{Op: "OpenLoop", D: 2, K: 5, NsPerOp: 1e12, AllocsPerOp: 99}, // not in baseline
+	}}
+	if regs, compared := compareReports(base, cur, 0.75); len(regs) != 0 || compared != 2 {
+		t.Errorf("tolerant compare = (%v, %d), want no regressions over 2 cells", regs, compared)
+	}
+
+	// Injected regressions: one ns blowup, one allocs blowup.
+	cur = Report{Results: []Result{
+		{Op: "Router", D: 2, K: 8, NsPerOp: 1800, AllocsPerOp: 1},   // ns > 1750
+		{Op: "Route", D: 2, K: 64, NsPerOp: 2000, AllocsPerOp: 126}, // allocs > 125
+	}}
+	regs, _ := compareReports(base, cur, 0.75)
+	if len(regs) != 2 {
+		t.Fatalf("injected regressions produced %v, want 2 findings", regs)
+	}
+	if !strings.Contains(regs[0], "ns/op") || !strings.Contains(regs[1], "allocs/op") {
+		t.Errorf("regression messages %v missing ns/allocs detail", regs)
+	}
+}
+
+// TestCompareGate runs the end-to-end gate: a generous synthetic
+// baseline passes, an impossible one makes run return an error.
+func TestCompareGate(t *testing.T) {
+	writeBaseline := func(ns float64) string {
+		t.Helper()
+		rep := Report{Schema: Schema, Results: []Result{
+			{Op: "Router", D: 2, K: 8, NsPerOp: ns, AllocsPerOp: 1 << 20},
+			{Op: "Distance", D: 2, K: 8, NsPerOp: ns, AllocsPerOp: 1 << 20},
+			{Op: "Route", D: 2, K: 8, NsPerOp: ns, AllocsPerOp: 1 << 20},
+		}}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), "baseline.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Compare-only mode: nothing written, generous baseline passes.
+	var b strings.Builder
+	if err := run([]string{"-compare", writeBaseline(1e12), "-benchtime", "1ms", "-k", "8"}, &b); err != nil {
+		t.Fatalf("generous baseline flagged a regression: %v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "no regressions") {
+		t.Errorf("output missing compare summary:\n%s", b.String())
+	}
+
+	// A baseline no real machine can meet: the gate must trip.
+	b.Reset()
+	err := run([]string{"-compare", writeBaseline(1e-6), "-benchtime", "1ms", "-k", "8"}, &b)
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("impossible baseline not flagged: err=%v\n%s", err, b.String())
+	}
+	if !strings.Contains(b.String(), "regression:") {
+		t.Errorf("output missing per-cell regression lines:\n%s", b.String())
+	}
+}
+
+// TestCompareReadsBaselineBeforeWrite refreshes -out while comparing
+// against the same path: the old file must serve as the baseline.
+func TestCompareReadsBaselineBeforeWrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_core.json")
+	rep := Report{Schema: Schema, Results: []Result{
+		{Op: "Router", D: 2, K: 8, NsPerOp: 1e12, AllocsPerOp: 1 << 20},
+	}}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-compare", path, "-out", path, "-benchtime", "1ms", "-k", "8"}, &b); err != nil {
+		t.Fatalf("refresh-and-compare: %v\n%s", err, b.String())
+	}
+	// The file now holds the fresh (real) measurements, not the fake.
+	fresh, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(fresh, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Results) != 3 || got.Results[0].NsPerOp == 1e12 {
+		t.Errorf("refreshed report not rewritten: %+v", got)
+	}
+}
+
+// TestCompareSchemaMismatch rejects gating one suite against the
+// other's baseline.
+func TestCompareSchemaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, []byte(`{"schema":"dbbench/network/v1"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := run([]string{"-compare", path, "-k", "8"}, &b); err == nil {
+		t.Error("core suite accepted a network baseline")
+	}
+}

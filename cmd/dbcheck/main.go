@@ -12,6 +12,12 @@
 // iff any oracle reported a finding, so the command doubles as a
 // scriptable regression gate; the JSON document on stdout carries the
 // per-graph, per-mode reports either way.
+//
+// Oracle scans shard across -workers goroutines (default GOMAXPROCS)
+// with a deterministic merge: the verdict for a clean tree is
+// byte-identical for every -workers value. Pass -workers 1 to force
+// the historical single-goroutine scan (the configuration E19 was
+// measured with).
 package main
 
 import (
@@ -60,6 +66,7 @@ func run(args []string, out io.Writer) error {
 	sampleAbove := fs.Int("sample-above", 4096, "route-oracle vertex count above which pairs are sampled")
 	messages := fs.Int("messages", 0, "messages per engine scenario (0 = auto)")
 	maxFindings := fs.Int("max-findings", 32, "findings kept per report before truncating the scan")
+	workers := fs.Int("workers", check.DefaultWorkers(), "worker goroutines per oracle scan (1 = historical sequential scan)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,14 +94,17 @@ func run(args []string, out io.Writer) error {
 			SampleAbove: *sampleAbove,
 			SamplePairs: *samplePairs,
 			MaxFindings: *maxFindings,
+			Workers:     *workers,
 		}, check.EnginesOptions{
 			Seed:        *seed,
 			Messages:    *messages,
 			MaxFindings: *maxFindings,
+			Workers:     *workers,
 		}, check.InvariantsOptions{
 			Seed:        *seed,
 			Messages:    *messages,
 			MaxFindings: *maxFindings,
+			Workers:     *workers,
 		})
 		if err != nil {
 			return err

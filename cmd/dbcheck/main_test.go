@@ -65,6 +65,41 @@ func TestRunSweep(t *testing.T) {
 	}
 }
 
+// TestRunWorkersInvariance pins the dbcheck-level determinism
+// contract: the JSON verdict is byte-identical across -workers values
+// on a clean tree.
+func TestRunWorkersInvariance(t *testing.T) {
+	var seq bytes.Buffer
+	if err := run([]string{"-d", "2", "-k", "3", "-workers", "1"}, &seq); err != nil {
+		t.Fatalf("run -workers 1: %v", err)
+	}
+	for _, workers := range []string{"2", "8"} {
+		var par bytes.Buffer
+		if err := run([]string{"-d", "2", "-k", "3", "-workers", workers}, &par); err != nil {
+			t.Fatalf("run -workers %s: %v", workers, err)
+		}
+		if !verdictsEqual(t, seq.Bytes(), par.Bytes()) {
+			t.Errorf("-workers %s verdict differs from sequential:\n%s\nvs\n%s", workers, par.String(), seq.String())
+		}
+	}
+}
+
+// verdictsEqual compares verdicts ignoring wall-clock fields.
+func verdictsEqual(t *testing.T, a, b []byte) bool {
+	t.Helper()
+	var va, vb Verdict
+	if err := json.Unmarshal(a, &va); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &vb); err != nil {
+		t.Fatal(err)
+	}
+	va.ElapsedMS, vb.ElapsedMS = 0, 0
+	ja, _ := json.Marshal(va)
+	jb, _ := json.Marshal(vb)
+	return bytes.Equal(ja, jb)
+}
+
 func TestRunBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-d", "2"},                          // -d without -k

@@ -81,7 +81,7 @@ func TestRoutesDetectsCorruptPath(t *testing.T) {
 	}
 	corrupt := func(mutate func(core.Path) core.Path) []Finding {
 		f := newFindings(8)
-		sc := newRouteScan(d, k, dg, ug, RoutesOptions{Seed: 3}, f)
+		sc := newRouteScan(d, k, dg, ug, RoutesOptions{Seed: 3}, f, 0)
 		if err := sc.openSource(x); err != nil {
 			t.Fatal(err)
 		}
@@ -130,7 +130,7 @@ func TestRoutesDetectsSelfMove(t *testing.T) {
 	x := mustWord(t, d, "000")
 	y := mustWord(t, d, "001")
 	f := newFindings(8)
-	sc := newRouteScan(d, k, dg, ug, RoutesOptions{Seed: 4}, f)
+	sc := newRouteScan(d, k, dg, ug, RoutesOptions{Seed: 4}, f, 0)
 	if err := sc.openSource(x); err != nil {
 		t.Fatal(err)
 	}

@@ -22,6 +22,11 @@ type EnginesOptions struct {
 	FailFraction float64
 	// MaxFindings caps the findings per report. 0 means 32.
 	MaxFindings int
+	// Workers sets the scan parallelism. The two directionality units
+	// (bidirectional, unidirectional) are independent — each seeds its
+	// own RNG stream — so above 1 they run concurrently and the merged
+	// report is identical to the sequential one.
+	Workers int
 }
 
 // outcome is the engine-independent fate of one planned message.
@@ -61,6 +66,16 @@ func Engines(d, k int, opt EnginesOptions) (Report, error) {
 	}
 	if opt.FailFraction == 0 {
 		opt.FailFraction = 0.05
+	}
+	if opt.Workers > 1 {
+		results := make([]shardResult, 2)
+		runShards(opt.Workers, 2, func(i int) {
+			uf := newFindings(opt.MaxFindings)
+			checked, err := enginePair(d, k, i == 1, opt, uf)
+			results[i] = shardResult{checked: checked, findings: uf.result(), full: uf.full(), err: err}
+		})
+		err := mergeShards(&rep, results, opt.MaxFindings)
+		return rep, err
 	}
 	f := newFindings(opt.MaxFindings)
 	for _, uni := range []bool{false, true} {

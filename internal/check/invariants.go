@@ -22,6 +22,12 @@ type InvariantsOptions struct {
 	Rounds int
 	// MaxFindings caps the findings per report. 0 means 32.
 	MaxFindings int
+	// Workers sets the scan parallelism. The eleven scenario units
+	// (five stepped, three cluster, three deflection policies) are
+	// independent — each derives its RNG stream from its own scenario
+	// name — so above 1 they run concurrently and the merged report is
+	// identical to the sequential one.
+	Workers int
 }
 
 // Invariants re-derives, from obs registry snapshots taken after
@@ -56,9 +62,37 @@ func Invariants(d, k int, opt InvariantsOptions) (Report, error) {
 	if opt.Rounds <= 0 {
 		opt.Rounds = 64 * k
 	}
+	units := invariantUnits()
+	if opt.Workers > 1 {
+		results := make([]shardResult, len(units))
+		runShards(opt.Workers, len(units), func(i int) {
+			uf := newFindings(opt.MaxFindings)
+			iv := &invariantScan{d: d, k: k, n: n, opt: opt, f: uf}
+			err := units[i](iv)
+			results[i] = shardResult{checked: iv.checked, findings: uf.result(), full: uf.full(), err: err}
+		})
+		err := mergeShards(&rep, results, opt.MaxFindings)
+		return rep, err
+	}
 	f := newFindings(opt.MaxFindings)
 	iv := &invariantScan{d: d, k: k, n: n, opt: opt, f: f}
+	for _, unit := range units {
+		if err := unit(iv); err != nil {
+			return rep, err
+		}
+	}
+	rep.Checked = iv.checked
+	rep.Findings = f.result()
+	rep.Truncated = f.full()
+	return rep, nil
+}
 
+// invariantUnits enumerates the independent scenario units in the
+// canonical (sequential) order. Each unit owns its RNG stream, engine
+// and obs registry, so units may run concurrently on distinct
+// invariantScans and merge back into the sequential report.
+func invariantUnits() []func(iv *invariantScan) error {
+	var units []func(iv *invariantScan) error
 	for _, s := range []struct {
 		name              string
 		uni, adaptive     bool
@@ -70,9 +104,10 @@ func Invariants(d, k int, opt InvariantsOptions) (Report, error) {
 		{name: "midrun-faults", faults: true, midFaults: true},
 		{name: "adaptive-midrun", adaptive: true, faults: true, midFaults: true},
 	} {
-		if err := iv.stepped(s.name, s.uni, s.adaptive, s.faults, s.midFaults); err != nil {
-			return rep, err
-		}
+		s := s
+		units = append(units, func(iv *invariantScan) error {
+			return iv.stepped(s.name, s.uni, s.adaptive, s.faults, s.midFaults)
+		})
 	}
 	for _, s := range []struct {
 		name   string
@@ -83,19 +118,18 @@ func Invariants(d, k int, opt InvariantsOptions) (Report, error) {
 		{name: "uni", uni: true},
 		{name: "faults", faults: true},
 	} {
-		if err := iv.cluster(s.name, s.uni, s.faults); err != nil {
-			return rep, err
-		}
+		s := s
+		units = append(units, func(iv *invariantScan) error {
+			return iv.cluster(s.name, s.uni, s.faults)
+		})
 	}
 	for _, pol := range []deflect.Policy{deflect.PolicyRandom{}, deflect.PolicyMinIncrease{}, deflect.PolicyLayerAware{}} {
-		if err := iv.deflect(pol); err != nil {
-			return rep, err
-		}
+		pol := pol
+		units = append(units, func(iv *invariantScan) error {
+			return iv.deflect(pol)
+		})
 	}
-	rep.Checked = iv.checked
-	rep.Findings = f.result()
-	rep.Truncated = f.full()
-	return rep, nil
+	return units
 }
 
 type invariantScan struct {

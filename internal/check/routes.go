@@ -27,6 +27,17 @@ type RoutesOptions struct {
 	DistanceStride int
 	// MaxFindings caps the findings per report. 0 means 32.
 	MaxFindings int
+	// Workers sets the scan parallelism. ≤ 1 runs the historical
+	// sequential scan bit-for-bit (use 1 to reproduce the E19 wall-clock
+	// rows); above 1 the pair set is sharded by source across a worker
+	// pool, and the merged verdict is identical for every parallel
+	// worker count — shards are self-contained and merged in source
+	// order. On a clean tree the parallel verdict also matches the
+	// sequential one (same Checked, same empty findings); when findings
+	// exist the two modes may sample different random wildcard digits
+	// and stop at different points, so reproduce findings with the mode
+	// that found them.
+	Workers int
 }
 
 func (o *RoutesOptions) defaults() {
@@ -70,8 +81,11 @@ func Routes(d, k int, opt RoutesOptions) (Report, error) {
 	if err != nil {
 		return rep, fmt.Errorf("check: %w", err)
 	}
+	if opt.Workers > 1 {
+		return routesParallel(rep, d, k, n, dg, ug, opt)
+	}
 	f := newFindings(opt.MaxFindings)
-	sc := newRouteScan(d, k, dg, ug, opt, f)
+	sc := newRouteScan(d, k, dg, ug, opt, f, 0)
 
 	if n > opt.SampleAbove {
 		rep.Sampled = true
@@ -145,13 +159,94 @@ type routeScan struct {
 	distUndi []int // BFS row from x in the undirected graph
 }
 
-func newRouteScan(d, k int, dg, ug *graph.Graph, opt RoutesOptions, f *findings) *routeScan {
+func newRouteScan(d, k int, dg, ug *graph.Graph, opt RoutesOptions, f *findings, salt int64) *routeScan {
 	return &routeScan{
 		d: d, k: k, dg: dg, ug: ug,
 		router: core.NewRouter(k),
-		rng:    rand.New(rand.NewSource(opt.Seed ^ 0x1e3779b97f4a7c15)),
+		rng:    rand.New(rand.NewSource((opt.Seed ^ 0x1e3779b97f4a7c15) + salt)),
 		opt:    opt, f: f,
 	}
+}
+
+// routesParallel shards the pair set by source: one self-contained
+// shard per source (exhaustive mode) or per sampled source group,
+// each with its own findings accumulator, Router, scratch and RNG
+// stream, merged back in source order. The shard decomposition is
+// fixed by the options alone, so the verdict does not depend on the
+// worker count or on goroutine scheduling.
+func routesParallel(rep Report, d, k, n int, dg, ug *graph.Graph, opt RoutesOptions) (Report, error) {
+	if n > opt.SampleAbove {
+		rep.Sampled = true
+		perSource := 64
+		sources := opt.SamplePairs / perSource
+		rem := opt.SamplePairs % perSource
+		if sources < 1 {
+			sources, perSource, rem = 1, opt.SamplePairs, 0
+		}
+		results := make([]shardResult, sources)
+		runShards(opt.Workers, sources, func(s int) {
+			results[s] = routesSampledShard(d, k, dg, ug, opt, s, sources, perSource, rem)
+		})
+		err := mergeShards(&rep, results, opt.MaxFindings)
+		return rep, err
+	}
+	results := make([]shardResult, n)
+	runShards(opt.Workers, n, func(s int) {
+		results[s] = routesSourceShard(d, k, dg, ug, opt, uint64(s))
+	})
+	err := mergeShards(&rep, results, opt.MaxFindings)
+	return rep, err
+}
+
+// routesSourceShard checks every pair with the source of the given
+// rank — one BFS, one full target sweep.
+func routesSourceShard(d, k int, dg, ug *graph.Graph, opt RoutesOptions, rank uint64) (res shardResult) {
+	f := newFindings(opt.MaxFindings)
+	sc := newRouteScan(d, k, dg, ug, opt, f, int64(rank)+1)
+	x, err := word.Unrank(d, k, rank)
+	if err != nil {
+		res.err = fmt.Errorf("check: %w", err)
+		return res
+	}
+	if err := sc.openSource(x); err != nil {
+		res.err = err
+		return res
+	}
+	if _, err := word.ForEach(d, k, func(y word.Word) bool {
+		sc.checkPair(y)
+		res.checked++
+		return !f.full()
+	}); err != nil {
+		res.err = fmt.Errorf("check: %w", err)
+		return res
+	}
+	res.findings, res.full = f.result(), f.full()
+	return res
+}
+
+// routesSampledShard checks one sampled source group: the s-th source
+// word and its perSource seeded targets (the last group absorbs the
+// division remainder so the shards jointly check exactly SamplePairs
+// pairs, as the sequential sampler does).
+func routesSampledShard(d, k int, dg, ug *graph.Graph, opt RoutesOptions, s, sources, perSource, rem int) (res shardResult) {
+	f := newFindings(opt.MaxFindings)
+	sc := newRouteScan(d, k, dg, ug, opt, f, int64(s)+1)
+	rng := rand.New(rand.NewSource(opt.Seed + int64(s)*0x2545F4914F6CDD1D))
+	x := word.Random(d, k, rng)
+	if err := sc.openSource(x); err != nil {
+		res.err = err
+		return res
+	}
+	pairs := perSource
+	if s == sources-1 {
+		pairs += rem
+	}
+	for t := 0; t < pairs && !f.full(); t++ {
+		sc.checkPair(word.Random(d, k, rng))
+		res.checked++
+	}
+	res.findings, res.full = f.result(), f.full()
+	return res
 }
 
 // openSource fixes the pair source and computes its BFS rows.

@@ -10,10 +10,10 @@ import (
 // the length-s suffix of X equals the length-s prefix of Y (equation
 // (2)). Computed in O(k) with one Morris–Pratt scan.
 func DirectedDistance(x, y word.Word) (int, error) {
-	if err := validatePair(x, y); err != nil {
-		return 0, err
-	}
-	return x.Len() - match.Overlap(rawDigits(x), rawDigits(y)), nil
+	sc := getScratch()
+	d, err := sc.DirectedDistance(x, y)
+	putScratch(sc)
+	return d, err
 }
 
 // anchor captures the minimizing tuple of one half of Theorem 2's
@@ -30,10 +30,20 @@ type anchor struct {
 // step of Algorithm 2 (lines 3), in O(k) space as Section 3.2's
 // rewritten loop prescribes.
 func bestLQuadratic(x, y []byte) anchor {
+	s := match.GetScratch()
+	best := bestLWith(s, x, y)
+	match.PutScratch(s)
+	return best
+}
+
+// bestLWith is bestLQuadratic on caller-provided scratch storage:
+// allocation-free, identical minimization order (i ascending, then j
+// ascending, strict improvement).
+func bestLWith(s *match.Scratch, x, y []byte) anchor {
 	k := len(x)
 	best := anchor{dist: 1 << 30}
 	for i := 1; i <= k; i++ {
-		row := match.LRow(x, y, i-1) // row[j-1] = l_{i,j}
+		row := s.LRow(x, y, i-1) // row[j-1] = l_{i,j}
 		for j := 1; j <= k; j++ {
 			d := 2*k - 1 + i - j - row[j-1]
 			if d < best.dist {
@@ -47,10 +57,18 @@ func bestLQuadratic(x, y []byte) anchor {
 // bestRQuadratic minimizes 2k-1-i+j-r_{i,j} over all 1 ≤ i,j ≤ k,
 // the line-4 counterpart of bestLQuadratic.
 func bestRQuadratic(x, y []byte) anchor {
+	s := match.GetScratch()
+	best := bestRWith(s, x, y)
+	match.PutScratch(s)
+	return best
+}
+
+// bestRWith is bestRQuadratic on caller-provided scratch storage.
+func bestRWith(s *match.Scratch, x, y []byte) anchor {
 	k := len(x)
 	best := anchor{dist: 1 << 30}
 	for i := 1; i <= k; i++ {
-		row := match.RRow(x, y, i-1) // row[j-1] = r_{i,j}
+		row := s.RRow(x, y, i-1) // row[j-1] = r_{i,j}
 		for j := 1; j <= k; j++ {
 			d := 2*k - 1 - i + j - row[j-1]
 			if d < best.dist {
@@ -69,19 +87,10 @@ func bestRQuadratic(x, y []byte) anchor {
 // This is the O(k²) evaluation used by Algorithm 2; the O(k)
 // evaluation via the compact prefix tree is UndirectedDistanceLinear.
 func UndirectedDistance(x, y word.Word) (int, error) {
-	if err := validatePair(x, y); err != nil {
-		return 0, err
-	}
-	if x.Equal(y) {
-		return 0, nil
-	}
-	xd, yd := rawDigits(x), rawDigits(y)
-	dl := bestLQuadratic(xd, yd).dist
-	dr := bestRQuadratic(xd, yd).dist
-	if dr < dl {
-		return dr, nil
-	}
-	return dl, nil
+	sc := getScratch()
+	d, err := sc.UndirectedDistance(x, y)
+	putScratch(sc)
+	return d, err
 }
 
 // UndirectedDistanceCorollary implements Corollary 4, which restricts

@@ -51,8 +51,21 @@ func buildS(x, y []byte) []byte {
 
 // treeAnchors walks the compact prefix tree of S = X⊥Y⊤ once,
 // computing the subtree position extrema and returning the minimizing
-// anchors of both halves of Theorem 2. O(k) time and space.
+// anchors of both halves of Theorem 2. O(k) time and space; evaluated
+// on pooled arena scratch (Scratch.treeAnchors), so steady-state calls
+// do not allocate. treeAnchorsPointer below is the original
+// pointer-tree recursion, kept as the structural oracle the tests pin
+// the arena walk against anchor-for-anchor.
 func treeAnchors(x, y []byte) (aL, aR anchor, err error) {
+	sc := getScratch()
+	aL, aR, err = sc.treeAnchors(x, y)
+	putScratch(sc)
+	return aL, aR, err
+}
+
+// treeAnchorsPointer is the recursive reference implementation over
+// the pointer suffix tree, allocating one tree per call.
+func treeAnchorsPointer(x, y []byte) (aL, aR anchor, err error) {
 	k := len(x)
 	tree, err := suffixtree.Build(buildS(x, y))
 	if err != nil {
@@ -124,20 +137,10 @@ func treeAnchors(x, y []byte) (aL, aR anchor, err error) {
 // via the compact prefix tree — the distance computation inside
 // Algorithm 4.
 func UndirectedDistanceLinear(x, y word.Word) (int, error) {
-	if err := validatePair(x, y); err != nil {
-		return 0, err
-	}
-	if x.Equal(y) {
-		return 0, nil
-	}
-	aL, aR, err := treeAnchors(rawDigits(x), rawDigits(y))
-	if err != nil {
-		return 0, err
-	}
-	if aR.dist < aL.dist {
-		return aR.dist, nil
-	}
-	return aL.dist, nil
+	sc := getScratch()
+	d, err := sc.UndirectedDistanceLinear(x, y)
+	putScratch(sc)
+	return d, err
 }
 
 // RouteUndirectedLinear is Algorithm 4: a shortest routing path from X
@@ -146,15 +149,8 @@ func UndirectedDistanceLinear(x, y word.Word) (int, error) {
 // failure-function sweep of Algorithm 2. The path-construction step
 // (lines 5–9) is shared with Algorithm 2.
 func RouteUndirectedLinear(x, y word.Word) (Path, error) {
-	if err := validatePair(x, y); err != nil {
-		return nil, err
-	}
-	if x.Equal(y) {
-		return Path{}, nil
-	}
-	aL, aR, err := treeAnchors(rawDigits(x), rawDigits(y))
-	if err != nil {
-		return nil, err
-	}
-	return buildUndirectedPath(y, aL, aR), nil
+	sc := getScratch()
+	p, err := sc.RouteUndirectedLinear(x, y)
+	putScratch(sc)
+	return p, err
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/match"
 	"repro/internal/word"
 )
 
@@ -27,7 +26,10 @@ func NextHopDirected(cur, dst word.Word) (Hop, bool, error) {
 	if cur.Equal(dst) {
 		return Hop{}, false, nil
 	}
-	l := match.Overlap(rawDigits(cur), rawDigits(dst))
+	sc := getScratch()
+	sc.loadDigits(cur, dst)
+	l := sc.ms.Overlap(sc.xd, sc.yd)
+	putScratch(sc)
 	return L(dst.Digit(l)), true, nil
 }
 
@@ -37,20 +39,10 @@ func NextHopDirected(cur, dst word.Word) (Hop, bool, error) {
 // (any neighbor of that type lies on some shortest path); resolve it
 // with a policy. The boolean is false when cur == dst.
 func NextHopUndirected(cur, dst word.Word) (Hop, bool, error) {
-	if err := validatePair(cur, dst); err != nil {
-		return Hop{}, false, err
-	}
-	if cur.Equal(dst) {
-		return Hop{}, false, nil
-	}
-	p, err := RouteUndirectedLinear(cur, dst)
-	if err != nil {
-		return Hop{}, false, err
-	}
-	if len(p) == 0 {
-		return Hop{}, false, fmt.Errorf("core: empty route for distinct vertices %v, %v", cur, dst)
-	}
-	return p[0], true, nil
+	sc := getScratch()
+	h, ok, err := sc.NextHopUndirected(cur, dst)
+	putScratch(sc)
+	return h, ok, err
 }
 
 // SelfRoute iterates a next-hop function from src until dst is

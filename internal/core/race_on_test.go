@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled gates allocation-budget assertions: the race detector
+// instruments sync.Pool (randomly dropping items) and adds shadow
+// allocations, so AllocsPerRun numbers are not meaningful under -race.
+const raceEnabled = true

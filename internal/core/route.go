@@ -34,22 +34,38 @@ func RouteDirected(x, y word.Word) (Path, error) {
 // ((a,*) in the paper's remark); resolve them with Path.Concrete or a
 // Chooser when applying.
 func RouteUndirected(x, y word.Word) (Path, error) {
-	if err := validatePair(x, y); err != nil {
-		return nil, err
+	sc := getScratch()
+	p, err := sc.RouteUndirected(x, y)
+	putScratch(sc)
+	return p, err
+}
+
+// undirectedPathLen returns the exact hop count buildUndirectedPath
+// will produce for the given anchors — the distance bound (≤ 2k-1)
+// known before construction, used to size the path in one allocation.
+func undirectedPathLen(k int, aL, aR anchor) int {
+	if aL.dist >= k && aR.dist >= k {
+		return k
 	}
-	if x.Equal(y) {
-		return Path{}, nil
+	if aL.dist <= aR.dist {
+		return aL.dist
 	}
-	xd, yd := rawDigits(x), rawDigits(y)
-	aL := bestLQuadratic(xd, yd)
-	aR := bestRQuadratic(xd, yd)
-	return buildUndirectedPath(y, aL, aR), nil
+	return aR.dist
 }
 
 // buildUndirectedPath realizes lines 5–9 of Algorithm 2 from the two
-// minimizing anchors. All anchor coordinates are 1-based, matching the
+// minimizing anchors, allocating the path exactly once at its known
+// final length. All anchor coordinates are 1-based, matching the
 // paper.
 func buildUndirectedPath(y word.Word, aL, aR anchor) Path {
+	return appendUndirectedPath(make(Path, 0, undirectedPathLen(y.Len(), aL, aR)), y, aL, aR)
+}
+
+// appendUndirectedPath appends the Algorithm 2 path to p and returns
+// it — the construction kernel shared by the one-shot builders (which
+// hand it an exactly-sized fresh path) and the scratch next-hop query
+// (which hands it a reused hop buffer).
+func appendUndirectedPath(p Path, y word.Word, aL, aR anchor) Path {
 	k := y.Len()
 	d1, d2 := aL.dist, aR.dist
 	if d1 >= k && d2 >= k {
@@ -57,25 +73,27 @@ func buildUndirectedPath(y word.Word, aL, aR anchor) Path {
 		// (Both minima are ≤ k whenever anchors come from full-range
 		// minimization; linear-tree anchors may report k as a
 		// saturated sentinel, hence ≥.)
-		p := make(Path, 0, k)
 		for j := 0; j < k; j++ {
 			p = append(p, L(y.Digit(j)))
 		}
 		return p
 	}
 	if d1 <= d2 {
-		return buildLine8(y, aL)
+		return appendLine8(p, y, aL)
 	}
-	return buildLine9(y, aR)
+	return appendLine9(p, y, aR)
 }
 
 // buildLine8 realizes line 8 of Algorithm 2: s-1 arbitrary left
 // shifts; right shifts inserting y_{t-θ}, ..., y_1 then k-t arbitrary
 // digits; left shifts appending y_{t+1}, ..., y_k.
 func buildLine8(y word.Word, a anchor) Path {
+	return appendLine8(make(Path, 0, a.dist), y, a)
+}
+
+func appendLine8(p Path, y word.Word, a anchor) Path {
 	k := y.Len()
 	s, t, th := a.s, a.t, a.theta
-	p := make(Path, 0, a.dist)
 	for i := 0; i < s-1; i++ {
 		p = append(p, LStar())
 	}
@@ -95,9 +113,12 @@ func buildLine8(y word.Word, a anchor) Path {
 // shifts; left shifts appending y_{t+θ}, ..., y_k then t-1 arbitrary
 // digits; right shifts inserting y_{t-1}, ..., y_1.
 func buildLine9(y word.Word, a anchor) Path {
+	return appendLine9(make(Path, 0, a.dist), y, a)
+}
+
+func appendLine9(p Path, y word.Word, a anchor) Path {
 	k := y.Len()
 	s, t, th := a.s, a.t, a.theta
-	p := make(Path, 0, a.dist)
 	for i := 0; i < k-s; i++ {
 		p = append(p, RStar())
 	}

@@ -28,32 +28,20 @@ type routerMetrics struct {
 // Router is the §4 remark made concrete: "appropriately implemented,
 // the constant factors of our linear algorithms are low enough to make
 // these algorithms of practical use". It evaluates Theorem 2 and
-// builds Algorithm 2 routes with preallocated scratch, so repeated
-// routing on one DN(d,k) — the forwarding hot path — performs no
-// per-query heap allocation beyond the returned path. Not safe for
-// concurrent use; give each forwarding goroutine its own Router.
+// builds Algorithm 2 routes on a private Scratch, so repeated routing
+// on one DN(d,k) — the forwarding hot path — performs no per-query
+// heap allocation beyond the returned path, and adds the metrics layer
+// the bare Scratch omits. Not safe for concurrent use; give each
+// forwarding goroutine its own Router.
 type Router struct {
-	k    int
-	fail []int // failure function scratch (one row)
-	row  []int // matching row scratch
-	xrev []byte
-	yrev []byte
-	xd   []byte
-	yd   []byte
-	m    routerMetrics
+	k  int
+	sc *Scratch
+	m  routerMetrics
 }
 
 // NewRouter returns a Router for words of length k.
 func NewRouter(k int) *Router {
-	return &Router{
-		k:    k,
-		fail: make([]int, k),
-		row:  make([]int, k),
-		xrev: make([]byte, k),
-		yrev: make([]byte, k),
-		xd:   make([]byte, k),
-		yd:   make([]byte, k),
-	}
+	return &Router{k: k, sc: NewScratch()}
 }
 
 // SetObserver attaches a metrics registry: routes built, Theorem-2
@@ -73,77 +61,14 @@ func (r *Router) SetObserver(reg *obs.Registry) {
 	}
 }
 
-// matchRowInto runs the Morris–Pratt scan of text against pattern,
-// writing the matching row into r.row (reusing r.fail): the
-// allocation-free core of Algorithm 3.
-func (r *Router) matchRowInto(pattern, text []byte) []int {
-	row := r.row[:len(text)]
-	if len(pattern) == 0 {
-		for i := range row {
-			row[i] = 0
-		}
-		return row
-	}
-	fail := r.fail[:len(pattern)]
-	h := 0
-	fail[0] = 0
-	for t := 1; t < len(pattern); t++ {
-		for h > 0 && pattern[h] != pattern[t] {
-			h = fail[h-1]
-		}
-		if pattern[h] == pattern[t] {
-			h++
-		}
-		fail[t] = h
-	}
-	h = 0
-	for j := 0; j < len(text); j++ {
-		if h == len(pattern) {
-			h = fail[len(pattern)-1]
-		}
-		for h > 0 && pattern[h] != text[j] {
-			h = fail[h-1]
-		}
-		if pattern[h] == text[j] {
-			h++
-		}
-		row[j] = h
-	}
-	return row
-}
-
 // anchors computes the two minimizing anchors of Theorem 2 in O(k²)
-// time and O(k) space with no allocation.
+// time and O(k) space with no allocation, in bestL/RQuadratic's
+// minimization order (so the Router's anchors — and hence its paths —
+// are byte-identical to the package-level RouteUndirected's).
 func (r *Router) anchors(xd, yd []byte) (aL, aR anchor) {
-	k := len(xd)
 	// 2k Morris–Pratt rows per evaluation (k per anchor direction).
-	r.m.anchorRows.Add(int64(2 * k))
-	aL = anchor{dist: 1 << 30}
-	aR = anchor{dist: 1 << 30}
-	for i := 1; i <= k; i++ {
-		row := r.matchRowInto(xd[i-1:], yd)
-		for j := 1; j <= k; j++ {
-			if d := 2*k - 1 + i - j - row[j-1]; d < aL.dist {
-				aL = anchor{s: i, t: j, theta: row[j-1], dist: d}
-			}
-		}
-	}
-	// r-part via the reversal identity r_{i,j} = l_{k+1-i,k+1-j}(X̄,Ȳ).
-	for i := 0; i < k; i++ {
-		r.xrev[i] = xd[k-1-i]
-		r.yrev[i] = yd[k-1-i]
-	}
-	for ir := 1; ir <= k; ir++ { // ir = k+1-i
-		row := r.matchRowInto(r.xrev[ir-1:], r.yrev)
-		i := k + 1 - ir
-		for jr := 1; jr <= k; jr++ {
-			j := k + 1 - jr
-			if d := 2*k - 1 - i + j - row[jr-1]; d < aR.dist {
-				aR = anchor{s: i, t: j, theta: row[jr-1], dist: d}
-			}
-		}
-	}
-	return aL, aR
+	r.m.anchorRows.Add(int64(2 * len(xd)))
+	return r.sc.anchorsQuadratic(xd, yd)
 }
 
 // Distance evaluates Theorem 2 without allocating.
@@ -155,7 +80,7 @@ func (r *Router) Distance(x, y word.Word) (int, error) {
 	if x.Equal(y) {
 		return 0, nil
 	}
-	aL, aR := r.anchors(r.xd, r.yd)
+	aL, aR := r.anchors(r.sc.xd, r.sc.yd)
 	if aR.dist < aL.dist {
 		return aR.dist, nil
 	}
@@ -176,7 +101,7 @@ func (r *Router) Route(x, y word.Word) (Path, error) {
 	if x.Equal(y) {
 		return Path{}, nil
 	}
-	aL, aR := r.anchors(r.xd, r.yd)
+	aL, aR := r.anchors(r.sc.xd, r.sc.yd)
 	p := buildUndirectedPath(y, aL, aR)
 	if r.m.routeNs != nil {
 		r.m.routeNs.Observe(float64(time.Since(start)))
@@ -191,10 +116,7 @@ func (r *Router) load(x, y word.Word) error {
 	if x.Len() != r.k {
 		return wrongLenError(r.k, x.Len())
 	}
-	for i := 0; i < r.k; i++ {
-		r.xd[i] = x.Digit(i)
-		r.yd[i] = y.Digit(i)
-	}
+	r.sc.loadDigits(x, y)
 	return nil
 }
 

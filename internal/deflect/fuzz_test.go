@@ -13,8 +13,8 @@ func FuzzDeflectInvariant(f *testing.F) {
 	f.Add(int64(42), uint8(2), uint8(6), uint8(0), uint8(2), uint8(80), uint8(10))
 	f.Add(int64(-9), uint8(3), uint8(2), uint8(1), uint8(0), uint8(5), uint8(40))
 	f.Fuzz(func(t *testing.T, seed int64, d, k, uni, polByte, ratePct, rounds uint8) {
-		dd := 2 + int(d)%2   // 2..3
-		kk := 2 + int(k)%4   // 2..5
+		dd := 2 + int(d)%2                       // 2..3
+		kk := 2 + int(k)%4                       // 2..5
 		rate := (float64(ratePct%100) + 1) / 100 // (0, 1]
 		nr := 1 + int(rounds)%40
 		pols := Policies()

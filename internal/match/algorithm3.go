@@ -18,12 +18,22 @@ package match
 // MatchRow is the streaming equivalent used by the hot paths; this
 // function exists to document fidelity and serves as another oracle.
 func Algorithm3(x, y []byte, i1 int) (c []int, l []int) {
+	c = make([]int, len(x))
+	l = make([]int, len(x))
+	algorithm3Into(c, l, x, y, i1)
+	return c, l
+}
+
+// algorithm3Into is Algorithm3 writing into caller-provided storage
+// (at least len(x) entries each); the scratch variant's kernel.
+// c[j-1] holds c_{i,j} for j = i..k, entries before j = i are reset to
+// zero; l[j-1] holds l_{i,j} for j = 1..k.
+func algorithm3Into(c, l []int, x, y []byte, i1 int) {
 	k := len(x)
 	i := i1 // 1-based start index of the pattern x_i…x_k
-	// c[j-1] holds c_{i,j} for j = i..k; entries before j = i are
-	// unused and left zero. l[j-1] holds l_{i,j} for j = 1..k.
-	c = make([]int, k)
-	l = make([]int, k)
+	for t := 0; t < i-1; t++ {
+		c[t] = 0 // unused entries, kept zero for the documented layout
+	}
 
 	// Line 1: c_{i,i} = 0.
 	c[i-1] = 0
@@ -62,5 +72,4 @@ func Algorithm3(x, y []byte, i1 int) (c []int, l []int) {
 			l[j-1] = h + 1 // line 14
 		}
 	}
-	return c, l
 }

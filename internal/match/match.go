@@ -30,16 +30,7 @@ package match
 // The returned slice has len(p) entries; fail[0] is always 0.
 func FailureFunction(p []byte) []int {
 	fail := make([]int, len(p))
-	h := 0
-	for t := 1; t < len(p); t++ {
-		for h > 0 && p[h] != p[t] {
-			h = fail[h-1]
-		}
-		if p[h] == p[t] {
-			h++
-		}
-		fail[t] = h
-	}
+	failureInto(fail, p)
 	return fail
 }
 
@@ -53,23 +44,10 @@ func MatchRow(pattern, text []byte) []int {
 	if len(pattern) == 0 {
 		return row
 	}
-	fail := FailureFunction(pattern)
-	h := 0
-	for j := 0; j < len(text); j++ {
-		if h == len(pattern) {
-			// Full pattern matched at the previous position; restart
-			// from the border of the whole pattern (paper line 10:
-			// "if l_{i,j-1} = k-i+1 then h = c_{i,k}").
-			h = fail[len(pattern)-1]
-		}
-		for h > 0 && pattern[h] != text[j] {
-			h = fail[h-1]
-		}
-		if pattern[h] == text[j] {
-			h++
-		}
-		row[j] = h
-	}
+	s := GetScratch()
+	s.fail = grow(s.fail, len(pattern))
+	matchRowInto(s.fail, row, pattern, text)
+	PutScratch(s)
 	return row
 }
 
@@ -80,17 +58,16 @@ func LRow(x, y []byte, i int) []int {
 }
 
 // RRow returns the row r_{i+1, ·}(X,Y) for the given 0-based index i:
-// out[j] = r_{i+1, j+1}(X,Y), computed by reversing both words and
-// reading an LRow backwards.
+// out[j] = r_{i+1, j+1}(X,Y). The reversal identity
+// r_{i,j}(X,Y) = l_{k+1-i, k+1-j}(X̄,Ȳ) is evaluated by index
+// arithmetic on the original words — no reversed copies are
+// materialized (matchRowRevInto).
 func RRow(x, y []byte, i int) []int {
-	k := len(x)
-	xr, yr := reverse(x), reverse(y)
-	// r_{i,j}(X,Y) = l_{k+1-i, k+1-j}(X̄,Ȳ); 0-based: r0[i][j] = l0[k-1-i][k-1-j].
-	lr := MatchRow(xr[k-1-i:], yr)
 	out := make([]int, len(y))
-	for j := range out {
-		out[j] = lr[len(y)-1-j]
-	}
+	s := GetScratch()
+	s.fail = grow(s.fail, i+1)
+	matchRowRevInto(s.fail, out, x, i, y)
+	PutScratch(s)
 	return out
 }
 
@@ -105,17 +82,11 @@ func LMatrix(x, y []byte) [][]int {
 }
 
 // RMatrix computes the full matrix R[i][j] = r_{i+1,j+1}(X,Y) in O(k²)
-// time via the reversal identity.
+// time via the reversal identity, one reversed-index scan per row.
 func RMatrix(x, y []byte) [][]int {
-	k := len(x)
-	xr, yr := reverse(x), reverse(y)
-	lr := LMatrix(xr, yr)
-	m := make([][]int, k)
+	m := make([][]int, len(x))
 	for i := range m {
-		m[i] = make([]int, len(y))
-		for j := range m[i] {
-			m[i][j] = lr[k-1-i][len(y)-1-j]
-		}
+		m[i] = RRow(x, y, i)
 	}
 	return m
 }
@@ -125,14 +96,12 @@ func RMatrix(x, y []byte) [][]int {
 // equal to r_{k,1}(X,Y). Linear time: one Morris–Pratt scan of x with
 // pattern y. This is the engine of Algorithm 1.
 func Overlap(x, y []byte) int {
-	if len(x) == 0 || len(y) == 0 {
-		return 0
-	}
-	row := MatchRow(y, x)
-	s := row[len(x)-1]
-	// The overlap may not exceed either length; MatchRow already caps
-	// at len(y), and s ≤ len(x) holds because at most len(x) text
-	// characters were consumed.
+	// The overlap may not exceed either length; the scan caps at
+	// len(y), and s ≤ len(x) holds because at most len(x) text
+	// characters were consumed. Allocation-free via the pool.
+	sc := GetScratch()
+	s := sc.Overlap(x, y)
+	PutScratch(sc)
 	return s
 }
 
@@ -208,14 +177,6 @@ func Period(p []byte) int {
 	}
 	fail := FailureFunction(p)
 	return len(p) - fail[len(p)-1]
-}
-
-func reverse(s []byte) []byte {
-	out := make([]byte, len(s))
-	for i, v := range s {
-		out[len(s)-1-i] = v
-	}
-	return out
 }
 
 func eq(a, b []byte) bool {

@@ -1,0 +1,190 @@
+package match
+
+import "sync"
+
+// Scratch holds the reusable working storage of the matching kernels:
+// one failure table, two matching rows and a Z-array, each grown on
+// demand and retained across calls. A Scratch makes every kernel in
+// this package allocation-free after warm-up, which is what the §4
+// remark ("the constant factors of our linear algorithms are low
+// enough to make these algorithms of practical use") demands of the
+// forwarding hot path. The zero value is ready to use. Not safe for
+// concurrent use; give each goroutine its own Scratch (or use the
+// package-level pool via the one-shot functions).
+type Scratch struct {
+	fail []int
+	row  []int
+	rrow []int
+	z    []int
+}
+
+// scratchPool backs the one-shot package functions: they borrow a
+// Scratch per call, so repeated one-shot calls stop allocating working
+// storage once the pool is warm.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch borrows a Scratch from the package pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a Scratch to the package pool. The caller must
+// not use s, or any row previously returned by its methods, afterwards.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
+
+func grow(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// FailureFunction computes the Morris–Pratt failure function of p into
+// scratch storage. The returned slice is valid until the next call on
+// this Scratch.
+func (s *Scratch) FailureFunction(p []byte) []int {
+	s.fail = grow(s.fail, len(p))
+	failureInto(s.fail, p)
+	return s.fail
+}
+
+// failureInto fills fail[:len(p)] with the Morris–Pratt failure
+// function of p; fail must have at least len(p) entries.
+func failureInto(fail []int, p []byte) {
+	h := 0
+	if len(p) > 0 {
+		fail[0] = 0
+	}
+	for t := 1; t < len(p); t++ {
+		for h > 0 && p[h] != p[t] {
+			h = fail[h-1]
+		}
+		if p[h] == p[t] {
+			h++
+		}
+		fail[t] = h
+	}
+}
+
+// matchRowInto runs the Morris–Pratt scan of text against pattern,
+// writing the matching row into row[:len(text)] using fail (at least
+// len(pattern) entries) as failure-table storage: the allocation-free
+// core of Algorithm 3 shared by every call path in this package.
+func matchRowInto(fail, row []int, pattern, text []byte) {
+	if len(pattern) == 0 {
+		for i := range row[:len(text)] {
+			row[i] = 0
+		}
+		return
+	}
+	failureInto(fail, pattern)
+	h := 0
+	for j := 0; j < len(text); j++ {
+		if h == len(pattern) {
+			// Full pattern matched at the previous position; restart
+			// from the border of the whole pattern (paper line 10).
+			h = fail[len(pattern)-1]
+		}
+		for h > 0 && pattern[h] != text[j] {
+			h = fail[h-1]
+		}
+		if pattern[h] == text[j] {
+			h++
+		}
+		row[j] = h
+	}
+}
+
+// matchRowRevInto computes the same matching row over the REVERSED
+// words by index arithmetic, never materializing a reversed copy:
+// with P[t] = x[i-t] (t = 0..i, the reversal of x[0..i]) and
+// T[j] = y[len(y)-1-j], it writes out[len(y)-1-j] = the automaton
+// state after consuming T[j]. By the reversal identity
+// r_{i,j} = l_{k+1-i,k+1-j}(X̄,Ȳ), the filled out slice is exactly the
+// R-row r_{i+1, ·}(X,Y). fail needs i+1 entries, out len(y).
+func matchRowRevInto(fail, out []int, x []byte, i int, y []byte) {
+	plen := i + 1
+	h := 0
+	fail[0] = 0
+	for t := 1; t < plen; t++ {
+		for h > 0 && x[i-h] != x[i-t] {
+			h = fail[h-1]
+		}
+		if x[i-h] == x[i-t] {
+			h++
+		}
+		fail[t] = h
+	}
+	n := len(y)
+	h = 0
+	for j := 0; j < n; j++ {
+		c := y[n-1-j]
+		if h == plen {
+			h = fail[plen-1]
+		}
+		for h > 0 && x[i-h] != c {
+			h = fail[h-1]
+		}
+		if x[i-h] == c {
+			h++
+		}
+		out[n-1-j] = h
+	}
+}
+
+// MatchRow is the scratch variant of the package-level MatchRow. The
+// returned row aliases scratch storage and is valid until the next
+// MatchRow/LRow call on this Scratch.
+func (s *Scratch) MatchRow(pattern, text []byte) []int {
+	s.fail = grow(s.fail, len(pattern))
+	s.row = grow(s.row, len(text))
+	matchRowInto(s.fail, s.row, pattern, text)
+	return s.row
+}
+
+// LRow is the scratch variant of the package-level LRow: out[j] =
+// l_{i+1, j+1}(X,Y). The returned row aliases scratch storage and is
+// valid until the next MatchRow/LRow call on this Scratch.
+func (s *Scratch) LRow(x, y []byte, i int) []int {
+	return s.MatchRow(x[i:], y)
+}
+
+// RRow is the scratch variant of the package-level RRow: out[j] =
+// r_{i+1, j+1}(X,Y), computed by the reversed-index scan (no reversed
+// copies). The returned row aliases scratch storage distinct from
+// LRow's, so one LRow and one RRow may be held simultaneously; it is
+// valid until the next RRow call on this Scratch.
+func (s *Scratch) RRow(x, y []byte, i int) []int {
+	s.fail = grow(s.fail, i+1)
+	s.rrow = grow(s.rrow, len(y))
+	matchRowRevInto(s.fail, s.rrow, x, i, y)
+	return s.rrow
+}
+
+// Algorithm3 is the scratch variant of the package-level Algorithm3.
+// Both returned slices alias scratch storage and are valid until the
+// next call on this Scratch.
+func (s *Scratch) Algorithm3(x, y []byte, i1 int) (c []int, l []int) {
+	k := len(x)
+	s.fail = grow(s.fail, k)
+	s.row = grow(s.row, k)
+	algorithm3Into(s.fail, s.row, x, y, i1)
+	return s.fail, s.row
+}
+
+// Overlap is the scratch variant of the package-level Overlap;
+// allocation-free.
+func (s *Scratch) Overlap(x, y []byte) int {
+	if len(x) == 0 || len(y) == 0 {
+		return 0
+	}
+	row := s.MatchRow(y, x)
+	return row[len(x)-1]
+}
+
+// ZFunction is the scratch variant of the package-level ZFunction. The
+// returned array aliases scratch storage and is valid until the next
+// ZFunction call on this Scratch.
+func (s *Scratch) ZFunction(b []byte) []int {
+	s.z = grow(s.z, len(b))
+	zFunctionInto(s.z, b)
+	return s.z
+}

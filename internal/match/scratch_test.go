@@ -1,0 +1,116 @@
+package match
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestScratchRowsMatchOneShot pins every scratch kernel to its
+// one-shot sibling across seeded words, reusing ONE Scratch for the
+// whole sweep so stale-buffer bugs (a previous, longer row leaking
+// into a shorter one) would surface.
+func TestScratchRowsMatchOneShot(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	var s Scratch
+	for iter := 0; iter < 300; iter++ {
+		d := 2 + rng.Intn(4)
+		k := 1 + rng.Intn(24)
+		x, y := randWord(rng, d, k), randWord(rng, d, k)
+		for i := 0; i < k; i++ {
+			if got, want := s.LRow(x, y, i), LRow(x, y, i); !intsEq(got, want) {
+				t.Fatalf("Scratch.LRow(%v,%v,%d) = %v, want %v", x, y, i, got, want)
+			}
+			if got, want := s.RRow(x, y, i), RRow(x, y, i); !intsEq(got, want) {
+				t.Fatalf("Scratch.RRow(%v,%v,%d) = %v, want %v", x, y, i, got, want)
+			}
+			for j := 0; j < k; j++ {
+				if got, want := s.RRow(x, y, i)[j], NaiveR(x, y, i, j); got != want {
+					t.Fatalf("Scratch.RRow(%v,%v,%d)[%d] = %d, NaiveR %d", x, y, i, j, got, want)
+				}
+			}
+			gc, gl := s.Algorithm3(x, y, i+1)
+			wc, wl := Algorithm3(x, y, i+1)
+			if !intsEq(gc, wc) || !intsEq(gl, wl) {
+				t.Fatalf("Scratch.Algorithm3(%v,%v,%d) = (%v,%v), want (%v,%v)", x, y, i+1, gc, gl, wc, wl)
+			}
+		}
+		if got, want := s.Overlap(x, y), OverlapZ(x, y); got != want {
+			t.Fatalf("Scratch.Overlap(%v,%v) = %d, want %d", x, y, got, want)
+		}
+		if got, want := s.ZFunction(x), ZFunction(x); !intsEq(got, want) {
+			t.Fatalf("Scratch.ZFunction(%v) = %v, want %v", x, got, want)
+		}
+		if got, want := s.MatchRow(x, y), MatchRow(x, y); !intsEq(got, want) {
+			t.Fatalf("Scratch.MatchRow(%v,%v) = %v, want %v", x, got, want, y)
+		}
+		if got, want := s.FailureFunction(x), FailureFunction(x); !intsEq(got, want) {
+			t.Fatalf("Scratch.FailureFunction(%v) = %v, want %v", x, got, want)
+		}
+	}
+}
+
+// TestScratchRowsIndependent holds one LRow and one RRow at the same
+// time — the documented aliasing contract (distinct buffers).
+func TestScratchRowsIndependent(t *testing.T) {
+	var s Scratch
+	x := []byte{0, 1, 0, 1, 1}
+	y := []byte{1, 1, 0, 1, 0}
+	l := s.LRow(x, y, 1)
+	r := s.RRow(x, y, 3)
+	if !intsEq(l, LRow(x, y, 1)) {
+		t.Errorf("LRow invalidated by RRow: %v, want %v", l, LRow(x, y, 1))
+	}
+	if !intsEq(r, RRow(x, y, 3)) {
+		t.Errorf("RRow wrong: %v, want %v", r, RRow(x, y, 3))
+	}
+}
+
+// TestScratchKernelsAllocFree pins the scratch kernels at zero
+// steady-state allocations — the property the routing hot paths buy.
+func TestScratchKernelsAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	rng := rand.New(rand.NewSource(72))
+	x, y := randWord(rng, 2, 64), randWord(rng, 2, 64)
+	var s Scratch
+	if allocs := testing.AllocsPerRun(100, func() {
+		s.LRow(x, y, 7)
+		s.RRow(x, y, 7)
+		s.Overlap(x, y)
+		s.ZFunction(x)
+	}); allocs > 0 {
+		t.Errorf("scratch kernels allocate %v per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		Overlap(x, y)
+	}); allocs > 0 {
+		t.Errorf("one-shot Overlap allocates %v per run, want 0", allocs)
+	}
+	// One-shot rows keep their caller-owned-result contract: exactly
+	// the returned slice is allocated once the pool is warm.
+	if allocs := testing.AllocsPerRun(100, func() {
+		RRow(x, y, 31)
+	}); allocs > 1 {
+		t.Errorf("one-shot RRow allocates %v per run, want ≤ 1", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		LRow(x, y, 31)
+	}); allocs > 1 {
+		t.Errorf("one-shot LRow allocates %v per run, want ≤ 1", allocs)
+	}
+}
+
+// TestOneShotResultsAreCallerOwned pins that pooled scratch reuse can
+// never alias two one-shot results.
+func TestOneShotResultsAreCallerOwned(t *testing.T) {
+	x := []byte{0, 1, 1, 0, 1}
+	y := []byte{1, 0, 1, 1, 0}
+	a := RRow(x, y, 2)
+	cp := append([]int(nil), a...)
+	_ = RRow(y, x, 4)
+	_ = MatchRow(x, y)
+	if !intsEq(a, cp) {
+		t.Errorf("one-shot RRow result mutated by later calls: %v, want %v", a, cp)
+	}
+}

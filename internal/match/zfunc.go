@@ -6,10 +6,17 @@ package match
 // cross-check the Morris–Pratt machinery (and available as a
 // substrate in its own right).
 func ZFunction(s []byte) []int {
+	z := make([]int, len(s))
+	zFunctionInto(z, s)
+	return z
+}
+
+// zFunctionInto fills z[:len(s)] with the Z-array of s; the scratch
+// variant's kernel.
+func zFunctionInto(z []int, s []byte) {
 	n := len(s)
-	z := make([]int, n)
 	if n == 0 {
-		return z
+		return
 	}
 	z[0] = n
 	l, r := 0, 0
@@ -20,6 +27,8 @@ func ZFunction(s []byte) []int {
 				continue
 			}
 			z[i] = r - i
+		} else {
+			z[i] = 0 // the buffer may be reused scratch, not zeroed
 		}
 		for i+z[i] < n && s[z[i]] == s[i+z[i]] {
 			z[i]++
@@ -28,7 +37,6 @@ func ZFunction(s []byte) []int {
 			l, r = i, i+z[i]
 		}
 	}
-	return z
 }
 
 // OverlapZ computes the suffix(x)/prefix(y) overlap — the quantity l

@@ -1,0 +1,246 @@
+package suffixtree
+
+// Arena construction: the same compact prefix tree as Build, laid out
+// in a flat node slice owned by a reusable Scratch instead of one heap
+// object per vertex. Children hang off sorted first-child/next-sibling
+// lists (first edge symbols within one parent are unique, so "sorted"
+// is well defined), which keeps traversals deterministic — the order
+// SortedChildren gives on the pointer tree — without maps or sorting.
+// Algorithm 4's hot path (core.UndirectedDistanceLinear and friends)
+// builds one of these per query; with a warm Scratch the construction
+// performs no heap allocation at all, which is where the bulk of the
+// one-shot routing APIs' ~721 allocs/op at k=64 used to come from.
+
+// NoANode marks an absent arena-node reference (no child, no sibling,
+// no suffix link).
+const NoANode int32 = -1
+
+// ANode is one vertex of an arena tree. Field meaning matches Node:
+// the incoming edge is S[Start:End], Depth is the string depth (the
+// paper's D(v)), LeafPos the identified position for leaves and -1 for
+// internal vertices. FirstChild/NextSibling thread the child lists in
+// increasing first-edge-symbol order.
+type ANode struct {
+	Start, End  int32
+	Depth       int32
+	LeafPos     int32
+	FirstChild  int32
+	NextSibling int32
+
+	suffixLink int32
+}
+
+// IsLeaf reports whether the node identifies a single position of S.
+func (n *ANode) IsLeaf() bool { return n.LeafPos >= 0 }
+
+// ArenaTree is a compact prefix tree whose vertices live in a Scratch
+// arena. Nodes[RootID] is the root. The tree aliases the Scratch it
+// was built from and is invalidated by that Scratch's next Build.
+type ArenaTree struct {
+	S     []byte
+	Nodes []ANode
+}
+
+// RootID is the arena index of the root node.
+const RootID int32 = 0
+
+// Scratch owns the reusable arena storage: the node slice and the
+// traversal stack. The zero value is ready to use; one Build's tree is
+// invalidated by the next. Not safe for concurrent use.
+type Scratch struct {
+	nodes []ANode
+	stack []int32
+}
+
+// Build constructs the compact prefix tree of s into the scratch
+// arena with Ukkonen's algorithm — the same structure as the
+// package-level Build, O(len(s)) time, zero heap allocation once the
+// arena has grown to the largest string seen. The endmarker contract
+// is the same as Build's.
+func (sc *Scratch) Build(s []byte) (ArenaTree, error) {
+	if err := checkEndmarker(s); err != nil {
+		return ArenaTree{}, err
+	}
+	n := len(s)
+	sc.nodes = sc.nodes[:0]
+	sc.newNode(0, 0) // root
+
+	activeNode := RootID
+	activeEdge := 0 // index into s of the active edge's first symbol
+	activeLen := 0
+	remainder := 0
+
+	for i := 0; i < n; i++ {
+		lastInternal := NoANode
+		remainder++
+		for remainder > 0 {
+			if activeLen == 0 {
+				activeEdge = i
+			}
+			child := sc.findChild(s, activeNode, s[activeEdge])
+			if child == NoANode {
+				// Rule 2: new leaf from activeNode.
+				leaf := sc.newNode(int32(i), int32(n))
+				sc.insertChild(s, activeNode, leaf)
+				if lastInternal != NoANode {
+					sc.nodes[lastInternal].suffixLink = activeNode
+					lastInternal = NoANode
+				}
+			} else {
+				edgeLen := int(sc.nodes[child].End - sc.nodes[child].Start)
+				if activeLen >= edgeLen {
+					// Walk down.
+					activeEdge += edgeLen
+					activeLen -= edgeLen
+					activeNode = child
+					continue
+				}
+				if s[int(sc.nodes[child].Start)+activeLen] == s[i] {
+					// Rule 3: current symbol already present; extend the
+					// active point and stop this phase.
+					activeLen++
+					if lastInternal != NoANode {
+						sc.nodes[lastInternal].suffixLink = activeNode
+					}
+					break
+				}
+				// Rule 2 with split.
+				mid := sc.newNode(sc.nodes[child].Start, sc.nodes[child].Start+int32(activeLen))
+				sc.replaceChild(activeNode, child, mid)
+				sc.nodes[child].Start += int32(activeLen)
+				sc.nodes[child].NextSibling = NoANode
+				sc.insertChild(s, mid, child)
+				leaf := sc.newNode(int32(i), int32(n))
+				sc.insertChild(s, mid, leaf)
+				if lastInternal != NoANode {
+					sc.nodes[lastInternal].suffixLink = mid
+				}
+				lastInternal = mid
+			}
+			remainder--
+			if activeNode == RootID && activeLen > 0 {
+				activeLen--
+				activeEdge = i - remainder + 1
+			} else if activeNode != RootID {
+				if sl := sc.nodes[activeNode].suffixLink; sl != NoANode {
+					activeNode = sl
+				} else {
+					activeNode = RootID
+				}
+			}
+		}
+	}
+	sc.annotate(n)
+	return ArenaTree{S: s, Nodes: sc.nodes}, nil
+}
+
+func (sc *Scratch) newNode(start, end int32) int32 {
+	sc.nodes = append(sc.nodes, ANode{
+		Start: start, End: end,
+		LeafPos:    -1,
+		FirstChild: NoANode, NextSibling: NoANode,
+		suffixLink: NoANode,
+	})
+	return int32(len(sc.nodes) - 1)
+}
+
+// findChild returns the child of parent whose edge starts with c, or
+// NoANode. Linear in the alphabet (child lists are short and sorted).
+func (sc *Scratch) findChild(s []byte, parent int32, c byte) int32 {
+	for id := sc.nodes[parent].FirstChild; id != NoANode; id = sc.nodes[id].NextSibling {
+		if first := s[sc.nodes[id].Start]; first == c {
+			return id
+		} else if first > c {
+			return NoANode // sorted list: passed the slot
+		}
+	}
+	return NoANode
+}
+
+// insertChild links id into parent's child list at its sorted slot.
+func (sc *Scratch) insertChild(s []byte, parent, id int32) {
+	c := s[sc.nodes[id].Start]
+	prev := NoANode
+	cur := sc.nodes[parent].FirstChild
+	for cur != NoANode && s[sc.nodes[cur].Start] < c {
+		prev, cur = cur, sc.nodes[cur].NextSibling
+	}
+	sc.nodes[id].NextSibling = cur
+	if prev == NoANode {
+		sc.nodes[parent].FirstChild = id
+	} else {
+		sc.nodes[prev].NextSibling = id
+	}
+}
+
+// replaceChild swaps repl into old's position in parent's child list
+// (the split case: repl keeps old's first edge symbol, so sortedness
+// is preserved).
+func (sc *Scratch) replaceChild(parent, old, repl int32) {
+	sc.nodes[repl].NextSibling = sc.nodes[old].NextSibling
+	if sc.nodes[parent].FirstChild == old {
+		sc.nodes[parent].FirstChild = repl
+		return
+	}
+	for id := sc.nodes[parent].FirstChild; id != NoANode; id = sc.nodes[id].NextSibling {
+		if sc.nodes[id].NextSibling == old {
+			sc.nodes[id].NextSibling = repl
+			return
+		}
+	}
+}
+
+// annotate computes string depths and leaf positions iteratively on
+// the arena, reusing the scratch stack.
+func (sc *Scratch) annotate(n int) {
+	sc.stack = append(sc.stack[:0], RootID)
+	sc.nodes[RootID].Depth = 0
+	for len(sc.stack) > 0 {
+		id := sc.stack[len(sc.stack)-1]
+		sc.stack = sc.stack[:len(sc.stack)-1]
+		node := &sc.nodes[id]
+		if node.FirstChild == NoANode {
+			// Leaf: the suffix position is n minus the string depth.
+			node.LeafPos = int32(n) - node.Depth
+			continue
+		}
+		node.LeafPos = -1
+		for c := node.FirstChild; c != NoANode; c = sc.nodes[c].NextSibling {
+			sc.nodes[c].Depth = node.Depth + (sc.nodes[c].End - sc.nodes[c].Start)
+			sc.stack = append(sc.stack, c)
+		}
+	}
+}
+
+// NumNodes returns the vertex count.
+func (t ArenaTree) NumNodes() int { return len(t.Nodes) }
+
+// EqualTree reports whether the arena tree is structurally identical
+// to a pointer tree over the same string: same shape, edge labels,
+// depths and leaf labels. The oracle hook for cross-checking the two
+// builders.
+func (t ArenaTree) EqualTree(o *Tree) bool {
+	if string(t.S) != string(o.s) {
+		return false
+	}
+	var eq func(id int32, n *Node) bool
+	eq = func(id int32, n *Node) bool {
+		a := &t.Nodes[id]
+		if a.Depth != int32(n.Depth) || a.LeafPos != int32(n.LeafPos) {
+			return false
+		}
+		if string(t.S[a.Start:a.End]) != string(o.s[n.Start:n.End]) {
+			return false
+		}
+		kids := sortedChildren(n)
+		i := 0
+		for c := a.FirstChild; c != NoANode; c = t.Nodes[c].NextSibling {
+			if i >= len(kids) || !eq(c, kids[i]) {
+				return false
+			}
+			i++
+		}
+		return i == len(kids)
+	}
+	return eq(RootID, o.root)
+}

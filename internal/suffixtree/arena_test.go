@@ -1,0 +1,115 @@
+package suffixtree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randEndmarked returns a random string over a small alphabet with a
+// unique 0xFF endmarker appended.
+func randEndmarked(rng *rand.Rand, base, n int) []byte {
+	s := make([]byte, n+1)
+	for i := 0; i < n; i++ {
+		s[i] = byte(rng.Intn(base))
+	}
+	s[n] = 0xFF
+	return s
+}
+
+// randPairString mimics core's X⊥Y⊤ generalized-string layout: two
+// length-k words over base d joined by the markers 0xFE and 0xFF.
+func randPairString(rng *rand.Rand, d, k int) []byte {
+	s := make([]byte, 0, 2*k+2)
+	for i := 0; i < k; i++ {
+		s = append(s, byte(rng.Intn(d)))
+	}
+	s = append(s, 0xFE)
+	for i := 0; i < k; i++ {
+		s = append(s, byte(rng.Intn(d)))
+	}
+	return append(s, 0xFF)
+}
+
+// TestArenaMatchesPointerBuild cross-checks the arena builder against
+// both pointer builders on random strings, reusing ONE Scratch for the
+// whole sweep so stale-arena bugs would surface.
+func TestArenaMatchesPointerBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	var sc Scratch
+	check := func(s []byte) {
+		t.Helper()
+		at, err := sc.Build(s)
+		if err != nil {
+			t.Fatalf("Scratch.Build(%v): %v", s, err)
+		}
+		pt, err := Build(s)
+		if err != nil {
+			t.Fatalf("Build(%v): %v", s, err)
+		}
+		if !at.EqualTree(pt) {
+			t.Fatalf("arena tree differs from pointer tree for %v:\n%s", s, pt.Dump())
+		}
+		nt, err := BuildNaive(s)
+		if err != nil {
+			t.Fatalf("BuildNaive(%v): %v", s, err)
+		}
+		if !at.EqualTree(nt) {
+			t.Fatalf("arena tree differs from naive tree for %v:\n%s", s, nt.Dump())
+		}
+		if at.NumNodes() != pt.NumNodes() {
+			t.Fatalf("NumNodes: arena %d, pointer %d", at.NumNodes(), pt.NumNodes())
+		}
+	}
+	// Degenerate small cases.
+	check([]byte{0xFF})
+	check([]byte{0, 0xFF})
+	check([]byte{0, 0, 0, 0, 0, 0xFF})
+	check([]byte{0, 1, 0, 1, 0, 1, 0xFF})
+	for iter := 0; iter < 200; iter++ {
+		check(randEndmarked(rng, 1+rng.Intn(4), 1+rng.Intn(60)))
+	}
+	for iter := 0; iter < 200; iter++ {
+		check(randPairString(rng, 2+rng.Intn(3), 1+rng.Intn(24)))
+	}
+}
+
+// TestArenaBuildErrors pins the endmarker contract shared with Build.
+func TestArenaBuildErrors(t *testing.T) {
+	var sc Scratch
+	if _, err := sc.Build(nil); err == nil {
+		t.Error("Build(nil): want error, got nil")
+	}
+	if _, err := sc.Build([]byte{1, 2, 1}); err == nil {
+		t.Error("Build with repeated final symbol: want error, got nil")
+	}
+	// The scratch must still work after a failed build.
+	at, err := sc.Build([]byte{1, 2, 0xFF})
+	if err != nil {
+		t.Fatalf("Build after failures: %v", err)
+	}
+	pt, _ := Build([]byte{1, 2, 0xFF})
+	if !at.EqualTree(pt) {
+		t.Error("arena tree differs from pointer tree after failed builds")
+	}
+}
+
+// TestArenaBuildAllocFree pins the property the arena buys: once warm,
+// rebuilding performs zero heap allocations.
+func TestArenaBuildAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	rng := rand.New(rand.NewSource(82))
+	s := randPairString(rng, 2, 64)
+	var sc Scratch
+	if _, err := sc.Build(s); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		if _, err := sc.Build(s); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("warm Scratch.Build allocates %v per run, want 0", allocs)
+	}
+}
