@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-json bench-compare check fuzz experiments examples clean
+.PHONY: all build vet test race cover bench bench-json bench-compare check serve-check fuzz experiments examples clean
 
 all: build vet test
 
@@ -17,7 +17,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/network/ ./internal/dht/ ./internal/obs/ ./internal/deflect/ ./internal/check/ ./internal/core/ ./internal/match/ ./internal/suffixtree/
+	$(GO) test -race ./internal/network/ ./internal/dht/ ./internal/obs/ ./internal/deflect/ ./internal/check/ ./internal/core/ ./internal/match/ ./internal/suffixtree/ ./internal/serve/
 
 cover:
 	$(GO) test -cover ./...
@@ -31,6 +31,7 @@ bench:
 bench-json:
 	$(GO) run ./cmd/dbbench -suite core -out BENCH_core.json
 	$(GO) run ./cmd/dbbench -suite network -out BENCH_network.json
+	$(GO) run ./cmd/dbbench -suite serve -out BENCH_serve.json
 
 # Perf gate: rerun the suites and compare cell-by-cell against the
 # committed baselines without touching them (compare-only mode).
@@ -41,6 +42,7 @@ BENCH_TOL ?= 0.75
 bench-compare:
 	$(GO) run ./cmd/dbbench -suite core -compare BENCH_core.json -tol-ns $(BENCH_TOL)
 	$(GO) run ./cmd/dbbench -suite network -compare BENCH_network.json -tol-ns $(BENCH_TOL)
+	$(GO) run ./cmd/dbbench -suite serve -compare BENCH_serve.json -tol-ns $(BENCH_TOL)
 
 # The differential-verification sweep: every oracle on every graph
 # with at most 4096 vertices (CI's standing gate; see internal/check).
@@ -50,6 +52,14 @@ bench-compare:
 check:
 	$(GO) run ./cmd/dbcheck -mode all
 
+# In-process load check of the route-query server: runs the closed- and
+# open-loop generators against a real server and fails on any violation
+# of the outcome-conservation invariant (sent = answered+degraded+shed).
+serve-check:
+	$(GO) run ./cmd/dbserve -selfcheck -clients 4 -requests 200 -hotset 64
+	$(GO) run ./cmd/dbserve -selfcheck -rate 5000 -duration 500ms -hotset 64
+	$(GO) run ./cmd/dbserve -selfcheck -shards 1 -queue 16 -rate 4000 -duration 300ms -hotset 64 -batch 64 -deadline 20ms
+
 # Short fuzz sessions over the fuzz targets.
 fuzz:
 	$(GO) test -fuzz=FuzzDistanceEquivalence -fuzztime=30s ./internal/core/
@@ -58,6 +68,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzDeflectInvariant -fuzztime=30s ./internal/deflect/
 	$(GO) test -fuzz=FuzzCheckRoutes -fuzztime=30s ./internal/check/
 	$(GO) test -fuzz=FuzzEngineEquivalence -fuzztime=30s ./internal/check/
+	$(GO) test -fuzz=FuzzServeDecode -fuzztime=30s ./internal/serve/
 
 # Regenerates every experiment table (EXPERIMENTS.md source data).
 experiments:

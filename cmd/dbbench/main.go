@@ -25,6 +25,9 @@
 // suite measures whole seeded simulation runs per iteration:
 // Contention (batch store-and-forward), OpenLoop (Bernoulli-arrival
 // store-and-forward), Deflect (bufferless deflection, layer-aware).
+// The serve suite measures the route-query serving engine per call:
+// ServeHit* (warmed LRU lookups, pinned at 0 allocs/op) and ServeMiss*
+// (cache-disabled computes at the PR 4 kernel budgets).
 package main
 
 import (
@@ -42,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/deflect"
 	"repro/internal/network"
+	"repro/internal/serve"
 	"repro/internal/word"
 )
 
@@ -72,6 +76,9 @@ const Schema = "dbbench/core/v1"
 // SchemaNetwork identifies the network-suite report layout.
 const SchemaNetwork = "dbbench/network/v1"
 
+// SchemaServe identifies the serve-suite report layout.
+const SchemaServe = "dbbench/serve/v1"
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "dbbench:", err)
@@ -81,7 +88,7 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dbbench", flag.ContinueOnError)
-	suite := fs.String("suite", "core", "benchmark suite: core (per-call primitives) | network (whole engine runs)")
+	suite := fs.String("suite", "core", "benchmark suite: core (per-call primitives) | network (whole engine runs) | serve (query engine hit/miss paths)")
 	outPath := fs.String("out", "", `output file ("-" for stdout; default BENCH_<suite>.json)`)
 	benchtime := fs.String("benchtime", "100ms", "per-benchmark duration (test.benchtime syntax)")
 	d := fs.Int("d", 2, "alphabet size")
@@ -103,6 +110,12 @@ func run(args []string, out io.Writer) error {
 		cells = benchNetworkCells
 		if *ks == "" {
 			*ks = "5,7"
+		}
+	case "serve":
+		schema = SchemaServe
+		cells = benchServeCells
+		if *ks == "" {
+			*ks = "8,64"
 		}
 	default:
 		return fmt.Errorf("unknown suite %q", *suite)
@@ -246,6 +259,69 @@ func benchCells(d, k int) ([]Result, error) {
 			for i := 0; i < b.N; i++ {
 				p := pairs[i%len(pairs)]
 				if err := fn(p[0], p[1]); err != nil {
+					failure = err
+					b.FailNow()
+				}
+			}
+		})
+		if failure != nil {
+			return nil, fmt.Errorf("%s d=%d k=%d: %w", op.name, d, k, failure)
+		}
+		out = append(out, Result{
+			Op: op.name, D: d, K: k,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		})
+	}
+	return out, nil
+}
+
+// benchServeCells measures the route-query serving engine's hot paths
+// at one (d,k) point: cache hits (ServeHit*) over a warmed LRU, and
+// cache-disabled computes (ServeMiss*) — the two per-request costs the
+// server pays at steady state. Allocs/op are the PR acceptance pins:
+// 0 for every hit and for distance misses, 1 (the returned path) for
+// route misses.
+func benchServeCells(d, k int) ([]Result, error) {
+	rng := rand.New(rand.NewSource(17))
+	pairs := make([][2]word.Word, 64)
+	for i := range pairs {
+		pairs[i] = [2]word.Word{word.Random(d, k, rng), word.Random(d, k, rng)}
+	}
+	warm := serve.NewEngine(serve.NewCache(4*len(pairs), nil))
+	cold := serve.NewEngine(nil)
+	for _, p := range pairs {
+		for _, kind := range []serve.Kind{serve.KindDistance, serve.KindRoute} {
+			q := serve.Query{Kind: kind, Src: p[0], Dst: p[1]}
+			if _, _, err := warm.Answer(q, serve.LevelFull); err != nil {
+				return nil, err
+			}
+			if _, _, err := cold.Answer(q, serve.LevelFull); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ops := []struct {
+		name string
+		eng  *serve.Engine
+		kind serve.Kind
+	}{
+		{"ServeHitDistance", warm, serve.KindDistance},
+		{"ServeHitRoute", warm, serve.KindRoute},
+		{"ServeMissDistance", cold, serve.KindDistance},
+		{"ServeMissRoute", cold, serve.KindRoute},
+	}
+	out := make([]Result, 0, len(ops))
+	for _, op := range ops {
+		eng, kind := op.eng, op.kind
+		var failure error
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				if _, _, err := eng.Answer(serve.Query{Kind: kind, Src: p[0], Dst: p[1]}, serve.LevelFull); err != nil {
 					failure = err
 					b.FailNow()
 				}

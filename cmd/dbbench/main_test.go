@@ -88,6 +88,48 @@ func TestNetworkSuiteRoundTrip(t *testing.T) {
 	}
 }
 
+// TestServeSuiteRoundTrip validates the BENCH_serve.json report and
+// the allocation pins the serving layer's acceptance rests on: hits
+// and distance misses are allocation-free, a route miss allocates only
+// its returned path.
+func TestServeSuiteRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	var b strings.Builder
+	if err := run([]string{"-suite", "serve", "-out", path, "-benchtime", "1ms", "-k", "8,64"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if rep.Schema != SchemaServe {
+		t.Errorf("schema = %q, want %q", rep.Schema, SchemaServe)
+	}
+	// 4 ops × 2 k values.
+	if len(rep.Results) != 8 {
+		t.Fatalf("got %d results, want 8", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 || r.Iterations <= 0 {
+			t.Errorf("%s d=%d k=%d: non-positive measurement %+v", r.Op, r.D, r.K, r)
+		}
+		if raceEnabled {
+			continue // instrumented alloc counts are not meaningful
+		}
+		budget := int64(0)
+		if r.Op == "ServeMissRoute" {
+			budget = 1
+		}
+		if r.AllocsPerOp > budget {
+			t.Errorf("%s d=%d k=%d: %d allocs/op, budget %d", r.Op, r.D, r.K, r.AllocsPerOp, budget)
+		}
+	}
+}
+
 func TestUnknownSuite(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-suite", "nope"}, &b); err == nil {

@@ -1,0 +1,7 @@
+//go:build race
+
+package main
+
+// Allocation counts are inflated by race-detector instrumentation, so
+// allocs/op pins skip themselves under -race.
+const raceEnabled = true

@@ -1,0 +1,140 @@
+// Command dbserve runs the sharded route-query server over the
+// length-prefixed JSON wire protocol:
+//
+//	dbserve -addr :4600                       # serve until SIGINT/SIGTERM
+//	dbserve -addr :4600 -debug-addr :4601     # plus /metrics and pprof
+//	dbserve -selfcheck -rate 20000            # in-process load check, then exit
+//
+// The server owns one routing engine (and one reusable scratch state)
+// per shard, shares an LRU result cache across shards, sheds instead
+// of queueing unboundedly, and degrades route answers to distance-only
+// and then to layer-bound estimates as the admission queue fills.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dbserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dbserve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:4600", "TCP listen address")
+	shards := fs.Int("shards", 0, "worker shards (0: GOMAXPROCS)")
+	queue := fs.Int("queue", 1024, "admission queue depth (full queue sheds)")
+	cacheSize := fs.Int("cache", 4096, "LRU result-cache capacity in answers (0 disables)")
+	deadline := fs.Duration("deadline", 100*time.Millisecond, "default per-request deadline")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address")
+	selfcheck := fs.Bool("selfcheck", false, "run an in-process load sweep instead of listening")
+	d := fs.Int("d", 2, "selfcheck: alphabet size")
+	k := fs.Int("k", 10, "selfcheck: diameter")
+	rate := fs.Float64("rate", 0, "selfcheck: offered requests/second (0: closed loop)")
+	clients := fs.Int("clients", 4, "selfcheck: concurrent connections")
+	requests := fs.Int("requests", 256, "selfcheck: closed-loop requests per client")
+	duration := fs.Duration("duration", time.Second, "selfcheck: open-loop run length")
+	hotset := fs.Int("hotset", 0, "selfcheck: draw vertices from a pool of this size (0: uniform)")
+	batch := fs.Int("batch", 0, "selfcheck: sub-queries per request (0: scalar requests)")
+	seed := fs.Int64("seed", 1, "selfcheck: random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	srv := serve.NewServer(serve.Config{
+		Shards:          *shards,
+		QueueDepth:      *queue,
+		CacheSize:       *cacheSize,
+		DefaultDeadline: *deadline,
+		Registry:        reg,
+	})
+	defer srv.Close()
+
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := ds.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "debug server:", err)
+			}
+		}()
+		fmt.Fprintf(out, "debug server on http://%s (/metrics, /metrics.json, /debug/pprof/)\n", ds.Addr())
+	}
+
+	if *selfcheck {
+		res, err := serve.RunLoad(srv, serve.LoadConfig{
+			D: *d, K: *k,
+			Clients:           *clients,
+			RequestsPerClient: *requests,
+			Rate:              *rate,
+			Duration:          *duration,
+			HotSet:            *hotset,
+			BatchSize:         *batch,
+			Seed:              *seed,
+		})
+		if err != nil {
+			return err
+		}
+		printLoadResult(out, res)
+		if !res.Conserved() {
+			return fmt.Errorf("conservation violated: sent %d != answered %d + degraded %d + shed %d",
+				res.Sent, res.Answered, res.Degraded, res.Shed)
+		}
+		return nil
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "serving DG route queries on %s (%d-deep queue, cache %d)\n",
+		ln.Addr(), *queue, *cacheSize)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	select {
+	case <-sig:
+		fmt.Fprintln(out, "shutting down")
+		return srv.Close()
+	case err := <-serveErr:
+		return err
+	}
+}
+
+func printLoadResult(out io.Writer, res serve.LoadResult) {
+	fmt.Fprintf(out, "sent      %d\n", res.Sent)
+	fmt.Fprintf(out, "answered  %d\n", res.Answered)
+	fmt.Fprintf(out, "degraded  %d\n", res.Degraded)
+	fmt.Fprintf(out, "shed      %d", res.Shed)
+	if len(res.ShedByReason) > 0 {
+		fmt.Fprintf(out, "  %v", res.ShedByReason)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "hits      %d\n", res.Hits)
+	if res.Unlaunched > 0 || res.Errors > 0 {
+		fmt.Fprintf(out, "client    errors %d, unlaunched %d\n", res.Errors, res.Unlaunched)
+	}
+	fmt.Fprintf(out, "latency   client p50 %v, p99 %v\n", res.P50, res.P99)
+	if res.ServerP99 > 0 {
+		fmt.Fprintf(out, "          server p50 %v, p99 %v (admission → answer)\n", res.ServerP50, res.ServerP99)
+	}
+	fmt.Fprintf(out, "rate      %.0f served/s over %v\n", res.Throughput, res.Elapsed.Round(time.Millisecond))
+}

@@ -1,0 +1,36 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSelfcheckClosedLoop(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-selfcheck", "-k", "8", "-clients", "2", "-requests", "40", "-hotset", "16"}, &out)
+	if err != nil {
+		t.Fatalf("selfcheck: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{"sent      80", "latency", "rate"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestSelfcheckOpenLoop(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-selfcheck", "-k", "8", "-rate", "500", "-duration", "100ms"}, &out)
+	if err != nil {
+		t.Fatalf("selfcheck: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "sent") {
+		t.Fatalf("output missing counters:\n%s", out.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, &strings.Builder{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

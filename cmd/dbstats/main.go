@@ -11,6 +11,7 @@
 //	dbstats -table broadcast  # E11: flood vs tree dissemination
 //	dbstats -table diversity  # E12: shortest-path multiplicity
 //	dbstats -table deflect    # E18: bufferless deflection load × policy
+//	dbstats -table serve      # E21: route-query server load sweep
 //	dbstats -table all        # everything above
 package main
 
@@ -112,6 +113,13 @@ func run(args []string, out io.Writer) error {
 		"deflect": func() (*stats.Table, error) {
 			return experiments.DeflectTable(2, 6, []float64{0.05, 0.15, 0.30, 0.60, 0.90}, 300, *seed)
 		},
+		"serve": func() (*stats.Table, error) {
+			// Rates are batch requests/second (64 sub-queries each); the
+			// single-shard E21 server saturates near 1.5k req/s, so the
+			// top two points are genuine 2.5× and 10× overload.
+			return experiments.ServeLoadTable(experiments.ServeLoadConfig{Seed: *seed},
+				[]float64{250, 1000, 4000, 16000})
+		},
 	}
 	titles := map[string]string{
 		"eq5":       "E3 — directed average distance: equation (5) vs exact",
@@ -129,8 +137,9 @@ func run(args []string, out io.Writer) error {
 		"loadcurve": "E16 — open-loop latency vs offered load (saturation curve)",
 		"stretch":   "E17 — reroute stretch vs failure count",
 		"deflect":   "E18 — bufferless deflection: load × policy vs store-and-forward",
+		"serve":     "E21 — route-query server: offered load vs degrade/shed/latency",
 	}
-	order := []string{"census", "eq5", "fig2", "crossover", "policy", "fault", "dist", "moore", "broadcast", "diversity", "latency", "dht", "loadcurve", "stretch", "deflect"}
+	order := []string{"census", "eq5", "fig2", "crossover", "policy", "fault", "dist", "moore", "broadcast", "diversity", "latency", "dht", "loadcurve", "stretch", "deflect", "serve"}
 
 	emit := func(name string) error {
 		t, err := printers[name]()

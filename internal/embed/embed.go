@@ -64,7 +64,7 @@ func TreeVertex(d, k int, sigma []byte) (word.Word, error) {
 	digits = append(digits, sigma...)
 	w, err := word.New(d, digits)
 	if err != nil {
-		return word.Word{}, fmt.Errorf("%w: %v", ErrLabel, err)
+		return word.Word{}, fmt.Errorf("%w: %w", ErrLabel, err)
 	}
 	return w, nil
 }

@@ -1,0 +1,21 @@
+package embed
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/word"
+)
+
+// TestTreeVertexErrorWrapsCause pins the %w chain: a branch digit
+// outside the alphabet must surface ErrLabel and the underlying
+// word.ErrBadDigit.
+func TestTreeVertexErrorWrapsCause(t *testing.T) {
+	_, err := TreeVertex(2, 4, []byte{0, 5})
+	if !errors.Is(err, ErrLabel) {
+		t.Fatalf("err = %v, want ErrLabel", err)
+	}
+	if !errors.Is(err, word.ErrBadDigit) {
+		t.Fatalf("err = %v does not expose word.ErrBadDigit", err)
+	}
+}

@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/stats"
+)
+
+// ServeLoadRow is one offered-rate point of experiment E21: the
+// route-query server driven open-loop through its admission queue and
+// degrade ladder. SrvP50MS/SrvP99MS are admission-to-answer quantiles
+// (the latency the ladder bounds); the client-observed quantiles grow
+// without bound under open-loop overload by construction, so the
+// server-side ones carry the E21 claim.
+type ServeLoadRow struct {
+	Rate       float64
+	Sent       int64
+	Answered   int64
+	Degraded   int64
+	Shed       int64
+	Hits       int64
+	SrvP50MS   float64
+	SrvP99MS   float64
+	Throughput float64
+}
+
+// ServeLoadConfig shapes the E21 sweep. Zero values default to a
+// configuration small enough for CI and constrained enough that the
+// top rates genuinely overload it: one worker shard behind a short
+// queue, driven with batch requests so that one wire frame carries 64
+// route computations (scalar frames bottleneck on transport long
+// before the O(k) kernels saturate a shard).
+type ServeLoadConfig struct {
+	D, K       int           // network, default DG(2,10)
+	Shards     int           // worker shards, default 1
+	QueueDepth int           // admission queue, default 16
+	CacheSize  int           // LRU answers, default 1024
+	Clients    int           // connections, default 8
+	HotSet     int           // skewed vertex pool, default 64
+	BatchSize  int           // sub-queries per request, default 64
+	DeadlineMS int64         // per-request budget, default 20
+	Duration   time.Duration // per rate point, default 250ms
+	Seed       int64
+}
+
+// ServeLoad sweeps offered rates against one server per point (fresh
+// counters and cache, so points are independent).
+func ServeLoad(cfg ServeLoadConfig, rates []float64) ([]ServeLoadRow, error) {
+	if cfg.D == 0 {
+		cfg.D = 2
+	}
+	if cfg.K == 0 {
+		cfg.K = 10
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 8
+	}
+	if cfg.HotSet == 0 {
+		cfg.HotSet = 64
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.DeadlineMS == 0 {
+		cfg.DeadlineMS = 20
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 250 * time.Millisecond
+	}
+	var rows []ServeLoadRow
+	for _, rate := range rates {
+		s := serve.NewServer(serve.Config{
+			Shards:          cfg.Shards,
+			QueueDepth:      cfg.QueueDepth,
+			CacheSize:       cfg.CacheSize,
+			DefaultDeadline: time.Duration(cfg.DeadlineMS) * time.Millisecond,
+			Registry:        obs.NewRegistry(),
+		})
+		res, err := serve.RunLoad(s, serve.LoadConfig{
+			D: cfg.D, K: cfg.K,
+			Clients:    cfg.Clients,
+			Rate:       rate,
+			Duration:   cfg.Duration,
+			HotSet:     cfg.HotSet,
+			BatchSize:  cfg.BatchSize,
+			DeadlineMS: cfg.DeadlineMS,
+			Seed:       cfg.Seed,
+		})
+		s.Close()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ServeLoadRow{
+			Rate:       rate,
+			Sent:       res.Sent,
+			Answered:   res.Answered,
+			Degraded:   res.Degraded,
+			Shed:       res.Shed,
+			Hits:       res.Hits,
+			SrvP50MS:   float64(res.ServerP50) / float64(time.Millisecond),
+			SrvP99MS:   float64(res.ServerP99) / float64(time.Millisecond),
+			Throughput: res.Throughput,
+		})
+	}
+	return rows, nil
+}
+
+// ServeLoadTable renders E21.
+func ServeLoadTable(cfg ServeLoadConfig, rates []float64) (*stats.Table, error) {
+	rows, err := ServeLoad(cfg, rates)
+	if err != nil {
+		return nil, err
+	}
+	t := stats.NewTable("rate", "sent", "answered", "degraded", "shed", "hits", "srv_p50ms", "srv_p99ms", "throughput")
+	for _, r := range rows {
+		t.AddRow(r.Rate, r.Sent, r.Answered, r.Degraded, r.Shed, r.Hits, r.SrvP50MS, r.SrvP99MS, r.Throughput)
+	}
+	return t, nil
+}

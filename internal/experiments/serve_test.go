@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestServeLoadSmall(t *testing.T) {
+	rows, err := ServeLoad(ServeLoadConfig{
+		D: 2, K: 8,
+		Duration: 50 * time.Millisecond,
+		Seed:     11,
+	}, []float64{200, 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if r.Sent != r.Answered+r.Degraded+r.Shed {
+			t.Fatalf("row %+v not conserved", r)
+		}
+		if r.Sent == 0 {
+			t.Fatalf("row %+v sent nothing", r)
+		}
+	}
+}
+
+func TestServeLoadTable(t *testing.T) {
+	tab, err := ServeLoadTable(ServeLoadConfig{
+		D: 2, K: 8,
+		Duration: 50 * time.Millisecond,
+	}, []float64{200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := tab.String(); out == "" {
+		t.Fatal("empty table render")
+	}
+}

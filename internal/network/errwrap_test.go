@@ -1,0 +1,41 @@
+package network
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/word"
+)
+
+// TestWireFieldErrorsWrapCause pins the %w chain of the wire decoder:
+// a corrupt address digit must surface both the package-level
+// ErrWireField and the underlying word validation error, so callers
+// can classify failures without string matching.
+func TestWireFieldErrorsWrapCause(t *testing.T) {
+	src := word.MustParse(2, "0110")
+	dst := word.MustParse(2, "1001")
+	buf, err := MarshalMessage(Message{Source: src, Dest: dst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Header is magic(2) control(1) d(1) k(2); source digits follow.
+	const srcOff = 6
+	k := src.Len()
+
+	corrupt := append([]byte(nil), buf...)
+	corrupt[srcOff] = 9 // digit 9 in base 2
+	_, err = UnmarshalMessage(corrupt)
+	if !errors.Is(err, ErrWireField) {
+		t.Fatalf("source corruption: err = %v, want ErrWireField", err)
+	}
+	if !errors.Is(err, word.ErrBadDigit) {
+		t.Fatalf("source corruption: err = %v does not expose word.ErrBadDigit", err)
+	}
+
+	corrupt = append([]byte(nil), buf...)
+	corrupt[srcOff+k] = 9 // first dest digit
+	_, err = UnmarshalMessage(corrupt)
+	if !errors.Is(err, ErrWireField) || !errors.Is(err, word.ErrBadDigit) {
+		t.Fatalf("dest corruption: err = %v, want ErrWireField wrapping word.ErrBadDigit", err)
+	}
+}

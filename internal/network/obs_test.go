@@ -175,32 +175,40 @@ func TestTTLZeroMeansFourK(t *testing.T) {
 	}
 }
 
-// TestNoPackageGlobalRand guards the determinism contract: every
-// random choice in this package must flow from a seeded *rand.Rand, so
-// the only math/rand selectors allowed in non-test sources are the
-// constructors.
+// TestNoPackageGlobalRand guards the determinism contract across the
+// simulation packages: every random choice must flow from a seeded
+// *rand.Rand, so the only math/rand selectors allowed in non-test
+// sources are the constructors. The scan covers this package and its
+// seeded-simulation siblings (internal/fault documents the same
+// guarantee but had no guard before).
 func TestNoPackageGlobalRand(t *testing.T) {
 	allowed := map[string]bool{"New": true, "NewSource": true, "Rand": true, "Source": true}
 	sel := regexp.MustCompile(`\brand\.(\w+)`)
-	files, err := filepath.Glob("*.go")
-	if err != nil {
-		t.Fatal(err)
-	}
-	for _, f := range files {
-		if strings.HasSuffix(f, "_test.go") {
-			continue
-		}
-		src, err := os.ReadFile(f)
+	dirs := []string{".", "../fault", "../deflect", "../dht", "../serve", "../experiments"}
+	for _, dir := range dirs {
+		files, err := filepath.Glob(filepath.Join(dir, "*.go"))
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, line := range strings.Split(string(src), "\n") {
-			if i := strings.Index(line, "//"); i >= 0 {
-				line = line[:i]
+		if len(files) == 0 {
+			t.Fatalf("no sources under %s — directory moved?", dir)
+		}
+		for _, f := range files {
+			if strings.HasSuffix(f, "_test.go") {
+				continue
 			}
-			for _, m := range sel.FindAllStringSubmatch(line, -1) {
-				if !allowed[m[1]] {
-					t.Errorf("%s: package-global rand.%s — use the engine's seeded *rand.Rand", f, m[1])
+			src, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, line := range strings.Split(string(src), "\n") {
+				if i := strings.Index(line, "//"); i >= 0 {
+					line = line[:i]
+				}
+				for _, m := range sel.FindAllStringSubmatch(line, -1) {
+					if !allowed[m[1]] {
+						t.Errorf("%s: package-global rand.%s — use a seeded *rand.Rand", f, m[1])
+					}
 				}
 			}
 		}

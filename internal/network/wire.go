@@ -103,12 +103,12 @@ func UnmarshalMessage(buf []byte) (Message, error) {
 	}
 	src, err := word.New(d, buf[pos:pos+k])
 	if err != nil {
-		return m, fmt.Errorf("%w: source: %v", ErrWireField, err)
+		return m, fmt.Errorf("%w: source: %w", ErrWireField, err)
 	}
 	pos += k
 	dst, err := word.New(d, buf[pos:pos+k])
 	if err != nil {
-		return m, fmt.Errorf("%w: dest: %v", ErrWireField, err)
+		return m, fmt.Errorf("%w: dest: %w", ErrWireField, err)
 	}
 	pos += k
 	m.Source, m.Dest = src, dst

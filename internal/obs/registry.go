@@ -311,6 +311,36 @@ type HistogramSnapshot struct {
 	Count  int64     `json:"count"`
 }
 
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket
+// counts: rank-walk to the covering bucket, then interpolate linearly
+// inside it. Observations in the +Inf bucket clamp to the last finite
+// bound, and an empty histogram reports 0 — estimates, not exact
+// order statistics, but enough to compare against bucket-scale SLOs.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) {
+			break // +Inf bucket
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		frac := (rank - prev) / float64(c)
+		return lo + frac*(h.Bounds[i]-lo)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
 // Snapshot is a frozen copy of a registry, comparable across time.
 type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
@@ -356,6 +386,10 @@ func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
 
 // Gauge returns the snapshotted value of a gauge (0 if absent).
 func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
+
+// Histogram returns the snapshotted state of a histogram (zero value
+// if absent).
+func (s Snapshot) Histogram(name string) HistogramSnapshot { return s.Histograms[name] }
 
 // CounterSum sums every counter whose base name (label-stripped)
 // equals base — e.g. all dn_drops_total{reason=...} series.

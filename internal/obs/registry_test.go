@@ -167,3 +167,35 @@ func TestConcurrentUse(t *testing.T) {
 		t.Errorf("histogram count = %d, want 8000", snap.Histograms["h"].Count)
 	}
 }
+
+func TestHistogramSnapshotQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{10, 100, 1000})
+	for i := 0; i < 90; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(500)
+	}
+	snap := r.Snapshot().Histogram("q")
+	if p50 := snap.Quantile(0.50); p50 <= 0 || p50 > 10 {
+		t.Errorf("p50 = %v, want in (0, 10]", p50)
+	}
+	if p99 := snap.Quantile(0.99); p99 <= 100 || p99 > 1000 {
+		t.Errorf("p99 = %v, want in (100, 1000]", p99)
+	}
+	// Observations beyond the last finite bound clamp to it.
+	for i := 0; i < 100; i++ {
+		h.Observe(5000)
+	}
+	if p99 := r.Snapshot().Histogram("q").Quantile(0.99); p99 != 1000 {
+		t.Errorf("p99 with +Inf mass = %v, want clamp to 1000", p99)
+	}
+	// Empty and absent histograms report 0.
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	if got := r.Snapshot().Histogram("absent").Quantile(0.5); got != 0 {
+		t.Errorf("absent Quantile = %v, want 0", got)
+	}
+}

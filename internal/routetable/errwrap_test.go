@@ -1,0 +1,63 @@
+package routetable
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/word"
+)
+
+// TestNextHopFailure is the regression test for the Build error path
+// that used to report "next hop for %v: <nil>" whenever the next-hop
+// function returned more == false without an error: the two failure
+// shapes must be distinguished, and a real error must stay reachable
+// through errors.Is/As.
+func TestNextHopFailure(t *testing.T) {
+	dst := word.MustParse(2, "0110")
+
+	sentinel := errors.New("boom")
+	err := nextHopFailure(dst, sentinel, true)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("herr not wrapped: %v", err)
+	}
+	if strings.Contains(err.Error(), "<nil>") {
+		t.Fatalf("error mentions <nil>: %v", err)
+	}
+
+	err = nextHopFailure(dst, nil, false)
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("no-progress failure = %v, want ErrUnreachable", err)
+	}
+	if !strings.Contains(err.Error(), dst.String()) {
+		t.Fatalf("unreachable error does not name the destination: %v", err)
+	}
+	if strings.Contains(err.Error(), "<nil>") {
+		t.Fatalf("error mentions <nil>: %v", err)
+	}
+
+	// When herr and !more coincide, the error wins (it explains why no
+	// progress was possible).
+	err = nextHopFailure(dst, sentinel, false)
+	if !errors.Is(err, sentinel) || errors.Is(err, ErrUnreachable) {
+		t.Fatalf("combined failure = %v, want the wrapped error", err)
+	}
+
+	if err := nextHopFailure(dst, nil, true); err != nil {
+		t.Fatalf("success shape produced %v", err)
+	}
+}
+
+// TestBuildErrorsWrap checks Build's own failure modes stay typed.
+func TestBuildErrorsWrap(t *testing.T) {
+	if _, err := Build(word.Word{}, false); err == nil {
+		t.Fatal("zero site accepted")
+	}
+	// Oversized networks overflow word.Count and must wrap its error.
+	big := word.MustParse(36, strings.Repeat("z", 13))
+	if _, err := Build(big, false); err == nil {
+		t.Fatal("overflowing network accepted")
+	} else if !strings.HasPrefix(err.Error(), "routetable: ") {
+		t.Fatalf("unprefixed error: %v", err)
+	}
+}

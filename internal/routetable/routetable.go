@@ -25,6 +25,26 @@ type Table struct {
 	self int // rank of the site
 }
 
+// ErrUnreachable reports a destination the next-hop function refused
+// to make progress toward (more == false with no error) — impossible
+// on a healthy DG(d,k), so surfacing it beats a table that silently
+// drops traffic.
+var ErrUnreachable = errors.New("routetable: destination unreachable")
+
+// nextHopFailure distinguishes the two ways a next-hop computation can
+// fail while building a table: a real error (wrapped, so callers can
+// errors.Is/As into it) or no progress without an error, which
+// previously produced a misleading "next hop for v: <nil>" message.
+func nextHopFailure(dst word.Word, herr error, more bool) error {
+	if herr != nil {
+		return fmt.Errorf("routetable: next hop for %v: %w", dst, herr)
+	}
+	if !more {
+		return fmt.Errorf("%w: %v", ErrUnreachable, dst)
+	}
+	return nil
+}
+
 // Build computes the table of one site in O(N·k): one next-hop
 // computation per destination.
 func Build(site word.Word, unidirectional bool) (*Table, error) {
@@ -56,7 +76,7 @@ func Build(site word.Word, unidirectional bool) (*Table, error) {
 			h, more, herr = core.NextHopUndirected(site, dst)
 		}
 		if herr != nil || !more {
-			err = fmt.Errorf("routetable: next hop for %v: %v", dst, herr)
+			err = nextHopFailure(dst, herr, more)
 			return false
 		}
 		t.next[r] = h

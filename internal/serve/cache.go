@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Cache is a bounded LRU of full-fidelity answers keyed by
+// (kind, mode, d, k, src, dst). Safe for concurrent use; a nil *Cache
+// disables caching (every lookup misses, insertions are dropped).
+//
+// The hit path performs zero heap allocation: the caller builds the key
+// into a reused buffer, the map lookup uses Go's byte-slice-to-string
+// index optimization, and the stored Answer is returned by value (its
+// Path, if any, is shared read-only — answers are immutable once
+// cached).
+type Cache struct {
+	mu  sync.Mutex
+	max int
+	m   map[string]*list.Element
+	l   *list.List // front = most recently used
+
+	hits, misses, evictions *obs.Counter
+}
+
+// centry is one resident answer.
+type centry struct {
+	key string
+	a   Answer
+}
+
+// NewCache returns an LRU holding at most max answers. max < 1 yields
+// a nil (disabled) cache. The registry (which may be nil) receives the
+// dn_serve_cache_* counters.
+func NewCache(max int, reg *obs.Registry) *Cache {
+	if max < 1 {
+		return nil
+	}
+	return &Cache{
+		max:       max,
+		m:         make(map[string]*list.Element, max),
+		l:         list.New(),
+		hits:      reg.Counter(metricCacheHits),
+		misses:    reg.Counter(metricCacheMisses),
+		evictions: reg.Counter(metricCacheEvictions),
+	}
+}
+
+// get returns the cached answer for key, promoting it to most recently
+// used. The key slice is only read, never retained.
+func (c *Cache) get(key []byte) (Answer, bool) {
+	if c == nil {
+		return Answer{}, false
+	}
+	c.mu.Lock()
+	if el, ok := c.m[string(key)]; ok {
+		c.l.MoveToFront(el)
+		a := el.Value.(*centry).a
+		c.mu.Unlock()
+		c.hits.Inc()
+		return a, true
+	}
+	c.mu.Unlock()
+	c.misses.Inc()
+	return Answer{}, false
+}
+
+// put inserts (or refreshes) the answer under key, evicting the least
+// recently used resident when full.
+func (c *Cache) put(key []byte, a Answer) {
+	if c == nil {
+		return
+	}
+	evicted := false
+	c.mu.Lock()
+	if el, ok := c.m[string(key)]; ok {
+		el.Value.(*centry).a = a
+		c.l.MoveToFront(el)
+		c.mu.Unlock()
+		return
+	}
+	if c.l.Len() >= c.max {
+		back := c.l.Back()
+		c.l.Remove(back)
+		delete(c.m, back.Value.(*centry).key)
+		evicted = true
+	}
+	k := string(key)
+	c.m[k] = c.l.PushFront(&centry{key: k, a: a})
+	c.mu.Unlock()
+	if evicted {
+		c.evictions.Inc()
+	}
+}
+
+// Len returns the number of resident answers.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.l.Len()
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/word"
+)
+
+func cacheQuery(t *testing.T, s string) Query {
+	t.Helper()
+	return Query{Kind: KindDistance, Src: word.MustParse(2, s), Dst: word.MustParse(2, s)}
+}
+
+// TestCacheLRU checks insertion, lookup, recency promotion, and
+// eviction order at capacity.
+func TestCacheLRU(t *testing.T) {
+	reg := obs.NewRegistry()
+	c := NewCache(2, reg)
+	keys := make([][]byte, 3)
+	qs := []Query{cacheQuery(t, "0000"), cacheQuery(t, "0101"), cacheQuery(t, "1111")}
+	for i, q := range qs {
+		keys[i] = appendKey(nil, q)
+	}
+
+	c.put(keys[0], Answer{Distance: 10})
+	c.put(keys[1], Answer{Distance: 11})
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	// Touch key 0 so key 1 becomes least-recent.
+	if a, ok := c.get(keys[0]); !ok || a.Distance != 10 {
+		t.Fatalf("get(keys[0]) = %+v, %v", a, ok)
+	}
+	c.put(keys[2], Answer{Distance: 12})
+	if _, ok := c.get(keys[1]); ok {
+		t.Fatal("keys[1] should have been evicted (LRU)")
+	}
+	if a, ok := c.get(keys[0]); !ok || a.Distance != 10 {
+		t.Fatalf("keys[0] lost after eviction: %+v, %v", a, ok)
+	}
+	if a, ok := c.get(keys[2]); !ok || a.Distance != 12 {
+		t.Fatalf("keys[2] missing: %+v, %v", a, ok)
+	}
+
+	snap := reg.Snapshot()
+	if h := snap.Counter(metricCacheHits); h != 3 {
+		t.Errorf("hits = %d, want 3", h)
+	}
+	if m := snap.Counter(metricCacheMisses); m != 1 {
+		t.Errorf("misses = %d, want 1", m)
+	}
+	if e := snap.Counter(metricCacheEvictions); e != 1 {
+		t.Errorf("evictions = %d, want 1", e)
+	}
+}
+
+// TestCacheDisabled checks the nil cache (size < 1) is a no-op on both
+// paths rather than a nil-pointer hazard.
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0, nil)
+	if c != nil {
+		t.Fatalf("NewCache(0) = %v, want nil", c)
+	}
+	key := appendKey(nil, cacheQuery(t, "0110"))
+	if _, ok := c.get(key); ok {
+		t.Fatal("nil cache reported a hit")
+	}
+	c.put(key, Answer{Distance: 1})
+	if c.Len() != 0 {
+		t.Fatalf("nil cache Len = %d", c.Len())
+	}
+}
+
+// TestCachePutOverwrite checks a repeated put refreshes the stored
+// answer without growing the cache.
+func TestCachePutOverwrite(t *testing.T) {
+	c := NewCache(4, nil)
+	key := appendKey(nil, cacheQuery(t, "0110"))
+	c.put(key, Answer{Distance: 1})
+	c.put(key, Answer{Distance: 2})
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate put, want 1", c.Len())
+	}
+	if a, ok := c.get(key); !ok || a.Distance != 2 {
+		t.Fatalf("get = %+v, %v, want refreshed answer", a, ok)
+	}
+}
+
+// TestAppendKeyDistinct checks that distinct queries never collide:
+// the key must separate kind, mode, base, length, and both endpoints.
+func TestAppendKeyDistinct(t *testing.T) {
+	x := word.MustParse(2, "0110")
+	y := word.MustParse(2, "1001")
+	x3 := word.MustParse(3, "0110")
+	y3 := word.MustParse(3, "1001")
+	longX := word.MustParse(2, "01100")
+	longY := word.MustParse(2, "10010")
+	queries := []Query{
+		{Kind: KindDistance, Src: x, Dst: y},
+		{Kind: KindRoute, Src: x, Dst: y},
+		{Kind: KindNextHop, Src: x, Dst: y},
+		{Kind: KindDistance, Mode: Directed, Src: x, Dst: y},
+		{Kind: KindDistance, Src: y, Dst: x},
+		{Kind: KindDistance, Src: x3, Dst: y3},
+		{Kind: KindDistance, Src: longX, Dst: longY},
+	}
+	seen := make(map[string]int)
+	for i, q := range queries {
+		k := string(appendKey(nil, q))
+		if j, dup := seen[k]; dup {
+			t.Errorf("queries %d and %d share key %q", j, i, k)
+		}
+		seen[k] = i
+	}
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/word"
+)
+
+// ErrClientClosed is returned by Do after Close or after the
+// connection died.
+var ErrClientClosed = errors.New("serve: client closed")
+
+// Client speaks the wire protocol over one connection. Safe for
+// concurrent use: requests are ID-stamped and responses are matched
+// back to their callers, so any number of goroutines can share one
+// connection (the server may answer out of order).
+type Client struct {
+	conn     net.Conn
+	maxFrame int
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan Response
+	err     error // set once the reader exits
+	done    chan struct{}
+}
+
+// NewClient wraps an established connection (see also Dial and
+// Server.SelfClient) and starts its response reader.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:     conn,
+		maxFrame: DefaultMaxFrame,
+		pending:  make(map[uint64]chan Response),
+		done:     make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// Dial connects to a dbserve TCP address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: dial %s: %w", addr, err)
+	}
+	return NewClient(conn), nil
+}
+
+// readLoop dispatches responses to waiting callers until the
+// connection dies.
+func (c *Client) readLoop() {
+	var err error
+	for {
+		var body []byte
+		body, err = ReadFrame(c.conn, c.maxFrame)
+		if err != nil {
+			break
+		}
+		var resp Response
+		if uerr := unmarshalResponse(body, &resp); uerr != nil {
+			err = uerr
+			break
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp // buffered: never blocks
+		}
+	}
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	c.mu.Unlock()
+	close(c.done)
+}
+
+// Do sends req (its ID is overwritten) and waits for the matching
+// response, the context, or connection death.
+func (c *Client) Do(ctx context.Context, req Request) (Response, error) {
+	ch := make(chan Response, 1)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return Response{}, fmt.Errorf("%w: %w", ErrClientClosed, err)
+	}
+	c.nextID++
+	req.ID = c.nextID
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	err := WriteFrame(c.conn, &req)
+	c.wmu.Unlock()
+	if err != nil {
+		c.forget(req.ID)
+		return Response{}, err
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-ctx.Done():
+		c.forget(req.ID)
+		return Response{}, ctx.Err()
+	case <-c.done:
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		if err == nil {
+			err = ErrClientClosed
+		}
+		// The response may have been delivered just before the reader
+		// died; prefer it.
+		select {
+		case resp := <-ch:
+			return resp, nil
+		default:
+		}
+		return Response{}, fmt.Errorf("%w: %w", ErrClientClosed, err)
+	}
+}
+
+func (c *Client) forget(id uint64) {
+	c.mu.Lock()
+	delete(c.pending, id)
+	c.mu.Unlock()
+}
+
+// Close tears the connection down; in-flight Do calls return
+// ErrClientClosed.
+func (c *Client) Close() error {
+	err := c.conn.Close()
+	<-c.done
+	return err
+}
+
+// unmarshalResponse decodes one response frame body.
+func unmarshalResponse(body []byte, resp *Response) error {
+	return json.Unmarshal(body, resp)
+}
+
+// DistanceRequest builds a distance query for one vertex pair.
+func DistanceRequest(src, dst word.Word, mode Mode) Request {
+	return scalarRequest("distance", src, dst, mode)
+}
+
+// RouteRequest builds a route query for one vertex pair.
+func RouteRequest(src, dst word.Word, mode Mode) Request {
+	return scalarRequest("route", src, dst, mode)
+}
+
+// NextHopRequest builds a next-hop query for one vertex pair.
+func NextHopRequest(src, dst word.Word, mode Mode) Request {
+	return scalarRequest("nexthop", src, dst, mode)
+}
+
+// BatchRequest wraps scalar requests into one batch frame.
+func BatchRequest(items ...Request) Request {
+	return Request{Kind: "batch", Batch: items}
+}
+
+func scalarRequest(kind string, src, dst word.Word, mode Mode) Request {
+	return Request{
+		Kind: kind,
+		D:    src.Base(),
+		K:    src.Len(),
+		Src:  src.String(),
+		Dst:  dst.String(),
+		Mode: mode.String(),
+	}
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzServeDecode throws arbitrary bytes at the frame reader and the
+// request parser/validator chain: nothing may panic, errors must stay
+// within the package's typed families, and anything that parses must
+// re-encode and re-parse to the same query.
+func FuzzServeDecode(f *testing.F) {
+	var seed bytes.Buffer
+	for _, req := range []Request{
+		{Kind: "distance", D: 2, K: 4, Src: "0110", Dst: "1001"},
+		{Kind: "route", D: 3, K: 3, Src: "012", Dst: "210", Mode: "directed", DeadlineMS: 5},
+		{Kind: "batch", Batch: []Request{{Kind: "nexthop", D: 2, K: 2, Src: "01", Dst: "10"}}},
+	} {
+		seed.Reset()
+		if err := WriteFrame(&seed, &req); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(seed.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 2, '{', '}'})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		body, err := ReadFrame(bytes.NewReader(data), 1<<16)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, ErrBadFrame) && !errors.Is(err, ErrFrameTooBig) {
+				t.Fatalf("ReadFrame error outside the typed families: %v", err)
+			}
+			return
+		}
+		req, err := ParseRequest(body)
+		if err != nil {
+			if !errors.Is(err, ErrBadQuery) {
+				t.Fatalf("ParseRequest error outside ErrBadQuery: %v", err)
+			}
+			return
+		}
+		kind, err := ParseKind(req.Kind)
+		if err != nil {
+			return
+		}
+		var qs []Query
+		if kind == KindBatch {
+			qs, err = parseBatch(req)
+		} else {
+			var q Query
+			q, err = ParseQuery(req)
+			qs = []Query{q}
+		}
+		if err != nil {
+			if !errors.Is(err, ErrBadQuery) {
+				t.Fatalf("query validation error outside ErrBadQuery: %v", err)
+			}
+			return
+		}
+		// Valid queries must survive an answer at every ladder rung and
+		// a wire round trip of the rebuilt request.
+		eng := NewEngine(nil)
+		for _, q := range qs {
+			for _, level := range []Level{LevelFull, LevelDistance, LevelBounds} {
+				a, _, err := eng.Answer(q, level)
+				if err != nil {
+					t.Fatalf("validated query %+v failed at level %v: %v", q, level, err)
+				}
+				resp := answerResponse(req.ID, q.Kind, a, false)
+				var buf bytes.Buffer
+				if err := WriteFrame(&buf, &resp); err != nil {
+					t.Fatalf("response encode: %v", err)
+				}
+				if _, err := ReadFrame(&buf, 0); err != nil {
+					t.Fatalf("response re-read: %v", err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/word"
+)
+
+// LoadConfig drives RunLoad against one server. Two generator shapes:
+//
+//   - Closed loop (Rate == 0): Clients workers each issue
+//     RequestsPerClient queries back-to-back, waiting for each answer.
+//     Offered load self-regulates to server capacity — the classic
+//     "think-time zero" closed system.
+//   - Open loop (Rate > 0): queries are launched on a fixed schedule
+//     of Rate requests/second for Duration, regardless of completions
+//     (up to MaxInFlight outstanding), spread round-robin over Clients
+//     connections. Offered load is external — the regime where
+//     admission control and the degrade ladder earn their keep.
+type LoadConfig struct {
+	D, K int
+	// Clients is the connection count (and the worker count in closed
+	// loop). Default 4.
+	Clients int
+	// RequestsPerClient is the closed-loop request budget per worker.
+	// Default 256.
+	RequestsPerClient int
+	// Rate > 0 selects the open loop: offered requests per second.
+	Rate float64
+	// Duration bounds the open loop. Default 1s.
+	Duration time.Duration
+	// MaxInFlight bounds outstanding open-loop requests (launches
+	// beyond it are dropped client-side and reported in Unlaunched,
+	// keeping the generator itself allocation- and goroutine-bounded).
+	// Default 4096.
+	MaxInFlight int
+	// RouteFrac and NextHopFrac split traffic between kinds; the
+	// remainder is distance queries. Defaults 0.5 / 0.2.
+	RouteFrac   float64
+	NextHopFrac float64
+	// BatchSize, when > 0, wraps every launch into one batch request
+	// of that many scalar sub-queries (≤ MaxBatch). Batching amortizes
+	// wire and parse cost over many route computations, so it is the
+	// shape that can drive the worker shards — rather than the
+	// transport — to saturation and engage the degrade ladder.
+	BatchSize int
+	// Mode is the network orientation queried.
+	Mode Mode
+	// DeadlineMS is carried on every request (0: server default).
+	DeadlineMS int64
+	// HotSet, when > 0, draws sources/destinations from a fixed pool
+	// of that many vertices (cache-friendly skew); 0 draws uniformly.
+	HotSet int
+	Seed   int64
+}
+
+// LoadResult is one load-generation run, combining the client-side
+// view (latencies, transport errors) with the server-side conservation
+// counters (diffed across the run, so a shared server is fine).
+type LoadResult struct {
+	// Server-side outcome accounting for requests admitted during the
+	// run: Sent = Answered + Degraded + Shed exactly.
+	Sent, Answered, Degraded, Shed int64
+	ShedByReason                   map[string]int64
+	// Hits is the result-cache hit delta across the run.
+	Hits int64
+	// Completed counts client-observed responses; Errors counts
+	// transport-level failures; Unlaunched counts open-loop launches
+	// skipped at the MaxInFlight cap.
+	Completed, Errors, Unlaunched int64
+	// Client-observed latency quantiles and run wall-clock. Open-loop
+	// client latency includes time queued in the generator itself, so
+	// under overload it grows without bound by construction.
+	P50, P99 time.Duration
+	// ServerP50 and ServerP99 are admission-to-answer quantiles
+	// estimated from the dn_serve_latency_ns histogram over the run
+	// (zero without a Registry). This is the latency the degrade
+	// ladder bounds: tasks older than their deadline are shed, never
+	// answered late.
+	ServerP50, ServerP99 time.Duration
+	Elapsed              time.Duration
+	// Throughput is (Answered+Degraded)/Elapsed in requests/second.
+	Throughput float64
+}
+
+// Conserved reports the exact server-side conservation invariant.
+func (r LoadResult) Conserved() bool {
+	return r.Sent == r.Answered+r.Degraded+r.Shed
+}
+
+// RunLoad drives s with the configured workload over in-process
+// connections and returns the combined accounting.
+func RunLoad(s *Server, cfg LoadConfig) (LoadResult, error) {
+	if cfg.D < 2 || cfg.K < 1 {
+		return LoadResult{}, fmt.Errorf("serve: loadgen needs d ≥ 2, k ≥ 1, got DG(%d,%d)", cfg.D, cfg.K)
+	}
+	if cfg.Clients < 1 {
+		cfg.Clients = 4
+	}
+	if cfg.RequestsPerClient < 1 {
+		cfg.RequestsPerClient = 256
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.MaxInFlight < 1 {
+		cfg.MaxInFlight = 4096
+	}
+	if cfg.RouteFrac == 0 && cfg.NextHopFrac == 0 {
+		cfg.RouteFrac, cfg.NextHopFrac = 0.5, 0.2
+	}
+	if cfg.BatchSize > MaxBatch {
+		return LoadResult{}, fmt.Errorf("serve: loadgen batch size %d exceeds MaxBatch %d", cfg.BatchSize, MaxBatch)
+	}
+	// Materialize the hot pool once: drawing through a fresh
+	// pool-seeded rng per vertex is deterministic but far too slow to
+	// sit on the open loop's launch path.
+	var pool []word.Word
+	if cfg.HotSet > 0 {
+		pool = make([]word.Word, cfg.HotSet)
+		for i := range pool {
+			pool[i] = poolWord(cfg, i)
+		}
+	}
+
+	clients := make([]*Client, cfg.Clients)
+	for i := range clients {
+		c, err := s.SelfClient()
+		if err != nil {
+			return LoadResult{}, err
+		}
+		clients[i] = c
+		defer c.Close()
+	}
+
+	before := s.Counts()
+	regBefore := s.cfg.Registry.Snapshot()
+	start := time.Now()
+
+	var res LoadResult
+	var latencies []time.Duration
+	if cfg.Rate > 0 {
+		latencies = runOpenLoop(clients, cfg, pool, &res)
+	} else {
+		latencies = runClosedLoop(clients, cfg, pool, &res)
+	}
+
+	res.Elapsed = time.Since(start)
+	after := s.Counts()
+	res.Sent = after.Sent - before.Sent
+	res.Answered = after.Answered - before.Answered
+	res.Degraded = after.Degraded - before.Degraded
+	res.ShedByReason = make(map[string]int64)
+	for reason, v := range after.ShedByReason {
+		if d := v - before.ShedByReason[reason]; d != 0 {
+			res.ShedByReason[reason] = d
+			res.Shed += d
+		}
+	}
+	regDiff := s.cfg.Registry.Snapshot().Diff(regBefore)
+	res.Hits = regDiff.Counter(metricCacheHits)
+	lat := regDiff.Histogram(metricLatencyNs)
+	res.ServerP50 = time.Duration(lat.Quantile(0.50))
+	res.ServerP99 = time.Duration(lat.Quantile(0.99))
+	res.Completed = int64(len(latencies))
+	if sec := res.Elapsed.Seconds(); sec > 0 {
+		res.Throughput = float64(res.Answered+res.Degraded) / sec
+	}
+	res.P50 = percentile(latencies, 0.50)
+	res.P99 = percentile(latencies, 0.99)
+	return res, nil
+}
+
+// runClosedLoop is the Clients × RequestsPerClient think-time-zero
+// driver.
+func runClosedLoop(clients []*Client, cfg LoadConfig, pool []word.Word, res *LoadResult) []time.Duration {
+	var mu sync.Mutex
+	var all []time.Duration
+	var errs int64
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+			lats := make([]time.Duration, 0, cfg.RequestsPerClient)
+			nerr := int64(0)
+			for n := 0; n < cfg.RequestsPerClient; n++ {
+				req := randomRequest(cfg, rng, pool)
+				t0 := time.Now()
+				if _, err := c.Do(context.Background(), req); err != nil {
+					nerr++
+					continue
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			mu.Lock()
+			all = append(all, lats...)
+			errs += nerr
+			mu.Unlock()
+		}(i, c)
+	}
+	wg.Wait()
+	res.Errors = errs
+	return all
+}
+
+// runOpenLoop launches requests on a fixed schedule for Duration. The
+// pacing is deficit-based rather than one timer tick per request: a
+// sub-millisecond ticker silently coalesces on coarse runtime timers,
+// capping the offered rate far below the configured one, whereas
+// launching (elapsed × Rate − launched) requests per wakeup holds the
+// schedule at any rate the generator itself can sustain.
+func runOpenLoop(clients []*Client, cfg LoadConfig, pool []word.Word, res *LoadResult) []time.Duration {
+	var mu sync.Mutex
+	var all []time.Duration
+	var errs, unlaunched int64
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.MaxInFlight)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	launched := 0
+	for {
+		elapsed := time.Since(start)
+		if elapsed >= cfg.Duration {
+			break
+		}
+		due := int(elapsed.Seconds() * cfg.Rate)
+		for ; launched < due; launched++ {
+			req := randomRequest(cfg, rng, pool)
+			c := clients[launched%len(clients)]
+			select {
+			case sem <- struct{}{}:
+			default:
+				unlaunched++
+				continue
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t0 := time.Now()
+				_, err := c.Do(context.Background(), req)
+				lat := time.Since(t0)
+				mu.Lock()
+				if err != nil {
+					errs++
+				} else {
+					all = append(all, lat)
+				}
+				mu.Unlock()
+			}()
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	wg.Wait()
+	res.Errors = errs
+	res.Unlaunched = unlaunched
+	return all
+}
+
+// randomRequest draws one request — a scalar query from the
+// configured kind mix, or a batch of BatchSize of them.
+func randomRequest(cfg LoadConfig, rng *rand.Rand, pool []word.Word) Request {
+	var req Request
+	if cfg.BatchSize > 0 {
+		items := make([]Request, cfg.BatchSize)
+		for i := range items {
+			items[i] = randomScalar(cfg, rng, pool)
+		}
+		req = BatchRequest(items...)
+	} else {
+		req = randomScalar(cfg, rng, pool)
+	}
+	req.DeadlineMS = cfg.DeadlineMS
+	return req
+}
+
+// randomScalar draws one query from the configured kind mix and
+// vertex distribution.
+func randomScalar(cfg LoadConfig, rng *rand.Rand, pool []word.Word) Request {
+	src, dst := randomPair(cfg, rng, pool)
+	switch p := rng.Float64(); {
+	case p < cfg.RouteFrac:
+		return RouteRequest(src, dst, cfg.Mode)
+	case p < cfg.RouteFrac+cfg.NextHopFrac:
+		return NextHopRequest(src, dst, cfg.Mode)
+	default:
+		return DistanceRequest(src, dst, cfg.Mode)
+	}
+}
+
+func randomPair(cfg LoadConfig, rng *rand.Rand, pool []word.Word) (word.Word, word.Word) {
+	if len(pool) > 0 {
+		return pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]
+	}
+	return word.Random(cfg.D, cfg.K, rng), word.Random(cfg.D, cfg.K, rng)
+}
+
+func poolWord(cfg LoadConfig, i int) word.Word {
+	return word.Random(cfg.D, cfg.K, rand.New(rand.NewSource(cfg.Seed^int64(0x9E3779B9)+int64(i))))
+}
+
+// percentile returns the q-quantile of lats (nearest-rank), 0 when
+// empty. Sorts a copy.
+func percentile(lats []time.Duration, q float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lats...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

@@ -1,0 +1,69 @@
+package serve
+
+import "repro/internal/obs"
+
+// Serving metric names (README.md § Observability). All registered
+// with the Config.Registry; a nil registry degrades every instrument
+// to a nil check, per the obs contract.
+const (
+	metricRequests       = "dn_serve_requests_total"  // labelled {kind=...}
+	metricAnswered       = "dn_serve_answered_total"  // full-fidelity outcomes
+	metricDegraded       = "dn_serve_degraded_total"  // labelled {mode=distance|bounds}
+	metricShed           = "dn_serve_shed_total"      // labelled {reason=...}
+	metricCacheHits      = "dn_serve_cache_hits_total"
+	metricCacheMisses    = "dn_serve_cache_misses_total"
+	metricCacheEvictions = "dn_serve_cache_evictions_total"
+	metricQueueDepth     = "dn_serve_queue_depth" // gauge: tasks waiting
+	metricLatencyNs      = "dn_serve_latency_ns"  // admission → answer
+	metricConns          = "dn_serve_conns_total"
+)
+
+// shedReason enumerates the exhaustive, stable set of shed outcomes.
+// Every admitted request that is not answered (fully or degraded) is
+// shed under exactly one of these, which is what makes the
+// sent = answered + degraded + shed accounting exact.
+type shedReason uint8
+
+const (
+	shedQueueFull shedReason = iota // admission queue full at enqueue
+	shedDeadline                    // deadline expired before compute
+	shedCanceled                    // connection gone before compute
+	shedBadRequest                  // request failed validation
+	shedShutdown                    // server closing, queue drained
+	numShedReasons
+)
+
+var shedReasonNames = [numShedReasons]string{
+	"queue_full", "deadline", "canceled", "bad_request", "shutdown",
+}
+
+func (r shedReason) String() string { return shedReasonNames[r] }
+
+// serveMetrics are the pre-resolved instrument handles of one Server.
+type serveMetrics struct {
+	requests  [KindBatch + 1]*obs.Counter
+	answered  *obs.Counter
+	degraded  [LevelBounds + 1]*obs.Counter // LevelFull slot unused
+	shed      [numShedReasons]*obs.Counter
+	queue     *obs.Gauge
+	latencyNs *obs.Histogram
+	conns     *obs.Counter
+}
+
+func newServeMetrics(reg *obs.Registry) serveMetrics {
+	var m serveMetrics
+	for k := KindDistance; k <= KindBatch; k++ {
+		m.requests[k] = reg.Counter(obs.Label(metricRequests, "kind", k.String()))
+	}
+	m.answered = reg.Counter(metricAnswered)
+	for l := LevelDistance; l <= LevelBounds; l++ {
+		m.degraded[l] = reg.Counter(obs.Label(metricDegraded, "mode", l.DegradeString()))
+	}
+	for r := shedReason(0); r < numShedReasons; r++ {
+		m.shed[r] = reg.Counter(obs.Label(metricShed, "reason", r.String()))
+	}
+	m.queue = reg.Gauge(metricQueueDepth)
+	m.latencyNs = reg.Histogram(metricLatencyNs, obs.NsBuckets)
+	m.conns = reg.Counter(metricConns)
+	return m
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package serve
+
+// The race detector instruments allocations made by the runtime on
+// behalf of sync primitives, so AllocsPerRun numbers are not
+// meaningful under -race; alloc-budget tests skip themselves.
+const raceEnabled = true

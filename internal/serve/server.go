@@ -1,0 +1,456 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config tunes a Server. The zero value gets sensible defaults from
+// NewServer.
+type Config struct {
+	// Shards is the number of worker goroutines, each owning one
+	// Engine (and hence one core.Scratch). Default GOMAXPROCS.
+	Shards int
+	// QueueDepth bounds the admission queue; a request arriving while
+	// the queue is full is shed immediately (reason queue_full), never
+	// blocking the connection reader or the accept loop. Default 1024.
+	QueueDepth int
+	// CacheSize is the LRU result-cache capacity in answers; 0
+	// disables caching.
+	CacheSize int
+	// DefaultDeadline bounds requests that carry no deadline_ms.
+	// Default 100ms.
+	DefaultDeadline time.Duration
+	// MaxFrame bounds one wire frame. Default DefaultMaxFrame.
+	MaxFrame int
+	// DegradeHigh and DegradeCritical are admission-queue fill
+	// fractions (measured when a worker dequeues): at or above High,
+	// route queries degrade to distance-only; at or above Critical,
+	// every query degrades to layer bounds. Defaults 0.75 and 0.90.
+	DegradeHigh     float64
+	DegradeCritical float64
+	// Registry receives the dn_serve_* instruments; nil disables
+	// metrics (the conservation Counts are kept regardless).
+	Registry *obs.Registry
+}
+
+// ErrServerClosed is returned by Serve and SelfClient after Close.
+var ErrServerClosed = errors.New("serve: server closed")
+
+// Counts is the conservation snapshot: every admitted request has
+// exactly one outcome, so Sent = Answered + Degraded + Shed always.
+type Counts struct {
+	Sent     int64
+	Answered int64 // full-fidelity answers (cache hits included)
+	Degraded int64 // answered at LevelDistance or LevelBounds
+	Shed     int64 // sum over ShedByReason
+	ShedByReason map[string]int64
+}
+
+// Conserved reports whether the invariant holds exactly.
+func (c Counts) Conserved() bool {
+	return c.Sent == c.Answered+c.Degraded+c.Shed
+}
+
+// task is one admitted request travelling from a connection reader to
+// a worker shard.
+type task struct {
+	req      Request
+	q        Query   // scalar kinds
+	batch    []Query // kind batch
+	deadline time.Time
+	start    time.Time
+	ctx      context.Context // connection context
+	out      chan<- Response
+	pending  *sync.WaitGroup // connection's in-flight accounting
+}
+
+// Server is the sharded route-query server. Construct with NewServer,
+// feed it listeners via Serve (or in-process clients via SelfClient),
+// stop with Close.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	queue chan *task
+	m     serveMetrics
+
+	sent     atomic.Int64
+	answered atomic.Int64
+	degraded atomic.Int64
+	shedN    [numShedReasons]atomic.Int64
+
+	ctx       context.Context
+	cancel    context.CancelFunc
+	closeDone chan struct{}
+
+	workers sync.WaitGroup
+	conns   sync.WaitGroup
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	open      map[net.Conn]struct{}
+	closed    bool
+
+	// workerHook, when set (tests only), runs at the top of every
+	// worker dequeue — used to stall shards deterministically.
+	workerHook func(*task)
+}
+
+// NewServer builds and starts the worker shards. The server is
+// immediately ready for SelfClient; call Serve to accept TCP.
+func NewServer(cfg Config) *Server {
+	if cfg.Shards < 1 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 1024
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = 100 * time.Millisecond
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.DegradeHigh <= 0 {
+		cfg.DegradeHigh = 0.75
+	}
+	if cfg.DegradeCritical <= 0 {
+		cfg.DegradeCritical = 0.90
+	}
+	s := &Server{
+		cfg:       cfg,
+		cache:     NewCache(cfg.CacheSize, cfg.Registry),
+		queue:     make(chan *task, cfg.QueueDepth),
+		m:         newServeMetrics(cfg.Registry),
+		listeners: make(map[net.Listener]struct{}),
+		open:      make(map[net.Conn]struct{}),
+		closeDone: make(chan struct{}),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	s.workers.Add(cfg.Shards)
+	for i := 0; i < cfg.Shards; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Cache exposes the shared result cache (nil when disabled).
+func (s *Server) Cache() *Cache { return s.cache }
+
+// Counts snapshots the conservation accounting.
+func (s *Server) Counts() Counts {
+	c := Counts{
+		Sent:         s.sent.Load(),
+		Answered:     s.answered.Load(),
+		Degraded:     s.degraded.Load(),
+		ShedByReason: make(map[string]int64, numShedReasons),
+	}
+	for r := shedReason(0); r < numShedReasons; r++ {
+		if v := s.shedN[r].Load(); v != 0 {
+			c.ShedByReason[r.String()] = v
+			c.Shed += v
+		}
+	}
+	return c
+}
+
+// Serve accepts connections on ln until Close (or a listener error)
+// and handles each on its own goroutine. It returns ErrServerClosed
+// after an orderly Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+	}()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Close shuts listeners before canceling the server context,
+			// so consult the closed flag too.
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || s.ctx.Err() != nil {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.startConn(conn)
+	}
+}
+
+// SelfClient returns an in-process client connected over net.Pipe —
+// the zero-port path used by tests and the load generator.
+func (s *Server) SelfClient() (*Client, error) {
+	cs, ss := net.Pipe()
+	if !s.startConn(ss) {
+		cs.Close()
+		return nil, ErrServerClosed
+	}
+	return NewClient(cs), nil
+}
+
+// startConn registers and launches one connection handler; it reports
+// false when the server is already closed.
+func (s *Server) startConn(conn net.Conn) bool {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return false
+	}
+	s.open[conn] = struct{}{}
+	s.conns.Add(1)
+	s.mu.Unlock()
+	s.m.conns.Inc()
+	go func() {
+		defer s.conns.Done()
+		s.handleConn(conn)
+		s.mu.Lock()
+		delete(s.open, conn)
+		s.mu.Unlock()
+	}()
+	return true
+}
+
+// Close stops accepting, closes open connections, drains the queue
+// (pending tasks are shed with reason shutdown) and waits for every
+// goroutine. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.closeDone // another Close is (or was) shutting down
+		return nil
+	}
+	s.closed = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	for conn := range s.open {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.cancel()
+	s.conns.Wait()
+	close(s.queue)
+	s.workers.Wait()
+	close(s.closeDone)
+	return nil
+}
+
+// handleConn runs the reader side of one connection: framing,
+// parsing, admission. A writer goroutine serializes responses; the
+// reader never blocks on routing work (enqueue is non-blocking) and
+// the accept loop never blocks on the reader.
+func (s *Server) handleConn(conn net.Conn) {
+	defer conn.Close()
+	// The connection context is canceled the moment the reader exits
+	// (the peer is gone), so queued tasks from a dead connection are
+	// shed (reason canceled) instead of computed into the void.
+	ctx, cancel := context.WithCancel(s.ctx)
+	defer cancel()
+	out := make(chan Response, 64)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		dead := false
+		for resp := range out {
+			if dead {
+				continue // keep draining so senders never block
+			}
+			if err := WriteFrame(conn, &resp); err != nil {
+				dead = true
+			}
+		}
+	}()
+	var pending sync.WaitGroup
+	for {
+		body, err := ReadFrame(conn, s.cfg.MaxFrame)
+		if err != nil {
+			break // EOF, torn frame, or closed conn: stop reading
+		}
+		s.admit(ctx, body, out, &pending)
+	}
+	cancel()
+	pending.Wait() // workers may still hold tasks writing to out
+	close(out)
+	<-writerDone
+}
+
+// admit counts, parses, and enqueues one request frame, shedding
+// instead of blocking when the queue is full. Parse failures are
+// admitted-and-shed (reason bad_request) so conservation covers them.
+func (s *Server) admit(ctx context.Context, body []byte, out chan<- Response, pending *sync.WaitGroup) {
+	s.sent.Add(1)
+	req, err := ParseRequest(body)
+	if err != nil {
+		s.shedN[shedBadRequest].Add(1)
+		s.m.shed[shedBadRequest].Inc()
+		sendResponse(out, ctx, errorResponse(req.ID, err))
+		return
+	}
+	kind, kerr := ParseKind(req.Kind)
+	if kerr == nil {
+		s.m.requests[kind].Inc()
+	}
+	t := &task{
+		req:     req,
+		start:   time.Now(),
+		ctx:     ctx,
+		out:     out,
+		pending: pending,
+	}
+	if kerr != nil {
+		err = kerr
+	} else if kind == KindBatch {
+		t.batch, err = parseBatch(req)
+	} else {
+		t.q, err = ParseQuery(req)
+	}
+	if err != nil {
+		s.shedN[shedBadRequest].Add(1)
+		s.m.shed[shedBadRequest].Inc()
+		sendResponse(out, ctx, errorResponse(req.ID, err))
+		return
+	}
+	budget := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		budget = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	t.deadline = t.start.Add(budget)
+	pending.Add(1)
+	select {
+	case s.queue <- t:
+		s.m.queue.Set(float64(len(s.queue)))
+	default:
+		pending.Done()
+		s.shedN[shedQueueFull].Add(1)
+		s.m.shed[shedQueueFull].Inc()
+		sendResponse(out, ctx, shedResponse(req.ID, shedQueueFull))
+	}
+}
+
+// sendResponse delivers resp to the connection writer unless the
+// server is shutting down (the writer drains until close, so this
+// only gives up when ctx is already canceled).
+func sendResponse(out chan<- Response, ctx context.Context, resp Response) {
+	select {
+	case out <- resp:
+	case <-ctx.Done():
+	}
+}
+
+// worker is one shard: a loop around a private Engine.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	eng := NewEngine(s.cache)
+	for t := range s.queue {
+		s.m.queue.Set(float64(len(s.queue)))
+		s.process(eng, t)
+	}
+}
+
+// degradeLevel maps the instantaneous queue fill to a ladder rung.
+func (s *Server) degradeLevel() Level {
+	fill := float64(len(s.queue)) / float64(cap(s.queue))
+	switch {
+	case fill >= s.cfg.DegradeCritical:
+		return LevelBounds
+	case fill >= s.cfg.DegradeHigh:
+		return LevelDistance
+	default:
+		return LevelFull
+	}
+}
+
+// process resolves one task to its single outcome.
+func (s *Server) process(eng *Engine, t *task) {
+	defer t.pending.Done()
+	if hook := s.workerHook; hook != nil {
+		hook(t)
+	}
+	var reason shedReason
+	switch {
+	case s.ctx.Err() != nil:
+		reason = shedShutdown
+	case t.ctx.Err() != nil:
+		reason = shedCanceled
+	case time.Now().After(t.deadline):
+		reason = shedDeadline
+	default:
+		s.answerTask(eng, t)
+		return
+	}
+	s.shedN[reason].Add(1)
+	s.m.shed[reason].Inc()
+	sendResponse(t.out, t.ctx, shedResponse(t.req.ID, reason))
+}
+
+// answerTask computes the answer(s) at the current degrade rung and
+// records the answered/degraded outcome.
+func (s *Server) answerTask(eng *Engine, t *task) {
+	level := s.degradeLevel()
+	var resp Response
+	maxLevel := LevelFull
+	if t.batch != nil {
+		resp = Response{ID: t.req.ID, Status: StatusOK, Batch: make([]Response, len(t.batch))}
+		for i, q := range t.batch {
+			if time.Now().After(t.deadline) {
+				// Deadline hit mid-batch: the whole request resolves to
+				// one outcome, shed deadline (partial answers dropped).
+				s.shedN[shedDeadline].Add(1)
+				s.m.shed[shedDeadline].Inc()
+				sendResponse(t.out, t.ctx, shedResponse(t.req.ID, shedDeadline))
+				return
+			}
+			a, cached, err := eng.Answer(q, level)
+			if err != nil {
+				s.shedN[shedBadRequest].Add(1)
+				s.m.shed[shedBadRequest].Inc()
+				sendResponse(t.out, t.ctx, errorResponse(t.req.ID, err))
+				return
+			}
+			resp.Batch[i] = answerResponse(t.req.Batch[i].ID, q.Kind, a, cached)
+			if a.Level > maxLevel {
+				maxLevel = a.Level
+			}
+		}
+		resp.Degrade = maxLevel.DegradeString()
+	} else {
+		a, cached, err := eng.Answer(t.q, level)
+		if err != nil {
+			s.shedN[shedBadRequest].Add(1)
+			s.m.shed[shedBadRequest].Inc()
+			sendResponse(t.out, t.ctx, errorResponse(t.req.ID, err))
+			return
+		}
+		maxLevel = a.Level
+		resp = answerResponse(t.req.ID, t.q.Kind, a, cached)
+	}
+	if maxLevel > LevelFull {
+		s.degraded.Add(1)
+		s.m.degraded[maxLevel].Inc()
+	} else {
+		s.answered.Add(1)
+		s.m.answered.Inc()
+	}
+	s.m.latencyNs.Observe(float64(time.Since(t.start)))
+	sendResponse(t.out, t.ctx, resp)
+}
