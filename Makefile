@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench bench-json bench-compare check serve-check fuzz experiments examples clean
+.PHONY: all build vet test lint race cover bench bench-json bench-compare check serve-check fuzz experiments examples clean
 
 all: build vet test
 
@@ -12,6 +12,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Vet plus staticcheck when it is on PATH (CI installs it; local runs
+# without it still get the vet half instead of an error).
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; ran go vet only"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -59,6 +68,7 @@ serve-check:
 	$(GO) run ./cmd/dbserve -selfcheck -clients 4 -requests 200 -hotset 64
 	$(GO) run ./cmd/dbserve -selfcheck -rate 5000 -duration 500ms -hotset 64
 	$(GO) run ./cmd/dbserve -selfcheck -shards 1 -queue 16 -rate 4000 -duration 300ms -hotset 64 -batch 64 -deadline 20ms
+	$(GO) run ./cmd/dbserve -selfcheck -clients 4 -requests 200 -hotset 64 -trace-sample 16 -flight-size 128
 
 # Short fuzz sessions over the fuzz targets.
 fuzz:

@@ -41,10 +41,12 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/deflect"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/word"
 )
@@ -304,24 +306,37 @@ func benchServeCells(d, k int) ([]Result, error) {
 		}
 	}
 	ops := []struct {
-		name string
-		eng  *serve.Engine
-		kind serve.Kind
+		name   string
+		eng    *serve.Engine
+		kind   serve.Kind
+		traced bool
 	}{
-		{"ServeHitDistance", warm, serve.KindDistance},
-		{"ServeHitRoute", warm, serve.KindRoute},
-		{"ServeMissDistance", cold, serve.KindDistance},
-		{"ServeMissRoute", cold, serve.KindRoute},
+		{"ServeHitDistance", warm, serve.KindDistance, false},
+		{"ServeHitRoute", warm, serve.KindRoute, false},
+		{"ServeMissDistance", cold, serve.KindDistance, false},
+		{"ServeMissRoute", cold, serve.KindRoute, false},
+		// Traced variants measure the sampled-request path: a fresh
+		// ReqTrace per call plus the span and hop-event recording the
+		// engine does when one is attached. This is the 1-in-N cost;
+		// the untraced cells above stay the pinned disabled-path
+		// budgets.
+		{"ServeHitRouteTraced", warm, serve.KindRoute, true},
+		{"ServeMissRouteTraced", cold, serve.KindRoute, true},
 	}
 	out := make([]Result, 0, len(ops))
 	for _, op := range ops {
-		eng, kind := op.eng, op.kind
+		eng, kind, traced := op.eng, op.kind, op.traced
 		var failure error
 		br := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				p := pairs[i%len(pairs)]
-				if _, _, err := eng.Answer(serve.Query{Kind: kind, Src: p[0], Dst: p[1]}, serve.LevelFull); err != nil {
+				q := serve.Query{Kind: kind, Src: p[0], Dst: p[1]}
+				var tr *obs.ReqTrace
+				if traced {
+					tr = obs.NewReqTrace(obs.TraceID(i+1), kind.String(), "", time.Now())
+				}
+				if _, _, err := eng.AnswerTraced(q, serve.LevelFull, tr); err != nil {
 					failure = err
 					b.FailNow()
 				}

@@ -109,9 +109,9 @@ func TestServeSuiteRoundTrip(t *testing.T) {
 	if rep.Schema != SchemaServe {
 		t.Errorf("schema = %q, want %q", rep.Schema, SchemaServe)
 	}
-	// 4 ops × 2 k values.
-	if len(rep.Results) != 8 {
-		t.Fatalf("got %d results, want 8", len(rep.Results))
+	// 6 ops × 2 k values.
+	if len(rep.Results) != 12 {
+		t.Fatalf("got %d results, want 12", len(rep.Results))
 	}
 	for _, r := range rep.Results {
 		if r.NsPerOp <= 0 || r.Iterations <= 0 {
@@ -119,6 +119,9 @@ func TestServeSuiteRoundTrip(t *testing.T) {
 		}
 		if raceEnabled {
 			continue // instrumented alloc counts are not meaningful
+		}
+		if strings.HasSuffix(r.Op, "Traced") {
+			continue // the sampled path allocates its trace by design
 		}
 		budget := int64(0)
 		if r.Op == "ServeMissRoute" {

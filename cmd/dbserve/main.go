@@ -3,26 +3,45 @@
 //
 //	dbserve -addr :4600                       # serve until SIGINT/SIGTERM
 //	dbserve -addr :4600 -debug-addr :4601     # plus /metrics and pprof
+//	dbserve -trace-sample 64 -flight-size 256 # tracing + flight recorder
 //	dbserve -selfcheck -rate 20000            # in-process load check, then exit
+//	dbserve -probe -addr :4600                # client smoke: traced queries
 //
 // The server owns one routing engine (and one reusable scratch state)
 // per shard, shares an LRU result cache across shards, sheds instead
 // of queueing unboundedly, and degrades route answers to distance-only
 // and then to layer-bound estimates as the admission queue fills.
+//
+// With -trace-sample N, one request in N records a full span trace
+// (admission, queue wait, cache, kernel, response write) served on
+// /debug/traces; with -flight-size, a flight recorder keeps the last
+// events and freezes on the first anomaly (shed spike, degrade ladder
+// engaging, window p99 past the deadline), served on /debug/flight.
+//
+// -selfcheck additionally scrapes its own /metrics mid-run and
+// cross-checks the dn_serve_* counters against the in-process
+// conservation totals; drift fires the conservation_mismatch flight
+// trigger and fails the run.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/serve"
+	"repro/internal/word"
 )
 
 func main() {
@@ -39,8 +58,13 @@ func run(args []string, out io.Writer) error {
 	queue := fs.Int("queue", 1024, "admission queue depth (full queue sheds)")
 	cacheSize := fs.Int("cache", 4096, "LRU result-cache capacity in answers (0 disables)")
 	deadline := fs.Duration("deadline", 100*time.Millisecond, "default per-request deadline")
-	debugAddr := fs.String("debug-addr", "", "serve /metrics and /debug/pprof on this address")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/traces, /debug/flight, pprof on this address")
+	traceSample := fs.Int("trace-sample", 0, "record one request trace in every N (0 disables tracing)")
+	traceSeed := fs.Uint64("trace-seed", 1, "seed of the deterministic trace sampler")
+	traceBuffer := fs.Int("trace-buffer", 256, "sampled traces retained for /debug/traces")
+	flightSize := fs.Int("flight-size", 0, "flight-recorder ring capacity in events (0 disables)")
 	selfcheck := fs.Bool("selfcheck", false, "run an in-process load sweep instead of listening")
+	probe := fs.Bool("probe", false, "connect to -addr as a client, send traced smoke queries, exit")
 	d := fs.Int("d", 2, "selfcheck: alphabet size")
 	k := fs.Int("k", 10, "selfcheck: diameter")
 	rate := fs.Float64("rate", 0, "selfcheck: offered requests/second (0: closed loop)")
@@ -54,6 +78,10 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	if *probe {
+		return runProbe(*addr, out)
+	}
+
 	reg := obs.NewRegistry()
 	srv := serve.NewServer(serve.Config{
 		Shards:          *shards,
@@ -61,11 +89,25 @@ func run(args []string, out io.Writer) error {
 		CacheSize:       *cacheSize,
 		DefaultDeadline: *deadline,
 		Registry:        reg,
+		TraceSample:     *traceSample,
+		TraceSeed:       *traceSeed,
+		TraceBufferSize: *traceBuffer,
+		FlightSize:      *flightSize,
 	})
 	defer srv.Close()
 
-	if *debugAddr != "" {
-		ds, err := obs.ServeDebug(*debugAddr, reg)
+	// The selfcheck cross-checks the wire /metrics against in-process
+	// counters, so it gets an ephemeral debug server if none was asked
+	// for.
+	dbgAddr := *debugAddr
+	if dbgAddr == "" && *selfcheck {
+		dbgAddr = "127.0.0.1:0"
+	}
+	var scrapeURL string
+	if dbgAddr != "" {
+		ds, err := obs.ServeDebugOpts(dbgAddr, obs.DebugOptions{
+			Registry: reg, Traces: srv.Traces(), Flight: srv.Flight(),
+		})
 		if err != nil {
 			return err
 		}
@@ -74,11 +116,14 @@ func run(args []string, out io.Writer) error {
 				fmt.Fprintln(os.Stderr, "debug server:", err)
 			}
 		}()
-		fmt.Fprintf(out, "debug server on http://%s (/metrics, /metrics.json, /debug/pprof/)\n", ds.Addr())
+		scrapeURL = "http://" + ds.Addr() + "/metrics"
+		if *debugAddr != "" {
+			fmt.Fprintf(out, "debug server on http://%s (/metrics, /metrics.json, /debug/traces, /debug/flight, /debug/pprof/)\n", ds.Addr())
+		}
 	}
 
 	if *selfcheck {
-		res, err := serve.RunLoad(srv, serve.LoadConfig{
+		return runSelfcheck(out, srv, scrapeURL, *traceSample, serve.LoadConfig{
 			D: *d, K: *k,
 			Clients:           *clients,
 			RequestsPerClient: *requests,
@@ -87,16 +132,8 @@ func run(args []string, out io.Writer) error {
 			HotSet:            *hotset,
 			BatchSize:         *batch,
 			Seed:              *seed,
+			StampTrace:        *traceSample > 0,
 		})
-		if err != nil {
-			return err
-		}
-		printLoadResult(out, res)
-		if !res.Conserved() {
-			return fmt.Errorf("conservation violated: sent %d != answered %d + degraded %d + shed %d",
-				res.Sent, res.Answered, res.Degraded, res.Shed)
-		}
-		return nil
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -117,6 +154,208 @@ func run(args []string, out io.Writer) error {
 	case err := <-serveErr:
 		return err
 	}
+}
+
+// runSelfcheck drives the in-process load sweep while scraping the
+// server's own /metrics endpoint, then cross-checks the scraped
+// dn_serve_* counters against the in-process conservation totals.
+func runSelfcheck(out io.Writer, srv *serve.Server, scrapeURL string, sampleEvery int, cfg serve.LoadConfig) error {
+	type loadOut struct {
+		res serve.LoadResult
+		err error
+	}
+	done := make(chan loadOut, 1)
+	go func() {
+		res, err := serve.RunLoad(srv, cfg)
+		done <- loadOut{res, err}
+	}()
+
+	// Mid-run scrapes: each consecutive pair must be monotone, and
+	// outcomes counted by scrape i must all have been admitted by
+	// scrape i+1 (outcomes_i ≤ sent_{i+1} — the wire-visible half of
+	// the conservation invariant while counters are still moving).
+	var prev map[string]int64
+	scrapes := 0
+	var lr loadOut
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
+scrapeLoop:
+	for {
+		select {
+		case lr = <-done:
+			break scrapeLoop
+		case <-tick.C:
+			cur, err := scrapeServeCounters(scrapeURL)
+			if err != nil {
+				return fmt.Errorf("mid-run scrape: %w", err)
+			}
+			scrapes++
+			if prev != nil {
+				if err := checkScrapePair(prev, cur); err != nil {
+					srv.TriggerFlight(serve.TriggerConservation, err.Error(), 0)
+					return fmt.Errorf("mid-run /metrics drift: %w", err)
+				}
+			}
+			prev = cur
+		}
+	}
+	if lr.err != nil {
+		return lr.err
+	}
+	printLoadResult(out, lr.res)
+	if !lr.res.Conserved() {
+		return fmt.Errorf("conservation violated: sent %d != answered %d + degraded %d + shed %d",
+			lr.res.Sent, lr.res.Answered, lr.res.Degraded, lr.res.Shed)
+	}
+
+	// Final scrape: the quiesced wire counters must match the
+	// in-process Counts exactly, reason by reason.
+	final, err := scrapeServeCounters(scrapeURL)
+	if err != nil {
+		return fmt.Errorf("final scrape: %w", err)
+	}
+	if err := checkCountsMatch(final, srv.Counts()); err != nil {
+		srv.TriggerFlight(serve.TriggerConservation, err.Error(), 0)
+		return fmt.Errorf("/metrics vs in-process counts: %w", err)
+	}
+	fmt.Fprintf(out, "metrics   %d mid-run scrapes monotone; final /metrics matches in-process counts\n", scrapes)
+	if tb := srv.Traces(); tb != nil {
+		fmt.Fprintf(out, "traces    %d sampled (1 in %d)\n", tb.Total(), sampleEvery)
+	}
+	return nil
+}
+
+// scrapeServeCounters fetches a Prometheus text page and returns every
+// dn_serve_* sample (counters and gauges) keyed by its full name,
+// labels included.
+func scrapeServeCounters(url string) (map[string]int64, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	m := make(map[string]int64)
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "dn_serve_") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			continue // histogram sum lines etc. still parse; skip anything odd
+		}
+		m[line[:i]] = int64(v)
+	}
+	return m, sc.Err()
+}
+
+// family sums every sample of one labelled counter family.
+func family(m map[string]int64, base string) int64 {
+	var sum int64
+	for name, v := range m {
+		if name == base || strings.HasPrefix(name, base+"{") {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// checkScrapePair verifies two successive mid-run scrapes are
+// consistent: counters never step back, and outcomes never outrun
+// admissions.
+func checkScrapePair(prev, cur map[string]int64) error {
+	for name, v := range prev {
+		if strings.HasSuffix(strings.SplitN(name, "{", 2)[0], "_total") && cur[name] < v {
+			return fmt.Errorf("%s went backwards: %d -> %d", name, v, cur[name])
+		}
+	}
+	outcomes := prev["dn_serve_answered_total"] +
+		family(prev, "dn_serve_degraded_total") +
+		family(prev, "dn_serve_shed_total")
+	if sent := cur["dn_serve_sent_total"]; outcomes > sent {
+		return fmt.Errorf("outcomes %d exceed admitted %d", outcomes, sent)
+	}
+	return nil
+}
+
+// checkCountsMatch verifies a quiesced /metrics scrape agrees exactly
+// with the server's in-process conservation snapshot.
+func checkCountsMatch(m map[string]int64, c serve.Counts) error {
+	checks := []struct {
+		name string
+		wire int64
+		mem  int64
+	}{
+		{"dn_serve_sent_total", m["dn_serve_sent_total"], c.Sent},
+		{"dn_serve_answered_total", m["dn_serve_answered_total"], c.Answered},
+		{"dn_serve_degraded_total", family(m, "dn_serve_degraded_total"), c.Degraded},
+		{"dn_serve_shed_total", family(m, "dn_serve_shed_total"), c.Shed},
+	}
+	for reason, n := range c.ShedByReason {
+		checks = append(checks, struct {
+			name string
+			wire int64
+			mem  int64
+		}{obs.Label("dn_serve_shed_total", "reason", reason),
+			m[obs.Label("dn_serve_shed_total", "reason", reason)], n})
+	}
+	for _, ch := range checks {
+		if ch.wire != ch.mem {
+			return fmt.Errorf("%s: wire %d != in-process %d", ch.name, ch.wire, ch.mem)
+		}
+	}
+	return nil
+}
+
+// runProbe is the CI smoke client: it dials a running dbserve, issues
+// one traced request of every kind plus a batch, and verifies status
+// and trace-id echo on each response.
+func runProbe(addr string, out io.Writer) error {
+	c, err := serve.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	src := word.MustParse(2, "0110100101")
+	dst := word.MustParse(2, "1010011010")
+	probes := []struct {
+		name string
+		req  serve.Request
+	}{
+		{"distance", serve.DistanceRequest(src, dst, serve.Undirected)},
+		{"route", serve.RouteRequest(src, dst, serve.Undirected)},
+		{"nexthop", serve.NextHopRequest(src, dst, serve.Undirected)},
+		{"batch", serve.BatchRequest(
+			serve.DistanceRequest(src, dst, serve.Undirected),
+			serve.RouteRequest(dst, src, serve.Undirected))},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for i, p := range probes {
+		req := p.req
+		req.TraceID = obs.TraceID(0xdb0 + i)
+		resp, err := c.Do(ctx, req)
+		if err != nil {
+			return fmt.Errorf("probe %s: %w", p.name, err)
+		}
+		if resp.Status != serve.StatusOK {
+			return fmt.Errorf("probe %s: status %q (shed %q, error %q)", p.name, resp.Status, resp.ShedReason, resp.Error)
+		}
+		if resp.TraceID != req.TraceID {
+			return fmt.Errorf("probe %s: trace id %v not echoed (got %v)", p.name, req.TraceID, resp.TraceID)
+		}
+		fmt.Fprintf(out, "probe %-8s ok trace=%v\n", p.name, resp.TraceID)
+	}
+	fmt.Fprintln(out, "probe complete: 4/4 ok")
+	return nil
 }
 
 func printLoadResult(out io.Writer, res serve.LoadResult) {

@@ -12,6 +12,7 @@
 //	dbstats -table diversity  # E12: shortest-path multiplicity
 //	dbstats -table deflect    # E18: bufferless deflection load × policy
 //	dbstats -table serve      # E21: route-query server load sweep
+//	dbstats -table trace      # E22: flight-recorder postmortem of an overload
 //	dbstats -table all        # everything above
 package main
 
@@ -120,6 +121,11 @@ func run(args []string, out io.Writer) error {
 			return experiments.ServeLoadTable(experiments.ServeLoadConfig{Seed: *seed},
 				[]float64{250, 1000, 4000, 16000})
 		},
+		"trace": func() (*stats.Table, error) {
+			// Replay E21's 10× overload point with tracing and the
+			// flight recorder armed; the table is the frozen postmortem.
+			return experiments.FlightTable(experiments.ServeLoadConfig{Seed: *seed}, 16000)
+		},
 	}
 	titles := map[string]string{
 		"eq5":       "E3 — directed average distance: equation (5) vs exact",
@@ -138,8 +144,9 @@ func run(args []string, out io.Writer) error {
 		"stretch":   "E17 — reroute stretch vs failure count",
 		"deflect":   "E18 — bufferless deflection: load × policy vs store-and-forward",
 		"serve":     "E21 — route-query server: offered load vs degrade/shed/latency",
+		"trace":     "E22 — flight recorder: frozen postmortem of an E21 overload run",
 	}
-	order := []string{"census", "eq5", "fig2", "crossover", "policy", "fault", "dist", "moore", "broadcast", "diversity", "latency", "dht", "loadcurve", "stretch", "deflect", "serve"}
+	order := []string{"census", "eq5", "fig2", "crossover", "policy", "fault", "dist", "moore", "broadcast", "diversity", "latency", "dht", "loadcurve", "stretch", "deflect", "serve", "trace"}
 
 	emit := func(name string) error {
 		t, err := printers[name]()

@@ -12,6 +12,7 @@ func TestSingleTables(t *testing.T) {
 		"dist":      "distance",
 		"moore":     "moore-min",
 		"broadcast": "flood msgs",
+		"trace":     "trigger",
 	}
 	for table, marker := range cases {
 		var b strings.Builder

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/word"
+)
+
+// TraceEvents renders a routing path as the hop-event sequence of
+// package obs — the same vocabulary the network engines attach to
+// Delivery.Trace — annotated with the distance-layer index of the
+// Fàbrega et al. decomposition: the source sits in layer B_dist around
+// the destination and every hop of an optimal path descends one layer,
+// reaching B_0 at delivery. The serving stack attaches the result to
+// sampled route answers, so obs.Trace.Sites() recovers the visited
+// sites of a served query exactly as it does for a simulated message.
+//
+// dist is the number of path hops (the optimal distance); wildcard
+// hops are resolved with digit 0, mirroring Path.Concrete's nil-chooser
+// default, and keep their Wildcard mark on the event.
+func TraceEvents(src word.Word, p Path, dist int) (obs.Trace, error) {
+	if dist != p.Len() {
+		return nil, fmt.Errorf("core: trace distance %d != path length %d", dist, p.Len())
+	}
+	out := make(obs.Trace, 0, p.Len()+2)
+	out = append(out, obs.HopEvent{
+		Hop:   0,
+		Cause: obs.CauseInject,
+		Site:  src.String(),
+		Digit: -1,
+		Layer: dist,
+	})
+	cur := src
+	for i, h := range p {
+		digit := h.Digit
+		if h.Wildcard {
+			digit = 0
+		}
+		if int(digit) >= cur.Base() {
+			return nil, fmt.Errorf("%w: hop %d digit %d base %d", ErrBadDigit, i, digit, cur.Base())
+		}
+		switch h.Type {
+		case TypeL:
+			cur = cur.ShiftLeft(digit)
+		case TypeR:
+			cur = cur.ShiftRight(digit)
+		default:
+			return nil, fmt.Errorf("core: hop %d has invalid type %d", i, h.Type)
+		}
+		out = append(out, obs.HopEvent{
+			Hop:      i + 1,
+			Cause:    obs.CauseForward,
+			Site:     cur.String(),
+			Link:     h.Type.String(),
+			Digit:    int(digit),
+			Wildcard: h.Wildcard,
+			Layer:    dist - (i + 1),
+		})
+	}
+	out = append(out, obs.HopEvent{
+		Hop:   p.Len(),
+		Cause: obs.CauseDeliver,
+		Site:  cur.String(),
+		Digit: -1,
+	})
+	return out, nil
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/word"
+)
+
+func TestTraceEventsStructure(t *testing.T) {
+	x := word.MustParse(2, "0010")
+	y := word.MustParse(2, "1011")
+	p, err := RouteUndirectedLinear(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := TraceEvents(x, p, p.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != p.Len()+2 {
+		t.Fatalf("trace has %d events, want inject + %d forwards + deliver", len(tr), p.Len())
+	}
+	if tr[0].Cause != obs.CauseInject || tr[0].Site != x.String() || tr[0].Layer != p.Len() {
+		t.Errorf("inject = %+v, want site %s layer %d", tr[0], x, p.Len())
+	}
+	last := tr[len(tr)-1]
+	if last.Cause != obs.CauseDeliver || last.Site != y.String() || last.Hop != p.Len() {
+		t.Errorf("deliver = %+v, want site %s after %d hops", last, y, p.Len())
+	}
+	// Each forward descends exactly one distance layer.
+	for i := 1; i <= p.Len(); i++ {
+		ev := tr[i]
+		if ev.Cause != obs.CauseForward || ev.Hop != i {
+			t.Fatalf("event %d = %+v, want forward hop %d", i, ev, i)
+		}
+		if want := p.Len() - i; ev.Layer != want {
+			t.Errorf("forward %d layer = %d, want %d", i, ev.Layer, want)
+		}
+	}
+	// Sites() matches the path walk — the shared-vocabulary contract.
+	sites := tr.Sites()
+	cur := x
+	if sites[0] != cur.String() {
+		t.Errorf("sites[0] = %s, want %s", sites[0], cur)
+	}
+	for i, h := range p {
+		switch h.Type {
+		case TypeL:
+			cur = cur.ShiftLeft(h.Digit)
+		case TypeR:
+			cur = cur.ShiftRight(h.Digit)
+		}
+		if sites[i+1] != cur.String() {
+			t.Errorf("sites[%d] = %s, want %s", i+1, sites[i+1], cur)
+		}
+	}
+	if tr.Hops() != p.Len() {
+		t.Errorf("Hops = %d, want %d", tr.Hops(), p.Len())
+	}
+}
+
+func TestTraceEventsRandomAgainstApply(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 300; iter++ {
+		d := 2 + rng.Intn(3)
+		k := 1 + rng.Intn(8)
+		x, y := word.Random(d, k, rng), word.Random(d, k, rng)
+		p, err := RouteUndirectedLinear(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := TraceEvents(x, p, p.Len())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tr[len(tr)-1].Site; got != y.String() {
+			t.Fatalf("d=%d k=%d %s->%s: trace ends at %s", d, k, x, y, got)
+		}
+		// Wildcard paths resolve like Concrete with a nil chooser.
+		if p.HasWildcard() {
+			conc, err := p.Concrete(x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			end, err := conc.Apply(x, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := tr[len(tr)-1].Site; got != end.String() {
+				t.Fatalf("wildcard trace ends at %s, Concrete walk at %s", got, end)
+			}
+		}
+	}
+}
+
+func TestTraceEventsWildcardMark(t *testing.T) {
+	x := word.MustParse(2, "010")
+	p := Path{LStar(), L(1)}
+	tr, err := TraceEvents(x, p, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr[1].Wildcard || tr[1].Digit != 0 {
+		t.Errorf("wildcard forward = %+v, want Wildcard with digit 0", tr[1])
+	}
+	if tr[2].Wildcard {
+		t.Errorf("concrete forward marked wildcard: %+v", tr[2])
+	}
+}
+
+func TestTraceEventsErrors(t *testing.T) {
+	x := word.MustParse(2, "010")
+	if _, err := TraceEvents(x, Path{L(1)}, 2); err == nil {
+		t.Error("distance/length mismatch accepted")
+	}
+	if _, err := TraceEvents(x, Path{L(7)}, 1); err == nil {
+		t.Error("out-of-alphabet digit accepted")
+	}
+}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/obs"
@@ -125,6 +127,121 @@ func ServeLoadTable(cfg ServeLoadConfig, rates []float64) (*stats.Table, error) 
 	t := stats.NewTable("rate", "sent", "answered", "degraded", "shed", "hits", "srv_p50ms", "srv_p99ms", "throughput")
 	for _, r := range rows {
 		t.AddRow(r.Rate, r.Sent, r.Answered, r.Degraded, r.Shed, r.Hits, r.SrvP50MS, r.SrvP99MS, r.Throughput)
+	}
+	return t, nil
+}
+
+// FlightStorm is experiment E22: it replays the E21 saturation regime
+// — one deliberately overloaded open-loop rate point — with tracing
+// and the flight recorder enabled, and returns the postmortem the
+// anomaly monitor froze. The recorder must trip (the degrade ladder
+// engaging or the shed fraction spiking are both anomalies under this
+// load); a storm that leaves it unfrozen is an error, since E22's
+// claim is exactly that the recorder catches the anomaly unattended.
+func FlightStorm(cfg ServeLoadConfig, rate float64) (obs.FlightSnapshot, error) {
+	if cfg.D == 0 {
+		cfg.D = 2
+	}
+	if cfg.K == 0 {
+		cfg.K = 10
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = 1024
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 8
+	}
+	if cfg.HotSet == 0 {
+		cfg.HotSet = 64
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 64
+	}
+	if cfg.DeadlineMS == 0 {
+		cfg.DeadlineMS = 20
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 250 * time.Millisecond
+	}
+	s := serve.NewServer(serve.Config{
+		Shards:          cfg.Shards,
+		QueueDepth:      cfg.QueueDepth,
+		CacheSize:       cfg.CacheSize,
+		DefaultDeadline: time.Duration(cfg.DeadlineMS) * time.Millisecond,
+		Registry:        obs.NewRegistry(),
+		TraceSample:     16,
+		TraceSeed:       uint64(cfg.Seed),
+		TraceBufferSize: 512,
+		FlightSize:      256,
+		MonitorInterval: 5 * time.Millisecond,
+	})
+	defer s.Close()
+	if _, err := serve.RunLoad(s, serve.LoadConfig{
+		D: cfg.D, K: cfg.K,
+		Clients:    cfg.Clients,
+		Rate:       rate,
+		Duration:   cfg.Duration,
+		HotSet:     cfg.HotSet,
+		BatchSize:  cfg.BatchSize,
+		DeadlineMS: cfg.DeadlineMS,
+		Seed:       cfg.Seed,
+		StampTrace: true,
+	}); err != nil {
+		return obs.FlightSnapshot{}, err
+	}
+	// The monitor freezes on its own tick; allow it a few windows past
+	// the end of the load to process the final diff.
+	for i := 0; i < 200 && !s.Flight().Frozen(); i++ {
+		time.Sleep(5 * time.Millisecond)
+	}
+	snap := s.Flight().Snapshot()
+	if !snap.Frozen {
+		return snap, fmt.Errorf("overload at %.0f req/s did not trip the flight recorder", rate)
+	}
+	return snap, nil
+}
+
+// FlightTable renders E22 as a summary of the frozen postmortem: the
+// trigger first, then every event family the ring retained with its
+// count and most recent value.
+func FlightTable(cfg ServeLoadConfig, rate float64) (*stats.Table, error) {
+	snap, err := FlightStorm(cfg, rate)
+	if err != nil {
+		return nil, err
+	}
+	type key struct{ kind, name string }
+	counts := make(map[key]int)
+	last := make(map[key]float64)
+	var keys []key
+	for _, ev := range snap.Events {
+		if ev.Kind == obs.FlightTrigger {
+			continue // shown on its own row below
+		}
+		k := key{ev.Kind, ev.Name}
+		if counts[k] == 0 {
+			keys = append(keys, k)
+		}
+		counts[k]++
+		last[k] = ev.Value
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].kind != keys[j].kind {
+			return keys[i].kind < keys[j].kind
+		}
+		return keys[i].name < keys[j].name
+	})
+	t := stats.NewTable("kind", "event", "count", "last_value")
+	if snap.Trigger != nil {
+		t.AddRow(obs.FlightTrigger, snap.Trigger.Name, 1, snap.Trigger.Value)
+	}
+	for _, k := range keys {
+		t.AddRow(k.kind, k.name, counts[k], last[k])
 	}
 	return t, nil
 }

@@ -1,8 +1,12 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 func TestServeLoadSmall(t *testing.T) {
@@ -37,5 +41,48 @@ func TestServeLoadTable(t *testing.T) {
 	}
 	if out := tab.String(); out == "" {
 		t.Fatal("empty table render")
+	}
+}
+
+func TestFlightStormFreezes(t *testing.T) {
+	snap, err := FlightStorm(ServeLoadConfig{
+		D: 2, K: 8,
+		Duration: 100 * time.Millisecond,
+		Seed:     11,
+	}, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Frozen || snap.Trigger == nil {
+		t.Fatalf("storm left recorder unfrozen: %+v", snap)
+	}
+	switch snap.Trigger.Name {
+	case serve.TriggerShedSpike, serve.TriggerDegrade, serve.TriggerP99Deadline:
+	default:
+		t.Fatalf("unexpected trigger %q", snap.Trigger.Name)
+	}
+	if len(snap.Events) == 0 {
+		t.Fatal("frozen postmortem retained no events")
+	}
+	if snap.Events[len(snap.Events)-1].Kind != obs.FlightTrigger {
+		t.Fatalf("trigger not last in postmortem: %+v", snap.Events[len(snap.Events)-1])
+	}
+}
+
+func TestFlightTableShape(t *testing.T) {
+	tab, err := FlightTable(ServeLoadConfig{
+		D: 2, K: 8,
+		Duration: 100 * time.Millisecond,
+		Seed:     7,
+	}, 16000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	if out == "" {
+		t.Fatal("empty table render")
+	}
+	if !strings.Contains(out, "trigger") {
+		t.Fatalf("table lacks a trigger row:\n%s", out)
 	}
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"errors"
 	"net"
 	"net/http"
@@ -8,19 +9,45 @@ import (
 	"sync"
 )
 
+// DebugOptions selects what the debug mux exposes beyond pprof. Every
+// field is optional: nil components serve empty documents, so binaries
+// can expose profiling without enabling metrics or tracing.
+type DebugOptions struct {
+	// Registry backs /metrics and /metrics.json.
+	Registry *Registry
+	// Traces backs /debug/traces (recent sampled request traces, JSON).
+	Traces *TraceBuffer
+	// Flight backs /debug/flight (the flight-recorder ring: a live view
+	// while unfrozen, the frozen postmortem after a trigger).
+	Flight *FlightRecorder
+}
+
 // Handler returns the debug mux: /metrics (Prometheus text),
 // /metrics.json, and the /debug/pprof/ profiling endpoints. A nil
 // registry serves empty metric pages (pprof still works), so binaries
 // can expose profiling without enabling metrics.
 func Handler(reg *Registry) http.Handler {
+	return HandlerOpts(DebugOptions{Registry: reg})
+}
+
+// HandlerOpts returns the debug mux with every configured endpoint:
+// /metrics, /metrics.json, /debug/traces, /debug/flight, and
+// /debug/pprof/.
+func HandlerOpts(opts DebugOptions) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
+		_ = opts.Registry.WritePrometheus(w)
 	})
 	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_ = reg.WriteJSON(w)
+		_ = opts.Registry.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+		writeDebugJSON(w, opts.Traces.Snapshot())
+	})
+	mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+		writeDebugJSON(w, opts.Flight.Snapshot())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -28,6 +55,13 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+func writeDebugJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
 }
 
 // DebugServer is a running debug endpoint. It wraps the http.Server
@@ -52,12 +86,18 @@ type DebugServer struct {
 // failures are returned directly; failures of the serve loop itself
 // are available from Err once Done is closed.
 func ServeDebug(addr string, reg *Registry) (*DebugServer, error) {
+	return ServeDebugOpts(addr, DebugOptions{Registry: reg})
+}
+
+// ServeDebugOpts is ServeDebug with the full endpoint set of
+// HandlerOpts (traces and flight recorder included).
+func ServeDebugOpts(addr string, opts DebugOptions) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	ds := &DebugServer{
-		srv:  &http.Server{Handler: Handler(reg)},
+		srv:  &http.Server{Handler: HandlerOpts(opts)},
 		ln:   ln,
 		addr: ln.Addr().String(),
 		done: make(chan struct{}),

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"io"
 	"net"
 	"net/http"
@@ -132,5 +133,71 @@ func TestServeDebugSurfacesServeFailure(t *testing.T) {
 	}
 	if err := srv.Close(); err == nil {
 		t.Fatal("second Close must report the same failure")
+	}
+}
+
+func TestServeDebugOptsTraceEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	traces := NewTraceBuffer(4)
+	tr := NewReqTrace(0xfeed, "route", "undirected", time.Unix(0, 0))
+	tr.SetOutcome("answered")
+	traces.Add(tr)
+	flight := NewFlightRecorder(8)
+	flight.Record(FlightEvent{Kind: FlightMetric, Name: "shed_rate", Value: 0.1, TimeNs: 1})
+	flight.Trigger("shed_spike", "test storm", 0.9)
+
+	srv, err := ServeDebugOpts("127.0.0.1:0", DebugOptions{Registry: reg, Traces: traces, Flight: flight})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	getJSON := func(path string, v any) {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("GET %s: content type %q", path, ct)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("GET %s: invalid JSON: %v", path, err)
+		}
+	}
+
+	var ts TracesSnapshot
+	getJSON("/debug/traces", &ts)
+	if ts.Total != 1 || len(ts.Traces) != 1 || ts.Traces[0].ID != 0xfeed {
+		t.Errorf("/debug/traces = %+v", ts)
+	}
+	var fs FlightSnapshot
+	getJSON("/debug/flight", &fs)
+	if !fs.Frozen || fs.Trigger == nil || fs.Trigger.Name != "shed_spike" {
+		t.Errorf("/debug/flight = %+v", fs)
+	}
+}
+
+func TestServeDebugOptsNilComponents(t *testing.T) {
+	// Every component optional: nil traces/flight serve empty documents.
+	srv, err := ServeDebugOpts("127.0.0.1:0", DebugOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/debug/traces", "/debug/flight"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		var v map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("GET %s: invalid JSON: %v", path, err)
+		}
 	}
 }

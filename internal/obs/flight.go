@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// FlightEvent kinds.
+const (
+	// FlightTrace is a completed sampled request (Name is its outcome,
+	// Value its latency in nanoseconds, TraceID set).
+	FlightTrace = "trace"
+	// FlightMetric is one monitor-window measurement (Name is the
+	// metric, Value its reading).
+	FlightMetric = "metric"
+	// FlightTrigger is the anomaly that froze the recorder.
+	FlightTrigger = "trigger"
+)
+
+// FlightEvent is one entry of the flight recorder: a compact record of
+// a trace outcome, a metric window, or the freezing trigger.
+type FlightEvent struct {
+	Seq     uint64  `json:"seq"`
+	TimeNs  int64   `json:"time_ns"` // unix nanoseconds
+	Kind    string  `json:"kind"`
+	TraceID TraceID `json:"trace_id,omitempty"`
+	Name    string  `json:"name"`
+	Value   float64 `json:"value,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+}
+
+// flightSlot is one ring entry. The per-slot mutex makes concurrent
+// writers race-free without a global lock: writers contend only when
+// two of them land on the same slot modulo the ring size, i.e. after a
+// full wrap — negligible at any realistic ring size.
+type flightSlot struct {
+	mu   sync.Mutex
+	ev   FlightEvent
+	full bool
+}
+
+// FlightRecorder is a fixed-size, lock-light ring buffer of
+// trace/metric events that freezes on the first anomaly trigger. While
+// unfrozen it continuously overwrites its oldest entries; Trigger
+// atomically freezes it exactly once, snapshotting the ring so the
+// moments leading up to the anomaly survive for postmortems without
+// re-running the workload. A nil *FlightRecorder is disabled: every
+// method is a no-op.
+type FlightRecorder struct {
+	slots []flightSlot
+	seq   atomic.Uint64
+	froze atomic.Bool
+
+	mu      sync.Mutex // guards the frozen snapshot
+	trigger FlightEvent
+	snap    []FlightEvent
+	missed  atomic.Int64 // triggers after the freeze
+}
+
+// NewFlightRecorder returns a recorder holding n events (n < 1 yields
+// nil: disabled).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n < 1 {
+		return nil
+	}
+	return &FlightRecorder{slots: make([]flightSlot, n)}
+}
+
+// Record appends one event, overwriting the oldest once the ring is
+// full. Seq and TimeNs are stamped here (TimeNs only when zero, so
+// tests can pin times). Events recorded after the freeze are dropped —
+// the frozen snapshot is the postmortem, not a live feed.
+func (r *FlightRecorder) Record(ev FlightEvent) {
+	if r == nil || r.froze.Load() {
+		return
+	}
+	ev.Seq = r.seq.Add(1)
+	if ev.TimeNs == 0 {
+		ev.TimeNs = time.Now().UnixNano()
+	}
+	sl := &r.slots[ev.Seq%uint64(len(r.slots))]
+	sl.mu.Lock()
+	sl.ev = ev
+	sl.full = true
+	sl.mu.Unlock()
+}
+
+// Trigger fires an anomaly: the first call freezes the recorder,
+// snapshots the ring, and stores the trigger event; it returns true
+// exactly once. Later calls (and concurrent racers) are counted as
+// missed and return false.
+func (r *FlightRecorder) Trigger(name, detail string, value float64) bool {
+	if r == nil {
+		return false
+	}
+	// The freeze flag and the snapshot are published under one mutex so
+	// a concurrent Snapshot never observes "frozen" with the postmortem
+	// still unset. Record stays lock-light: it reads only the flag.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.froze.CompareAndSwap(false, true) {
+		r.missed.Add(1)
+		return false
+	}
+	ev := FlightEvent{
+		Seq:    r.seq.Add(1),
+		TimeNs: time.Now().UnixNano(),
+		Kind:   FlightTrigger,
+		Name:   name,
+		Value:  value,
+		Detail: detail,
+	}
+	r.trigger = ev
+	r.snap = append(r.collect(), ev)
+	return true
+}
+
+// Frozen reports whether a trigger has fired.
+func (r *FlightRecorder) Frozen() bool { return r != nil && r.froze.Load() }
+
+// MissedTriggers counts triggers that fired after the freeze.
+func (r *FlightRecorder) MissedTriggers() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.missed.Load()
+}
+
+// collect copies the resident events in sequence order. Writers that
+// claimed a sequence number before the freeze but had not finished
+// their slot write may be missing — an accepted race: every event in
+// the result is complete, per-slot locking guarantees no torn reads.
+func (r *FlightRecorder) collect() []FlightEvent {
+	out := make([]FlightEvent, 0, len(r.slots))
+	for i := range r.slots {
+		sl := &r.slots[i]
+		sl.mu.Lock()
+		if sl.full {
+			out = append(out, sl.ev)
+		}
+		sl.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// FlightSnapshot is the /debug/flight JSON document. Unfrozen it is a
+// live view of the ring; frozen it is the immutable postmortem.
+type FlightSnapshot struct {
+	Frozen         bool          `json:"frozen"`
+	Trigger        *FlightEvent  `json:"trigger,omitempty"`
+	MissedTriggers int64         `json:"missed_triggers,omitempty"`
+	TotalEvents    uint64        `json:"total_events"`
+	Events         []FlightEvent `json:"events"`
+}
+
+// Snapshot freezes the recorder state for exposition.
+func (r *FlightRecorder) Snapshot() FlightSnapshot {
+	s := FlightSnapshot{Events: []FlightEvent{}}
+	if r == nil {
+		return s
+	}
+	s.TotalEvents = r.seq.Load()
+	s.MissedTriggers = r.missed.Load()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.froze.Load() {
+		trig := r.trigger
+		s.Events = append(s.Events, r.snap...)
+		s.Frozen = true
+		s.Trigger = &trig
+		return s
+	}
+	s.Events = r.collect()
+	return s
+}

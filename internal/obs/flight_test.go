@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRingOverwrite(t *testing.T) {
+	r := NewFlightRecorder(4)
+	for i := 1; i <= 10; i++ {
+		r.Record(FlightEvent{Kind: FlightTrace, Name: "answered", Value: float64(i), TimeNs: int64(i)})
+	}
+	snap := r.Snapshot()
+	if snap.Frozen {
+		t.Fatal("recorder frozen without a trigger")
+	}
+	if snap.TotalEvents != 10 {
+		t.Errorf("TotalEvents = %d, want 10", snap.TotalEvents)
+	}
+	if len(snap.Events) != 4 {
+		t.Fatalf("retained %d events, want ring size 4", len(snap.Events))
+	}
+	for i, ev := range snap.Events {
+		if want := uint64(7 + i); ev.Seq != want {
+			t.Errorf("event %d Seq = %d, want %d (oldest retained first)", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderFreezeOnce(t *testing.T) {
+	r := NewFlightRecorder(8)
+	r.Record(FlightEvent{Kind: FlightMetric, Name: "shed_rate", Value: 0.9, TimeNs: 1})
+	if !r.Trigger("shed_spike", "shed rate 0.9 over last window", 0.9) {
+		t.Fatal("first trigger returned false")
+	}
+	if r.Trigger("shed_spike", "again", 0.95) {
+		t.Fatal("second trigger returned true")
+	}
+	if !r.Frozen() {
+		t.Fatal("not frozen after trigger")
+	}
+	if r.MissedTriggers() != 1 {
+		t.Errorf("MissedTriggers = %d, want 1", r.MissedTriggers())
+	}
+	// Post-freeze records are dropped: the snapshot is a postmortem.
+	r.Record(FlightEvent{Kind: FlightTrace, Name: "late", TimeNs: 99})
+	snap := r.Snapshot()
+	if !snap.Frozen || snap.Trigger == nil {
+		t.Fatalf("snapshot = %+v, want frozen with trigger", snap)
+	}
+	if snap.Trigger.Name != "shed_spike" || snap.Trigger.Kind != FlightTrigger {
+		t.Errorf("trigger = %+v", snap.Trigger)
+	}
+	last := snap.Events[len(snap.Events)-1]
+	if last.Kind != FlightTrigger || last.Name != "shed_spike" {
+		t.Errorf("last event = %+v, want the trigger itself", last)
+	}
+	for _, ev := range snap.Events {
+		if ev.Name == "late" {
+			t.Error("post-freeze event leaked into the snapshot")
+		}
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not marshalable: %v", err)
+	}
+}
+
+func TestFlightRecorderConcurrentTrigger(t *testing.T) {
+	r := NewFlightRecorder(16)
+	for i := 0; i < 8; i++ {
+		r.Record(FlightEvent{Kind: FlightTrace, Name: "answered", TimeNs: int64(i + 1)})
+	}
+	var wg sync.WaitGroup
+	wins := make(chan bool, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wins <- r.Trigger("shed_spike", "storm", 1)
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	won := 0
+	for w := range wins {
+		if w {
+			won++
+		}
+	}
+	if won != 1 {
+		t.Fatalf("%d triggers won, want exactly 1", won)
+	}
+	if r.MissedTriggers() != 31 {
+		t.Errorf("MissedTriggers = %d, want 31", r.MissedTriggers())
+	}
+	snap := r.Snapshot()
+	if !snap.Frozen || snap.Trigger == nil {
+		t.Fatal("not frozen with trigger after concurrent storm")
+	}
+	// 8 pre-freeze events + the trigger; concurrent losers add nothing.
+	if len(snap.Events) != 9 {
+		t.Errorf("snapshot holds %d events, want 9", len(snap.Events))
+	}
+}
+
+func TestFlightRecorderConcurrentRecord(t *testing.T) {
+	r := NewFlightRecorder(32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Record(FlightEvent{Kind: FlightTrace, Name: "answered"})
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.TotalEvents != 1600 {
+		t.Errorf("TotalEvents = %d, want 1600", snap.TotalEvents)
+	}
+	if len(snap.Events) != 32 {
+		t.Errorf("retained %d, want 32", len(snap.Events))
+	}
+	for i := 1; i < len(snap.Events); i++ {
+		if snap.Events[i].Seq <= snap.Events[i-1].Seq {
+			t.Fatalf("events out of order at %d: %d then %d", i, snap.Events[i-1].Seq, snap.Events[i].Seq)
+		}
+	}
+}
+
+func TestFlightRecorderDisabled(t *testing.T) {
+	if NewFlightRecorder(0) != nil {
+		t.Error("NewFlightRecorder(0) != nil")
+	}
+	var r *FlightRecorder
+	r.Record(FlightEvent{Kind: FlightTrace})
+	if r.Trigger("shed_spike", "", 0) {
+		t.Error("nil recorder trigger returned true")
+	}
+	if r.Frozen() || r.MissedTriggers() != 0 {
+		t.Error("nil recorder has state")
+	}
+	snap := r.Snapshot()
+	if snap.Frozen || snap.Events == nil || len(snap.Events) != 0 {
+		t.Errorf("nil recorder snapshot = %+v, want empty non-nil Events", snap)
+	}
+}

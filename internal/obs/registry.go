@@ -90,21 +90,32 @@ func (g *Gauge) Value() float64 {
 
 // Histogram counts observations into cumulative-style buckets with
 // fixed upper bounds (a final +Inf bucket is implicit). Observation
-// and snapshotting are lock-free.
+// and snapshotting are lock-free. Each bucket additionally retains an
+// exemplar — the trace id of the most recent sampled observation that
+// landed in it — so a latency outlier in a bucket can be chased down
+// to the full per-request trace that produced it.
 type Histogram struct {
-	bounds []float64      // sorted upper bounds
-	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
-	count  atomic.Int64
-	sum    atomic.Uint64 // float64 bits, CAS-updated
+	bounds    []float64       // sorted upper bounds
+	counts    []atomic.Int64  // len(bounds)+1; last is the +Inf bucket
+	exemplars []atomic.Uint64 // len(bounds)+1 trace ids; 0 = none
+	count     atomic.Int64
+	sum       atomic.Uint64 // float64 bits, CAS-updated
 }
 
 // Observe records one observation.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, 0) }
+
+// ObserveExemplar records one observation and, when id is nonzero,
+// stores it as the covering bucket's exemplar (most recent wins).
+func (h *Histogram) ObserveExemplar(v float64, id TraceID) {
 	if h == nil {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
+	if id != 0 {
+		h.exemplars[i].Store(uint64(id))
+	}
 	h.count.Add(1)
 	for {
 		old := h.sum.Load()
@@ -212,7 +223,11 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	if !ok {
 		bs := append([]float64(nil), bounds...)
 		sort.Float64s(bs)
-		h = &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+		h = &Histogram{
+			bounds:    bs,
+			counts:    make([]atomic.Int64, len(bs)+1),
+			exemplars: make([]atomic.Uint64, len(bs)+1),
+		}
 		r.hists[name] = h
 	}
 	return h
@@ -303,22 +318,41 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
-// HistogramSnapshot is the frozen state of one histogram.
+// HistogramSnapshot is the frozen state of one histogram. Exemplars
+// holds, per bucket (last entry is +Inf), the trace id of the most
+// recent sampled observation that landed there; zero means none.
 type HistogramSnapshot struct {
-	Bounds []float64 `json:"bounds"`
-	Counts []int64   `json:"counts"` // per-bucket (not cumulative); last is +Inf
-	Sum    float64   `json:"sum"`
-	Count  int64     `json:"count"`
+	Bounds    []float64 `json:"bounds"`
+	Counts    []int64   `json:"counts"` // per-bucket (not cumulative); last is +Inf
+	Exemplars []TraceID `json:"exemplars,omitempty"`
+	Sum       float64   `json:"sum"`
+	Count     int64     `json:"count"`
 }
 
-// Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket
-// counts: rank-walk to the covering bucket, then interpolate linearly
-// inside it. Observations in the +Inf bucket clamp to the last finite
-// bound, and an empty histogram reports 0 — estimates, not exact
-// order statistics, but enough to compare against bucket-scale SLOs.
+// Quantile estimates the q-quantile from the bucket counts: rank-walk
+// to the covering bucket, then interpolate linearly inside it. These
+// are estimates, not exact order statistics, but enough to compare
+// against bucket-scale SLOs. Edge cases are pinned, not implicit:
+//
+//   - An empty snapshot (zero Count, no Counts, or no finite Bounds)
+//     returns 0.
+//   - q is clamped into [0, 1]; NaN is treated as 0.
+//   - q = 0 returns the lower edge of the first occupied bucket (0 for
+//     the first bucket).
+//   - q = 1 returns the upper bound of the last occupied bucket;
+//     observations in the +Inf bucket clamp to the last finite bound,
+//     which is also the fallback whenever the rank walk runs off the
+//     end.
+//   - A single-bucket histogram interpolates inside [0, Bounds[0]]
+//     like any other bucket.
 func (h HistogramSnapshot) Quantile(q float64) float64 {
-	if h.Count == 0 || len(h.Bounds) == 0 {
+	if h.Count == 0 || len(h.Bounds) == 0 || len(h.Counts) == 0 {
 		return 0
+	}
+	if math.IsNaN(q) || q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
 	}
 	rank := q * float64(h.Count)
 	var cum float64
@@ -339,6 +373,26 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 		return lo + frac*(h.Bounds[i]-lo)
 	}
 	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Diff returns the histogram of observations made since prev (counts
+// and sum subtracted bucket-wise; exemplars keep the current,
+// most-recent values). Mismatched bucket layouts return h unchanged.
+func (h HistogramSnapshot) Diff(prev HistogramSnapshot) HistogramSnapshot {
+	if len(prev.Counts) != len(h.Counts) {
+		return h
+	}
+	d := HistogramSnapshot{
+		Bounds:    append([]float64(nil), h.Bounds...),
+		Counts:    append([]int64(nil), h.Counts...),
+		Exemplars: append([]TraceID(nil), h.Exemplars...),
+		Sum:       h.Sum - prev.Sum,
+		Count:     h.Count - prev.Count,
+	}
+	for i := range d.Counts {
+		d.Counts[i] -= prev.Counts[i]
+	}
+	return d
 }
 
 // Snapshot is a frozen copy of a registry, comparable across time.
@@ -375,6 +429,14 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		for i := range h.counts {
 			hs.Counts[i] = h.counts[i].Load()
+		}
+		for i := range h.exemplars {
+			if id := h.exemplars[i].Load(); id != 0 {
+				if hs.Exemplars == nil {
+					hs.Exemplars = make([]TraceID, len(h.exemplars))
+				}
+				hs.Exemplars[i] = TraceID(id)
+			}
 		}
 		s.Histograms[n] = hs
 	}
@@ -426,8 +488,11 @@ func (s Snapshot) Diff(prev Snapshot) Snapshot {
 		d := HistogramSnapshot{
 			Bounds: append([]float64(nil), h.Bounds...),
 			Counts: append([]int64(nil), h.Counts...),
-			Sum:    h.Sum,
-			Count:  h.Count,
+			// Exemplars are most-recent-wins, not cumulative: the diff
+			// keeps the current ones.
+			Exemplars: append([]TraceID(nil), h.Exemplars...),
+			Sum:       h.Sum,
+			Count:     h.Count,
 		}
 		if ok && len(p.Counts) == len(h.Counts) {
 			for i := range d.Counts {

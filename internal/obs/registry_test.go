@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -199,3 +200,117 @@ func TestHistogramSnapshotQuantile(t *testing.T) {
 		t.Errorf("absent Quantile = %v, want 0", got)
 	}
 }
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+
+	// Registered but never observed: Count == 0 reports 0.
+	empty := r.Histogram("empty", []float64{1, 2})
+	_ = empty
+	if got := r.Snapshot().Histogram("empty").Quantile(0.5); got != 0 {
+		t.Errorf("unobserved Quantile = %v, want 0", got)
+	}
+
+	// Single bucket: interpolation inside [0, bound].
+	single := r.Histogram("single", []float64{10})
+	for i := 0; i < 4; i++ {
+		single.Observe(5)
+	}
+	snap := r.Snapshot().Histogram("single")
+	if got := snap.Quantile(0.5); got != 5 {
+		t.Errorf("single-bucket p50 = %v, want 5 (midpoint of [0,10])", got)
+	}
+	if got := snap.Quantile(0); got != 0 {
+		t.Errorf("single-bucket q=0 = %v, want lower edge 0", got)
+	}
+	if got := snap.Quantile(1); got != 10 {
+		t.Errorf("single-bucket q=1 = %v, want upper bound 10", got)
+	}
+
+	// q=0 lands on the lower edge of the first occupied bucket; q=1 on
+	// the upper bound of the last occupied one.
+	multi := r.Histogram("multi", []float64{1, 10, 100})
+	multi.Observe(5)  // bucket (1,10]
+	multi.Observe(50) // bucket (10,100]
+	ms := r.Snapshot().Histogram("multi")
+	if got := ms.Quantile(0); got != 1 {
+		t.Errorf("q=0 = %v, want 1 (lower edge of first occupied bucket)", got)
+	}
+	if got := ms.Quantile(1); got != 100 {
+		t.Errorf("q=1 = %v, want 100 (upper bound of last occupied bucket)", got)
+	}
+
+	// Out-of-range and NaN q are clamped, never panic.
+	if got := ms.Quantile(-3); got != ms.Quantile(0) {
+		t.Errorf("q=-3 = %v, want clamp to q=0 (%v)", got, ms.Quantile(0))
+	}
+	if got := ms.Quantile(7); got != ms.Quantile(1) {
+		t.Errorf("q=7 = %v, want clamp to q=1 (%v)", got, ms.Quantile(1))
+	}
+	if got := ms.Quantile(math.NaN()); got != ms.Quantile(0) {
+		t.Errorf("q=NaN = %v, want clamp to q=0 (%v)", got, ms.Quantile(0))
+	}
+
+	// All mass in +Inf clamps to the last finite bound.
+	inf := r.Histogram("inf", []float64{1, 2})
+	inf.Observe(1e9)
+	if got := r.Snapshot().Histogram("inf").Quantile(0.5); got != 2 {
+		t.Errorf("+Inf-only p50 = %v, want last finite bound 2", got)
+	}
+}
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10, 100})
+
+	// Unsampled observations leave no exemplars (and allocate none in
+	// the snapshot).
+	h.Observe(5)
+	if ex := r.Snapshot().Histogram("lat").Exemplars; ex != nil {
+		t.Errorf("exemplars without sampled observations = %v, want nil", ex)
+	}
+
+	// A sampled observation pins its trace id at the covering bucket;
+	// most recent wins.
+	h.ObserveExemplar(5, 0xaaa)
+	h.ObserveExemplar(7, 0xbbb)
+	h.ObserveExemplar(50, 0xccc)
+	h.ObserveExemplar(1e9, 0xddd) // +Inf bucket
+	ex := r.Snapshot().Histogram("lat").Exemplars
+	if len(ex) != 3 {
+		t.Fatalf("exemplars len = %d, want 3 (2 bounds + Inf)", len(ex))
+	}
+	if ex[0] != 0xbbb || ex[1] != 0xccc || ex[2] != 0xddd {
+		t.Errorf("exemplars = %v, want [bbb ccc ddd]", ex)
+	}
+
+	// ObserveExemplar with id 0 counts but never clears an exemplar.
+	h.ObserveExemplar(5, 0)
+	if got := r.Snapshot().Histogram("lat").Exemplars[0]; got != 0xbbb {
+		t.Errorf("exemplar after unsampled observation = %v, want 0xbbb kept", got)
+	}
+
+	// Exemplars survive Snapshot.Diff (most-recent-wins, not subtracted)
+	// and round-trip through JSON as hex strings.
+	before := Snapshot{Histograms: map[string]HistogramSnapshot{}}
+	diff := r.Snapshot().Diff(before)
+	if got := diff.Histogram("lat").Exemplars; len(got) != 3 || got[1] != 0xccc {
+		t.Errorf("diff exemplars = %v", got)
+	}
+	b, err := json.Marshal(r.Snapshot().Histogram("lat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back HistogramSnapshot
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Exemplars) != 3 || back.Exemplars[2] != 0xddd {
+		t.Errorf("round-tripped exemplars = %v", back.Exemplars)
+	}
+
+	// Nil histogram stays a no-op.
+	var nh *Histogram
+	nh.ObserveExemplar(1, 0x1)
+}
+

@@ -1,0 +1,361 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Request-scoped tracing: a TraceID travels with one request from wire
+// decode to response write, a deterministic Sampler decides which
+// requests record a ReqTrace (a sequence of Spans plus the routing-hop
+// events of package trace.go), and a TraceBuffer retains the most
+// recent sampled traces for /debug/traces.
+//
+// Determinism is a design requirement, not an accident: the sampling
+// decision is a pure function of (trace id, seed), and trace ids are
+// either supplied on the wire or derived by hashing the request frame
+// bytes, so replaying a seeded load run yields the identical sampled
+// set — the property the serve tests pin byte-for-byte.
+
+// TraceID is a 64-bit request trace identifier. It marshals as a
+// 16-digit lowercase hex JSON string ("" and 0 mean "no trace"), so it
+// survives JSON decoders that truncate large integers.
+type TraceID uint64
+
+// String renders the id as 16 hex digits (empty for zero).
+func (id TraceID) String() string {
+	if id == 0 {
+		return ""
+	}
+	return fmt.Sprintf("%016x", uint64(id))
+}
+
+// MarshalJSON renders the id as a hex string.
+func (id TraceID) MarshalJSON() ([]byte, error) {
+	return json.Marshal(id.String())
+}
+
+// UnmarshalJSON accepts a hex string (empty means zero).
+func (id *TraceID) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("obs: trace id: %w", err)
+	}
+	v, err := ParseTraceID(s)
+	if err != nil {
+		return err
+	}
+	*id = v
+	return nil
+}
+
+// ParseTraceID parses the String/MarshalJSON form ("" is zero).
+func ParseTraceID(s string) (TraceID, error) {
+	if s == "" {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("obs: trace id %q: %w", s, err)
+	}
+	return TraceID(v), nil
+}
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// TraceIDFromBytes derives a trace id from a request frame body
+// (FNV-1a). The result is never zero, so a derived id always reads as
+// "present".
+func TraceIDFromBytes(b []byte) TraceID {
+	h := uint64(fnvOffset)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime
+	}
+	if h == 0 {
+		h = fnvOffset
+	}
+	return TraceID(h)
+}
+
+// mix64 is the splitmix64 finalizer — a cheap, well-distributed bijection
+// used to decorrelate trace ids from the sampling decision.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Sampler is a deterministic 1-in-N head sampler: Sample(id) depends
+// only on (id, seed), so identical request streams sample identically
+// across runs and across nodes sharing a seed. The zero value is a
+// disabled sampler.
+type Sampler struct {
+	every uint64
+	seed  uint64
+}
+
+// NewSampler returns a sampler keeping one trace in every (1 for all,
+// 0 or negative for none), keyed by seed.
+func NewSampler(every int, seed uint64) Sampler {
+	if every < 0 {
+		every = 0
+	}
+	return Sampler{every: uint64(every), seed: seed}
+}
+
+// Enabled reports whether the sampler can ever say yes.
+func (s Sampler) Enabled() bool { return s.every > 0 }
+
+// Sample decides whether the trace with this id is recorded.
+func (s Sampler) Sample(id TraceID) bool {
+	if s.every == 0 {
+		return false
+	}
+	if s.every == 1 {
+		return true
+	}
+	return mix64(uint64(id)^s.seed)%s.every == 0
+}
+
+// Span names used by the serving stack. A trace is a sequence of
+// spans in request order: admission (frame decode + enqueue), queue
+// (bounded-queue wait), cache (LRU lookup), kernel/* (routing
+// computation, carrying the distance-layer index), write (response
+// frame write).
+const (
+	SpanAdmission = "admission"
+	SpanQueue     = "queue"
+	SpanCache     = "cache"
+	SpanKernel    = "kernel" // prefix: kernel/distance, kernel/route, ...
+	SpanWrite     = "write"
+)
+
+// LayerNone marks a span that has no distance-layer index (admission,
+// queue, cache, write — everything but the kernels).
+const LayerNone = -1
+
+// Span is one stage of a sampled request. StartNs/DurNs are offsets
+// from the trace start, so spans order and nest without wall-clock
+// context. Layer is the distance-layer index B_i of the answer the
+// stage produced (the Fàbrega et al. decomposition: the destination of
+// a distance-d query lies in layer B_d around the source); LayerNone
+// for stages without one. Sub tags batch sub-queries (1-based; 0 for
+// scalar requests).
+type Span struct {
+	Name    string `json:"name"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+	Layer   int    `json:"layer"`
+	Sub     int    `json:"sub,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// ReqTrace is one sampled request, from wire decode to response write.
+// It is built by a single goroutine at a time (reader → worker →
+// writer ownership hand-off follows the request), so methods are not
+// concurrency-safe; publication into a TraceBuffer is.
+type ReqTrace struct {
+	ID      TraceID   `json:"trace_id"`
+	Kind    string    `json:"kind"`
+	Mode    string    `json:"mode,omitempty"`
+	Batch   int       `json:"batch,omitempty"` // sub-query count, 0 scalar
+	Start   time.Time `json:"start"`
+	Outcome string    `json:"outcome,omitempty"` // answered | degraded:<mode> | shed:<reason>
+	EndNs   int64     `json:"end_ns"`            // trace duration at publication
+	Spans   []Span    `json:"spans"`
+	// Hops are the routing-hop events of route answers, in the same
+	// HopEvent vocabulary as the network engines' Delivery.Trace — so
+	// Trace.Sites() recovers the visited-site list from a sampled serve
+	// trace exactly as it does from a simulator delivery.
+	Hops Trace `json:"hops,omitempty"`
+
+	// CurSub tags spans added while processing a batch sub-query
+	// (1-based); 0 outside batches. Not serialized — it lands on each
+	// Span.Sub.
+	CurSub int `json:"-"`
+}
+
+// NewReqTrace starts a trace. kind/mode are wire labels ("route",
+// "directed", ...); start anchors every span offset.
+func NewReqTrace(id TraceID, kind, mode string, start time.Time) *ReqTrace {
+	return &ReqTrace{ID: id, Kind: kind, Mode: mode, Start: start}
+}
+
+// AddSpan records one completed stage. Zero-duration spans are kept:
+// a cache hit's kernel-free trace is the interesting shape, not noise.
+func (t *ReqTrace) AddSpan(name string, start, end time.Time, layer int, detail string) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, Span{
+		Name:    name,
+		StartNs: start.Sub(t.Start).Nanoseconds(),
+		DurNs:   end.Sub(start).Nanoseconds(),
+		Layer:   layer,
+		Sub:     t.CurSub,
+		Detail:  detail,
+	})
+}
+
+// AddHops appends routing-hop events (each route answer contributes an
+// inject → forward* → deliver segment; batches concatenate segments).
+func (t *ReqTrace) AddHops(hops Trace) {
+	if t == nil || len(hops) == 0 {
+		return
+	}
+	t.Hops = append(t.Hops, hops...)
+}
+
+// SetOutcome records the request's single conservation outcome.
+func (t *ReqTrace) SetOutcome(outcome string) {
+	if t == nil {
+		return
+	}
+	t.Outcome = outcome
+}
+
+// Finish stamps the trace duration; idempotent (the longest offset
+// wins, so a late write span extends it).
+func (t *ReqTrace) Finish(end time.Time) {
+	if t == nil {
+		return
+	}
+	if ns := end.Sub(t.Start).Nanoseconds(); ns > t.EndNs {
+		t.EndNs = ns
+	}
+}
+
+// Canonical renders the structural content of the trace — id, labels,
+// outcome, span names/layers/subs/details, hop sites — with every
+// timing field omitted. Two runs of the same seeded workload produce
+// identical Canonical strings for their sampled traces, which is the
+// determinism contract the serve tests pin.
+func (t *ReqTrace) Canonical() string {
+	b := make([]byte, 0, 64+16*len(t.Spans))
+	b = append(b, t.ID.String()...)
+	b = append(b, ' ')
+	b = append(b, t.Kind...)
+	b = append(b, '/')
+	b = append(b, t.Mode...)
+	if t.Batch > 0 {
+		b = append(b, " batch="...)
+		b = strconv.AppendInt(b, int64(t.Batch), 10)
+	}
+	b = append(b, ' ')
+	b = append(b, t.Outcome...)
+	for _, sp := range t.Spans {
+		b = append(b, ' ')
+		b = append(b, sp.Name...)
+		if sp.Sub > 0 {
+			b = append(b, '#')
+			b = strconv.AppendInt(b, int64(sp.Sub), 10)
+		}
+		if sp.Layer != LayerNone {
+			b = append(b, '@')
+			b = strconv.AppendInt(b, int64(sp.Layer), 10)
+		}
+		if sp.Detail != "" {
+			b = append(b, '(')
+			b = append(b, sp.Detail...)
+			b = append(b, ')')
+		}
+	}
+	for _, ev := range t.Hops {
+		b = append(b, ' ')
+		b = append(b, ev.Cause...)
+		b = append(b, ':')
+		b = append(b, ev.Site...)
+	}
+	return string(b)
+}
+
+// TraceBuffer retains the most recent published traces, oldest first.
+// A nil *TraceBuffer drops everything (the disabled state). Publication
+// takes one short mutex on the sampled path only.
+type TraceBuffer struct {
+	mu    sync.Mutex
+	buf   []*ReqTrace // ring; buf[next] is the oldest once full
+	next  int
+	n     int
+	total uint64
+}
+
+// NewTraceBuffer retains up to n traces (n < 1 yields nil: disabled).
+func NewTraceBuffer(n int) *TraceBuffer {
+	if n < 1 {
+		return nil
+	}
+	return &TraceBuffer{buf: make([]*ReqTrace, n)}
+}
+
+// Add publishes one completed trace. The buffer takes ownership: the
+// caller must not mutate t afterwards.
+func (b *TraceBuffer) Add(t *ReqTrace) {
+	if b == nil || t == nil {
+		return
+	}
+	b.mu.Lock()
+	b.buf[b.next] = t
+	b.next = (b.next + 1) % len(b.buf)
+	if b.n < len(b.buf) {
+		b.n++
+	}
+	b.total++
+	b.mu.Unlock()
+}
+
+// Total returns the number of traces ever published.
+func (b *TraceBuffer) Total() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// Recent returns the retained traces, oldest first.
+func (b *TraceBuffer) Recent() []*ReqTrace {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]*ReqTrace, 0, b.n)
+	start := b.next - b.n
+	if start < 0 {
+		start += len(b.buf)
+	}
+	for i := 0; i < b.n; i++ {
+		out = append(out, b.buf[(start+i)%len(b.buf)])
+	}
+	return out
+}
+
+// TracesSnapshot is the /debug/traces JSON document.
+type TracesSnapshot struct {
+	Total  uint64      `json:"total_sampled"`
+	Traces []*ReqTrace `json:"traces"`
+}
+
+// Snapshot freezes the buffer for exposition.
+func (b *TraceBuffer) Snapshot() TracesSnapshot {
+	s := TracesSnapshot{Traces: []*ReqTrace{}}
+	if b == nil {
+		return s
+	}
+	s.Traces = b.Recent()
+	s.Total = b.Total()
+	return s
+}

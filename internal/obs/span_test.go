@@ -1,0 +1,220 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestTraceIDRoundTrip(t *testing.T) {
+	for _, id := range []TraceID{0, 1, 0xdeadbeef, ^TraceID(0)} {
+		b, err := json.Marshal(id)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", id, err)
+		}
+		var got TraceID
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if got != id {
+			t.Errorf("round trip %v -> %s -> %v", id, b, got)
+		}
+	}
+	if _, err := ParseTraceID("not hex"); err == nil {
+		t.Error("ParseTraceID accepted garbage")
+	}
+	if s := TraceID(0).String(); s != "" {
+		t.Errorf("zero id String = %q, want empty", s)
+	}
+	if s := TraceID(0xab).String(); s != "00000000000000ab" {
+		t.Errorf("String = %q, want 16 digits", s)
+	}
+}
+
+func TestTraceIDFromBytes(t *testing.T) {
+	a := TraceIDFromBytes([]byte("hello"))
+	b := TraceIDFromBytes([]byte("hello"))
+	c := TraceIDFromBytes([]byte("world"))
+	if a == 0 || a != b {
+		t.Errorf("hash not deterministic: %v vs %v", a, b)
+	}
+	if a == c {
+		t.Error("distinct inputs collided")
+	}
+	if TraceIDFromBytes(nil) == 0 {
+		t.Error("empty input hashed to zero")
+	}
+}
+
+func TestSamplerDeterminism(t *testing.T) {
+	s1 := NewSampler(64, 42)
+	s2 := NewSampler(64, 42)
+	s3 := NewSampler(64, 43)
+	hits, diverged := 0, false
+	for i := TraceID(1); i <= 64*64; i++ {
+		if s1.Sample(i) != s2.Sample(i) {
+			t.Fatalf("same seed diverged at id %v", i)
+		}
+		if s1.Sample(i) {
+			hits++
+		}
+		if s1.Sample(i) != s3.Sample(i) {
+			diverged = true
+		}
+	}
+	// 1-in-64 over 4096 ids: expect ~64 hits; require the rate to be in
+	// the right ballpark, not exact.
+	if hits < 16 || hits > 256 {
+		t.Errorf("1-in-64 sampler hit %d of 4096", hits)
+	}
+	if !diverged {
+		t.Error("different seeds sampled identically across 4096 ids")
+	}
+}
+
+func TestSamplerEdges(t *testing.T) {
+	var zero Sampler
+	if zero.Enabled() || zero.Sample(123) {
+		t.Error("zero-value sampler not disabled")
+	}
+	off := NewSampler(0, 1)
+	if off.Enabled() || off.Sample(123) {
+		t.Error("every=0 sampler not disabled")
+	}
+	neg := NewSampler(-5, 1)
+	if neg.Enabled() || neg.Sample(123) {
+		t.Error("negative-every sampler not disabled")
+	}
+	all := NewSampler(1, 99)
+	for i := TraceID(0); i < 100; i++ {
+		if !all.Sample(i) {
+			t.Fatalf("every=1 sampler rejected id %v", i)
+		}
+	}
+}
+
+func TestReqTraceSpansAndCanonical(t *testing.T) {
+	start := time.Unix(100, 0)
+	tr := NewReqTrace(0xab, "route", "undirected", start)
+	tr.Batch = 2
+	tr.AddSpan(SpanAdmission, start, start.Add(time.Microsecond), LayerNone, "")
+	tr.CurSub = 1
+	tr.AddSpan(SpanKernel+"/route", start.Add(2*time.Microsecond), start.Add(5*time.Microsecond), 3, "")
+	tr.CurSub = 2
+	tr.AddSpan(SpanCache, start.Add(5*time.Microsecond), start.Add(5*time.Microsecond), LayerNone, "hit")
+	tr.CurSub = 0
+	tr.AddHops(Trace{
+		{Hop: 0, Cause: CauseInject, Site: "0101", Layer: 2},
+		{Hop: 1, Cause: CauseForward, Site: "1010", Layer: 1},
+		{Hop: 2, Cause: CauseDeliver, Site: "0100"},
+	})
+	tr.SetOutcome("answered")
+	tr.Finish(start.Add(9 * time.Microsecond))
+	tr.Finish(start.Add(7 * time.Microsecond)) // longest offset wins
+	if tr.EndNs != 9000 {
+		t.Errorf("EndNs = %d, want 9000", tr.EndNs)
+	}
+	if got := len(tr.Spans); got != 3 {
+		t.Fatalf("span count = %d, want 3", got)
+	}
+	if tr.Spans[1].Sub != 1 || tr.Spans[2].Sub != 2 {
+		t.Errorf("sub tags = %d,%d, want 1,2", tr.Spans[1].Sub, tr.Spans[2].Sub)
+	}
+	want := "00000000000000ab route/undirected batch=2 answered" +
+		" admission kernel/route#1@3 cache#2(hit)" +
+		" inject:0101 forward:1010 deliver:0100"
+	if got := tr.Canonical(); got != want {
+		t.Errorf("Canonical:\n got %q\nwant %q", got, want)
+	}
+
+	// Canonical must not depend on timings: same structure, different
+	// clock offsets.
+	tr2 := NewReqTrace(0xab, "route", "undirected", start.Add(time.Hour))
+	tr2.Batch = 2
+	tr2.AddSpan(SpanAdmission, tr2.Start, tr2.Start.Add(time.Millisecond), LayerNone, "")
+	tr2.CurSub = 1
+	tr2.AddSpan(SpanKernel+"/route", tr2.Start, tr2.Start.Add(time.Second), 3, "")
+	tr2.CurSub = 2
+	tr2.AddSpan(SpanCache, tr2.Start, tr2.Start, LayerNone, "hit")
+	tr2.CurSub = 0
+	tr2.AddHops(tr.Hops)
+	tr2.SetOutcome("answered")
+	tr2.Finish(tr2.Start.Add(time.Minute))
+	if tr.Canonical() != tr2.Canonical() {
+		t.Errorf("Canonical depends on timing:\n%q\n%q", tr.Canonical(), tr2.Canonical())
+	}
+}
+
+func TestReqTraceNilSafe(t *testing.T) {
+	var tr *ReqTrace
+	tr.AddSpan(SpanAdmission, time.Now(), time.Now(), LayerNone, "")
+	tr.AddHops(Trace{{Cause: CauseInject}})
+	tr.SetOutcome("answered")
+	tr.Finish(time.Now())
+}
+
+func TestReqTraceSitesRecovery(t *testing.T) {
+	// Satellite: the hop vocabulary is shared with Delivery.Trace, so
+	// Sites() recovers the visited-site list from a sampled serve trace.
+	tr := NewReqTrace(1, "route", "directed", time.Unix(0, 0))
+	tr.AddHops(Trace{
+		{Hop: 0, Cause: CauseInject, Site: "000", Layer: 2},
+		{Hop: 1, Cause: CauseForward, Site: "001", Link: "L", Digit: 1, Layer: 1},
+		{Hop: 2, Cause: CauseForward, Site: "011", Link: "L", Digit: 1, Layer: 0},
+		{Hop: 2, Cause: CauseDeliver, Site: "011"},
+	})
+	got := tr.Hops.Sites()
+	want := []string{"000", "001", "011"}
+	if len(got) != len(want) {
+		t.Fatalf("Sites = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Sites[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+	if tr.Hops.Hops() != 2 {
+		t.Errorf("Hops = %d, want 2", tr.Hops.Hops())
+	}
+}
+
+func TestTraceBuffer(t *testing.T) {
+	b := NewTraceBuffer(3)
+	for i := 1; i <= 5; i++ {
+		b.Add(NewReqTrace(TraceID(i), "distance", "", time.Unix(0, 0)))
+	}
+	if b.Total() != 5 {
+		t.Errorf("Total = %d, want 5", b.Total())
+	}
+	rec := b.Recent()
+	if len(rec) != 3 {
+		t.Fatalf("Recent len = %d, want 3", len(rec))
+	}
+	for i, want := range []TraceID{3, 4, 5} {
+		if rec[i].ID != want {
+			t.Errorf("Recent[%d].ID = %v, want %v (oldest first)", i, rec[i].ID, want)
+		}
+	}
+	snap := b.Snapshot()
+	if snap.Total != 5 || len(snap.Traces) != 3 {
+		t.Errorf("Snapshot = total %d / %d traces, want 5 / 3", snap.Total, len(snap.Traces))
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("snapshot not marshalable: %v", err)
+	}
+}
+
+func TestTraceBufferDisabled(t *testing.T) {
+	if NewTraceBuffer(0) != nil {
+		t.Error("NewTraceBuffer(0) != nil")
+	}
+	var b *TraceBuffer
+	b.Add(NewReqTrace(1, "distance", "", time.Unix(0, 0)))
+	if b.Total() != 0 || b.Recent() != nil {
+		t.Error("nil buffer retained something")
+	}
+	snap := b.Snapshot()
+	if snap.Total != 0 || snap.Traces == nil || len(snap.Traces) != 0 {
+		t.Errorf("nil buffer snapshot = %+v, want empty non-nil Traces", snap)
+	}
+}

@@ -45,6 +45,13 @@ type HopEvent struct {
 	// Wait is the queue wait before the event was processed (only the
 	// concurrent Cluster engine measures it).
 	Wait time.Duration `json:"wait_ns,omitempty"`
+	// Layer is the distance-layer index B_i of the site relative to the
+	// destination (Fàbrega et al.): the remaining distance, counting
+	// down to 0 as the message closes in. Zero means "at the
+	// destination" — or "not computed", for producers that predate
+	// layers (the network engines leave it unset; the serving stack's
+	// sampled route traces always fill it).
+	Layer int `json:"layer,omitempty"`
 	// Detail carries reroute causes and drop reasons.
 	Detail string `json:"detail,omitempty"`
 }

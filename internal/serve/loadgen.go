@@ -2,12 +2,14 @@ package serve
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -57,6 +59,11 @@ type LoadConfig struct {
 	// of that many vertices (cache-friendly skew); 0 draws uniformly.
 	HotSet int
 	Seed   int64
+	// StampTrace stamps every request with a deterministic trace_id
+	// derived from (Seed, client, sequence). Combined with the server's
+	// deterministic sampler this makes a load run replayable: the same
+	// config samples the identical trace set, byte for byte.
+	StampTrace bool
 }
 
 // LoadResult is one load-generation run, combining the client-side
@@ -192,6 +199,9 @@ func runClosedLoop(clients []*Client, cfg LoadConfig, pool []word.Word, res *Loa
 			nerr := int64(0)
 			for n := 0; n < cfg.RequestsPerClient; n++ {
 				req := randomRequest(cfg, rng, pool)
+				if cfg.StampTrace {
+					req.TraceID = stampTraceID(cfg.Seed, i, n)
+				}
 				t0 := time.Now()
 				if _, err := c.Do(context.Background(), req); err != nil {
 					nerr++
@@ -233,6 +243,9 @@ func runOpenLoop(clients []*Client, cfg LoadConfig, pool []word.Word, res *LoadR
 		due := int(elapsed.Seconds() * cfg.Rate)
 		for ; launched < due; launched++ {
 			req := randomRequest(cfg, rng, pool)
+			if cfg.StampTrace {
+				req.TraceID = stampTraceID(cfg.Seed, launched%len(clients), launched)
+			}
 			c := clients[launched%len(clients)]
 			select {
 			case sem <- struct{}{}:
@@ -300,6 +313,16 @@ func randomPair(cfg LoadConfig, rng *rand.Rand, pool []word.Word) (word.Word, wo
 		return pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]
 	}
 	return word.Random(cfg.D, cfg.K, rng), word.Random(cfg.D, cfg.K, rng)
+}
+
+// stampTraceID derives the deterministic trace id of the n-th request
+// of one generator stream.
+func stampTraceID(seed int64, client, n int) obs.TraceID {
+	var b [24]byte
+	binary.BigEndian.PutUint64(b[0:], uint64(seed))
+	binary.BigEndian.PutUint64(b[8:], uint64(client))
+	binary.BigEndian.PutUint64(b[16:], uint64(n))
+	return obs.TraceIDFromBytes(b[:])
 }
 
 func poolWord(cfg LoadConfig, i int) word.Word {

@@ -6,6 +6,7 @@ import "repro/internal/obs"
 // with the Config.Registry; a nil registry degrades every instrument
 // to a nil check, per the obs contract.
 const (
+	metricSent           = "dn_serve_sent_total" // every admitted frame
 	metricRequests       = "dn_serve_requests_total"  // labelled {kind=...}
 	metricAnswered       = "dn_serve_answered_total"  // full-fidelity outcomes
 	metricDegraded       = "dn_serve_degraded_total"  // labelled {mode=distance|bounds}
@@ -16,6 +17,9 @@ const (
 	metricQueueDepth     = "dn_serve_queue_depth" // gauge: tasks waiting
 	metricLatencyNs      = "dn_serve_latency_ns"  // admission → answer
 	metricConns          = "dn_serve_conns_total"
+	metricSampled        = "dn_serve_traces_sampled_total" // published ReqTraces
+	metricFlightFrozen   = "dn_serve_flight_frozen"        // gauge: 1 after a trigger
+	metricTriggers       = "dn_serve_flight_triggers_total" // labelled {trigger=...}, fired + missed
 )
 
 // shedReason enumerates the exhaustive, stable set of shed outcomes.
@@ -39,8 +43,28 @@ var shedReasonNames = [numShedReasons]string{
 
 func (r shedReason) String() string { return shedReasonNames[r] }
 
+// Flight-recorder trigger names, the anomaly vocabulary of the
+// monitor loop (and of `dbserve -selfcheck`, which fires
+// TriggerConservation on accounting drift). Exported so tools reading
+// /debug/flight can match on them.
+const (
+	// TriggerShedSpike fires when the shed fraction of a monitor window
+	// crosses Config.ShedSpikeFraction.
+	TriggerShedSpike = "shed_spike"
+	// TriggerDegrade fires on the first degraded answer — the ladder
+	// engaging is an anomaly worth a postmortem even when it works.
+	TriggerDegrade = "degrade_engaged"
+	// TriggerP99Deadline fires when a monitor window's p99
+	// admission→answer latency exceeds the default deadline.
+	TriggerP99Deadline = "p99_deadline"
+	// TriggerConservation marks a sent ≠ answered+degraded+shed
+	// mismatch detected by an external checker.
+	TriggerConservation = "conservation_mismatch"
+)
+
 // serveMetrics are the pre-resolved instrument handles of one Server.
 type serveMetrics struct {
+	sent      *obs.Counter
 	requests  [KindBatch + 1]*obs.Counter
 	answered  *obs.Counter
 	degraded  [LevelBounds + 1]*obs.Counter // LevelFull slot unused
@@ -48,10 +72,15 @@ type serveMetrics struct {
 	queue     *obs.Gauge
 	latencyNs *obs.Histogram
 	conns     *obs.Counter
+	sampled   *obs.Counter
+	frozen    *obs.Gauge
+
+	reg *obs.Registry // trigger counters are labelled on demand
 }
 
 func newServeMetrics(reg *obs.Registry) serveMetrics {
 	var m serveMetrics
+	m.sent = reg.Counter(metricSent)
 	for k := KindDistance; k <= KindBatch; k++ {
 		m.requests[k] = reg.Counter(obs.Label(metricRequests, "kind", k.String()))
 	}
@@ -65,5 +94,8 @@ func newServeMetrics(reg *obs.Registry) serveMetrics {
 	m.queue = reg.Gauge(metricQueueDepth)
 	m.latencyNs = reg.Histogram(metricLatencyNs, obs.NsBuckets)
 	m.conns = reg.Counter(metricConns)
+	m.sampled = reg.Counter(metricSampled)
+	m.frozen = reg.Gauge(metricFlightFrozen)
+	m.reg = reg
 	return m
 }

@@ -42,8 +42,10 @@ package serve
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -213,26 +215,95 @@ func NewEngine(cache *Cache) *Engine {
 // inserted into the cache, so a degraded answer can never masquerade
 // as a full one later.
 func (e *Engine) Answer(q Query, level Level) (Answer, bool, error) {
+	return e.AnswerTraced(q, level, nil)
+}
+
+// AnswerTraced is Answer recording spans into tr when non-nil: a cache
+// span (detail "hit"/"miss"), a kernel span named kernel/<stage> whose
+// Layer is the distance-layer index B_d of the destination, and — for
+// route answers with a path — the per-hop inject/forward/deliver
+// events of core.TraceEvents. A nil tr takes the identical compute
+// path with only untaken nil checks added, preserving the
+// zero-allocation budgets of the untraced engine.
+func (e *Engine) AnswerTraced(q Query, level Level, tr *obs.ReqTrace) (Answer, bool, error) {
 	if err := q.Validate(); err != nil {
 		return Answer{}, false, err
 	}
 	if e.cache != nil {
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
 		e.key = appendKey(e.key[:0], q)
-		if a, ok := e.cache.get(e.key); ok {
+		a, ok := e.cache.get(e.key)
+		if tr != nil {
+			detail := "miss"
+			if ok {
+				detail = "hit"
+			}
+			tr.AddSpan(obs.SpanCache, t0, time.Now(), obs.LayerNone, detail)
+		}
+		if ok {
+			e.traceAnswer(q, a, tr)
 			return a, true, nil
 		}
 	}
 	if level >= LevelBounds {
-		return boundsAnswer(q), false, nil
+		var t0 time.Time
+		if tr != nil {
+			t0 = time.Now()
+		}
+		a := boundsAnswer(q)
+		if tr != nil {
+			tr.AddSpan(obs.SpanKernel+"/bounds", t0, time.Now(), a.Hi, "")
+		}
+		return a, false, nil
+	}
+	var t0 time.Time
+	if tr != nil {
+		t0 = time.Now()
 	}
 	a, err := e.compute(q, level)
 	if err != nil {
 		return Answer{}, false, err
 	}
+	if tr != nil {
+		tr.AddSpan(obs.SpanKernel+"/"+q.Kind.String(), t0, time.Now(), e.answerLayer(q, a), "")
+		e.traceAnswer(q, a, tr)
+	}
 	if e.cache != nil && a.Level == LevelFull {
 		e.cache.put(e.key, a)
 	}
 	return a, false, nil
+}
+
+// answerLayer is the distance-layer index B_d the answer places the
+// destination in: the computed distance for distance/route answers,
+// recomputed (sampled path only, O(k)) for next-hop answers, which do
+// not carry one.
+func (e *Engine) answerLayer(q Query, a Answer) int {
+	if q.Kind != KindNextHop {
+		return a.Distance
+	}
+	d, err := e.distance(q)
+	if err != nil {
+		return obs.LayerNone
+	}
+	return d
+}
+
+// traceAnswer attaches the route answer's hop events to tr. Cache hits
+// contribute too — the stored path replays through the same
+// layer-annotated vocabulary as a fresh computation.
+func (e *Engine) traceAnswer(q Query, a Answer, tr *obs.ReqTrace) {
+	if tr == nil || a.Path == nil {
+		return
+	}
+	hops, err := core.TraceEvents(q.Src, a.Path, a.Distance)
+	if err != nil {
+		return
+	}
+	tr.AddHops(hops)
 }
 
 // boundsAnswer is the LevelBounds rung: layer bounds only, no kernel.

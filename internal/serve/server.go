@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"runtime"
 	"sync"
@@ -39,6 +40,24 @@ type Config struct {
 	// Registry receives the dn_serve_* instruments; nil disables
 	// metrics (the conservation Counts are kept regardless).
 	Registry *obs.Registry
+	// TraceSample keeps one request trace in every N (0 disables
+	// tracing entirely — the zero-overhead default). The sampling
+	// decision is a pure function of (trace id, TraceSeed), so a
+	// replayed workload samples the identical request set.
+	TraceSample int
+	// TraceSeed keys the deterministic sampling decision.
+	TraceSeed uint64
+	// TraceBufferSize bounds the retained sampled traces served on
+	// /debug/traces. Default 256 when tracing is enabled.
+	TraceBufferSize int
+	// FlightSize is the flight-recorder ring capacity in events; 0
+	// disables the recorder (and the anomaly monitor).
+	FlightSize int
+	// MonitorInterval paces the anomaly monitor windows. Default 100ms.
+	MonitorInterval time.Duration
+	// ShedSpikeFraction is the per-window shed fraction that fires the
+	// shed_spike trigger. Default 0.5.
+	ShedSpikeFraction float64
 }
 
 // ErrServerClosed is returned by Serve and SelfClient after Close.
@@ -67,19 +86,35 @@ type task struct {
 	batch    []Query // kind batch
 	deadline time.Time
 	start    time.Time
+	enq      time.Time // enqueue instant: queue span start
+	id       obs.TraceID
+	tr       *obs.ReqTrace // non-nil only for sampled requests
 	ctx      context.Context // connection context
-	out      chan<- Response
+	out      chan<- outFrame
 	pending  *sync.WaitGroup // connection's in-flight accounting
+}
+
+// outFrame pairs a response with the trace that rode the request, so
+// the connection writer can record the write span and publish the
+// completed trace after the frame hits the wire.
+type outFrame struct {
+	resp Response
+	tr   *obs.ReqTrace
 }
 
 // Server is the sharded route-query server. Construct with NewServer,
 // feed it listeners via Serve (or in-process clients via SelfClient),
 // stop with Close.
 type Server struct {
-	cfg   Config
-	cache *Cache
-	queue chan *task
-	m     serveMetrics
+	cfg     Config
+	cache   *Cache
+	queue   chan *task
+	m       serveMetrics
+	sampler obs.Sampler
+	traces  *obs.TraceBuffer
+	flight  *obs.FlightRecorder
+
+	monitorDone chan struct{} // nil without a flight recorder
 
 	sent     atomic.Int64
 	answered atomic.Int64
@@ -124,25 +159,65 @@ func NewServer(cfg Config) *Server {
 	if cfg.DegradeCritical <= 0 {
 		cfg.DegradeCritical = 0.90
 	}
+	if cfg.TraceBufferSize < 1 {
+		cfg.TraceBufferSize = 256
+	}
+	if cfg.MonitorInterval <= 0 {
+		cfg.MonitorInterval = 100 * time.Millisecond
+	}
+	if cfg.ShedSpikeFraction <= 0 {
+		cfg.ShedSpikeFraction = 0.5
+	}
 	s := &Server{
 		cfg:       cfg,
 		cache:     NewCache(cfg.CacheSize, cfg.Registry),
 		queue:     make(chan *task, cfg.QueueDepth),
 		m:         newServeMetrics(cfg.Registry),
+		sampler:   obs.NewSampler(cfg.TraceSample, cfg.TraceSeed),
+		flight:    obs.NewFlightRecorder(cfg.FlightSize),
 		listeners: make(map[net.Listener]struct{}),
 		open:      make(map[net.Conn]struct{}),
 		closeDone: make(chan struct{}),
+	}
+	if s.sampler.Enabled() {
+		s.traces = obs.NewTraceBuffer(cfg.TraceBufferSize)
 	}
 	s.ctx, s.cancel = context.WithCancel(context.Background())
 	s.workers.Add(cfg.Shards)
 	for i := 0; i < cfg.Shards; i++ {
 		go s.worker()
 	}
+	if s.flight != nil {
+		s.monitorDone = make(chan struct{})
+		go s.monitor()
+	}
 	return s
 }
 
 // Cache exposes the shared result cache (nil when disabled).
 func (s *Server) Cache() *Cache { return s.cache }
+
+// Traces exposes the sampled-trace buffer (nil when tracing is
+// disabled) — mount it on the debug mux via obs.DebugOptions.
+func (s *Server) Traces() *obs.TraceBuffer { return s.traces }
+
+// Flight exposes the flight recorder (nil when disabled).
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
+// TriggerFlight fires an external anomaly trigger — the hook
+// out-of-process checkers (dbserve -selfcheck's conservation
+// cross-check) use to freeze the recorder on conditions the server
+// cannot see itself. Reports whether this call froze the recorder.
+func (s *Server) TriggerFlight(name, detail string, value float64) bool {
+	won := s.flight.Trigger(name, detail, value)
+	if won {
+		s.m.frozen.Set(1)
+	}
+	if s.flight != nil {
+		s.m.reg.Counter(obs.Label(metricTriggers, "trigger", name)).Inc()
+	}
+	return won
+}
 
 // Counts snapshots the conservation accounting.
 func (s *Server) Counts() Counts {
@@ -251,9 +326,69 @@ func (s *Server) Close() error {
 	s.conns.Wait()
 	close(s.queue)
 	s.workers.Wait()
+	if s.monitorDone != nil {
+		<-s.monitorDone
+	}
 	close(s.closeDone)
 	return nil
 }
+
+// monitor is the anomaly loop feeding the flight recorder: each window
+// it records the load metrics as flight events and fires a trigger —
+// freezing the recorder — on a shed-rate spike, the degrade ladder
+// engaging, or window p99 exceeding the default deadline.
+func (s *Server) monitor() {
+	defer close(s.monitorDone)
+	ticker := time.NewTicker(s.cfg.MonitorInterval)
+	defer ticker.Stop()
+	prev := s.Counts()
+	prevLat := s.cfg.Registry.Snapshot().Histogram(metricLatencyNs)
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		cur := s.Counts()
+		curLat := s.cfg.Registry.Snapshot().Histogram(metricLatencyNs)
+		sent := cur.Sent - prev.Sent
+		shed := cur.Shed - prev.Shed
+		degraded := cur.Degraded - prev.Degraded
+		lat := curLat.Diff(prevLat)
+		p99 := time.Duration(lat.Quantile(0.99))
+		prev, prevLat = cur, curLat
+
+		if s.flight.Frozen() {
+			continue // keep the loop alive for Counts bookkeeping symmetry
+		}
+		var shedFrac float64
+		if sent > 0 {
+			shedFrac = float64(shed) / float64(sent)
+		}
+		s.flight.Record(obs.FlightEvent{Kind: obs.FlightMetric, Name: "window_sent", Value: float64(sent)})
+		s.flight.Record(obs.FlightEvent{Kind: obs.FlightMetric, Name: "shed_rate", Value: shedFrac})
+		s.flight.Record(obs.FlightEvent{Kind: obs.FlightMetric, Name: "queue_depth", Value: float64(len(s.queue))})
+		if p99 > 0 {
+			s.flight.Record(obs.FlightEvent{Kind: obs.FlightMetric, Name: "latency_p99_ns", Value: float64(p99)})
+		}
+		switch {
+		case sent >= monitorMinWindow && shedFrac >= s.cfg.ShedSpikeFraction:
+			s.TriggerFlight(TriggerShedSpike,
+				fmt.Sprintf("shed %d of %d this window", shed, sent), shedFrac)
+		case degraded > 0:
+			s.TriggerFlight(TriggerDegrade,
+				fmt.Sprintf("%d degraded answers this window", degraded), float64(degraded))
+		case lat.Count >= monitorMinWindow && p99 > s.cfg.DefaultDeadline:
+			s.TriggerFlight(TriggerP99Deadline,
+				fmt.Sprintf("window p99 %v exceeds deadline %v", p99, s.cfg.DefaultDeadline), float64(p99))
+		}
+	}
+}
+
+// monitorMinWindow is the minimum per-window sample size before the
+// rate triggers may fire — a two-request window shedding one is not a
+// spike.
+const monitorMinWindow = 16
 
 // handleConn runs the reader side of one connection: framing,
 // parsing, admission. A writer goroutine serializes responses; the
@@ -266,16 +401,31 @@ func (s *Server) handleConn(conn net.Conn) {
 	// shed (reason canceled) instead of computed into the void.
 	ctx, cancel := context.WithCancel(s.ctx)
 	defer cancel()
-	out := make(chan Response, 64)
+	out := make(chan outFrame, 64)
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
 		dead := false
-		for resp := range out {
+		for fr := range out {
 			if dead {
-				continue // keep draining so senders never block
+				// Keep draining so senders never block; sampled traces
+				// still publish (their outcome happened — only the write
+				// to the dead peer didn't).
+				s.publishTrace(fr.tr)
+				continue
 			}
-			if err := WriteFrame(conn, &resp); err != nil {
+			var t0 time.Time
+			if fr.tr != nil {
+				t0 = time.Now()
+			}
+			err := WriteFrame(conn, &fr.resp)
+			if fr.tr != nil {
+				if err == nil {
+					fr.tr.AddSpan(obs.SpanWrite, t0, time.Now(), obs.LayerNone, "")
+				}
+				s.publishTrace(fr.tr)
+			}
+			if err != nil {
 				dead = true
 			}
 		}
@@ -297,13 +447,28 @@ func (s *Server) handleConn(conn net.Conn) {
 // admit counts, parses, and enqueues one request frame, shedding
 // instead of blocking when the queue is full. Parse failures are
 // admitted-and-shed (reason bad_request) so conservation covers them.
-func (s *Server) admit(ctx context.Context, body []byte, out chan<- Response, pending *sync.WaitGroup) {
+// Trace context is resolved here: the wire trace_id when supplied,
+// otherwise (with tracing enabled) a hash of the frame bytes — either
+// way a pure function of the request, so replays sample identically.
+func (s *Server) admit(ctx context.Context, body []byte, out chan<- outFrame, pending *sync.WaitGroup) {
 	s.sent.Add(1)
+	s.m.sent.Inc()
+	start := time.Now()
 	req, err := ParseRequest(body)
+	id := req.TraceID
+	if id == 0 && s.sampler.Enabled() {
+		id = obs.TraceIDFromBytes(body)
+	}
+	var tr *obs.ReqTrace
+	if id != 0 && s.sampler.Sample(id) {
+		tr = obs.NewReqTrace(id, req.Kind, req.Mode, start)
+		tr.Batch = len(req.Batch)
+	}
 	if err != nil {
+		s.shedTrace(tr, shedBadRequest)
 		s.shedN[shedBadRequest].Add(1)
 		s.m.shed[shedBadRequest].Inc()
-		sendResponse(out, ctx, errorResponse(req.ID, err))
+		s.sendResponse(out, ctx, withTraceID(errorResponse(req.ID, err), id), tr)
 		return
 	}
 	kind, kerr := ParseKind(req.Kind)
@@ -312,7 +477,9 @@ func (s *Server) admit(ctx context.Context, body []byte, out chan<- Response, pe
 	}
 	t := &task{
 		req:     req,
-		start:   time.Now(),
+		start:   start,
+		id:      id,
+		tr:      tr,
 		ctx:     ctx,
 		out:     out,
 		pending: pending,
@@ -325,9 +492,10 @@ func (s *Server) admit(ctx context.Context, body []byte, out chan<- Response, pe
 		t.q, err = ParseQuery(req)
 	}
 	if err != nil {
+		s.shedTrace(tr, shedBadRequest)
 		s.shedN[shedBadRequest].Add(1)
 		s.m.shed[shedBadRequest].Inc()
-		sendResponse(out, ctx, errorResponse(req.ID, err))
+		s.sendResponse(out, ctx, withTraceID(errorResponse(req.ID, err), id), tr)
 		return
 	}
 	budget := s.cfg.DefaultDeadline
@@ -335,26 +503,63 @@ func (s *Server) admit(ctx context.Context, body []byte, out chan<- Response, pe
 		budget = time.Duration(req.DeadlineMS) * time.Millisecond
 	}
 	t.deadline = t.start.Add(budget)
+	t.enq = time.Now()
+	tr.AddSpan(obs.SpanAdmission, start, t.enq, obs.LayerNone, "")
 	pending.Add(1)
 	select {
 	case s.queue <- t:
 		s.m.queue.Set(float64(len(s.queue)))
 	default:
 		pending.Done()
+		s.shedTrace(tr, shedQueueFull)
 		s.shedN[shedQueueFull].Add(1)
 		s.m.shed[shedQueueFull].Inc()
-		sendResponse(out, ctx, shedResponse(req.ID, shedQueueFull))
+		s.sendResponse(out, ctx, withTraceID(shedResponse(req.ID, shedQueueFull), id), tr)
 	}
 }
 
-// sendResponse delivers resp to the connection writer unless the
-// server is shutting down (the writer drains until close, so this
-// only gives up when ctx is already canceled).
-func sendResponse(out chan<- Response, ctx context.Context, resp Response) {
-	select {
-	case out <- resp:
-	case <-ctx.Done():
+// withTraceID stamps the resolved trace id onto a response.
+func withTraceID(resp Response, id obs.TraceID) Response {
+	resp.TraceID = id
+	return resp
+}
+
+// shedTrace records a shed outcome on a sampled trace.
+func (s *Server) shedTrace(tr *obs.ReqTrace, reason shedReason) {
+	if tr == nil {
+		return
 	}
+	tr.SetOutcome("shed:" + reason.String())
+}
+
+// sendResponse delivers resp (and its trace) to the connection writer
+// unless the server is shutting down — the writer drains until close,
+// so this only gives up when ctx is already canceled, in which case a
+// sampled trace is published directly (its outcome already happened;
+// only the write to the dead peer won't).
+func (s *Server) sendResponse(out chan<- outFrame, ctx context.Context, resp Response, tr *obs.ReqTrace) {
+	select {
+	case out <- outFrame{resp: resp, tr: tr}:
+	case <-ctx.Done():
+		s.publishTrace(tr)
+	}
+}
+
+// publishTrace finishes a sampled trace and publishes it to the trace
+// buffer and the flight recorder. Safe for nil traces.
+func (s *Server) publishTrace(tr *obs.ReqTrace) {
+	if tr == nil {
+		return
+	}
+	tr.Finish(time.Now())
+	s.traces.Add(tr)
+	s.m.sampled.Inc()
+	s.flight.Record(obs.FlightEvent{
+		Kind:    obs.FlightTrace,
+		TraceID: tr.ID,
+		Name:    tr.Outcome,
+		Value:   float64(tr.EndNs),
+	})
 }
 
 // worker is one shard: a loop around a private Engine.
@@ -386,6 +591,7 @@ func (s *Server) process(eng *Engine, t *task) {
 	if hook := s.workerHook; hook != nil {
 		hook(t)
 	}
+	t.tr.AddSpan(obs.SpanQueue, t.enq, time.Now(), obs.LayerNone, "")
 	var reason shedReason
 	switch {
 	case s.ctx.Err() != nil:
@@ -398,9 +604,10 @@ func (s *Server) process(eng *Engine, t *task) {
 		s.answerTask(eng, t)
 		return
 	}
+	s.shedTrace(t.tr, reason)
 	s.shedN[reason].Add(1)
 	s.m.shed[reason].Inc()
-	sendResponse(t.out, t.ctx, shedResponse(t.req.ID, reason))
+	s.sendResponse(t.out, t.ctx, withTraceID(shedResponse(t.req.ID, reason), t.id), t.tr)
 }
 
 // answerTask computes the answer(s) at the current degrade rung and
@@ -415,16 +622,28 @@ func (s *Server) answerTask(eng *Engine, t *task) {
 			if time.Now().After(t.deadline) {
 				// Deadline hit mid-batch: the whole request resolves to
 				// one outcome, shed deadline (partial answers dropped).
+				if t.tr != nil {
+					t.tr.CurSub = 0
+				}
+				s.shedTrace(t.tr, shedDeadline)
 				s.shedN[shedDeadline].Add(1)
 				s.m.shed[shedDeadline].Inc()
-				sendResponse(t.out, t.ctx, shedResponse(t.req.ID, shedDeadline))
+				s.sendResponse(t.out, t.ctx, withTraceID(shedResponse(t.req.ID, shedDeadline), t.id), t.tr)
 				return
 			}
-			a, cached, err := eng.Answer(q, level)
+			if t.tr != nil {
+				// One wire trace id for the frame; spans tag the sub-query.
+				t.tr.CurSub = i + 1
+			}
+			a, cached, err := eng.AnswerTraced(q, level, t.tr)
 			if err != nil {
+				if t.tr != nil {
+					t.tr.CurSub = 0
+				}
+				s.shedTrace(t.tr, shedBadRequest)
 				s.shedN[shedBadRequest].Add(1)
 				s.m.shed[shedBadRequest].Inc()
-				sendResponse(t.out, t.ctx, errorResponse(t.req.ID, err))
+				s.sendResponse(t.out, t.ctx, withTraceID(errorResponse(t.req.ID, err), t.id), t.tr)
 				return
 			}
 			resp.Batch[i] = answerResponse(t.req.Batch[i].ID, q.Kind, a, cached)
@@ -432,13 +651,17 @@ func (s *Server) answerTask(eng *Engine, t *task) {
 				maxLevel = a.Level
 			}
 		}
+		if t.tr != nil {
+			t.tr.CurSub = 0
+		}
 		resp.Degrade = maxLevel.DegradeString()
 	} else {
-		a, cached, err := eng.Answer(t.q, level)
+		a, cached, err := eng.AnswerTraced(t.q, level, t.tr)
 		if err != nil {
+			s.shedTrace(t.tr, shedBadRequest)
 			s.shedN[shedBadRequest].Add(1)
 			s.m.shed[shedBadRequest].Inc()
-			sendResponse(t.out, t.ctx, errorResponse(t.req.ID, err))
+			s.sendResponse(t.out, t.ctx, withTraceID(errorResponse(t.req.ID, err), t.id), t.tr)
 			return
 		}
 		maxLevel = a.Level
@@ -447,10 +670,20 @@ func (s *Server) answerTask(eng *Engine, t *task) {
 	if maxLevel > LevelFull {
 		s.degraded.Add(1)
 		s.m.degraded[maxLevel].Inc()
+		t.tr.SetOutcome("degraded:" + maxLevel.DegradeString())
 	} else {
 		s.answered.Add(1)
 		s.m.answered.Inc()
+		t.tr.SetOutcome("answered")
 	}
-	s.m.latencyNs.Observe(float64(time.Since(t.start)))
-	sendResponse(t.out, t.ctx, resp)
+	lat := float64(time.Since(t.start))
+	if t.tr != nil {
+		// The sampled request pins itself as the exemplar of whichever
+		// latency bucket it lands in — aggregate → trace in one hop.
+		s.m.latencyNs.ObserveExemplar(lat, t.id)
+	} else {
+		s.m.latencyNs.Observe(lat)
+	}
+	resp.TraceID = t.id
+	s.sendResponse(t.out, t.ctx, resp, t.tr)
 }

@@ -8,6 +8,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/word"
 )
 
@@ -44,6 +45,12 @@ type Request struct {
 	Mode       string    `json:"mode,omitempty"` // "undirected" (default) | "directed"
 	DeadlineMS int64     `json:"deadline_ms,omitempty"`
 	Batch      []Request `json:"batch,omitempty"`
+	// TraceID optionally carries request trace context (16 hex digits).
+	// When absent the server derives one by hashing the frame, so a
+	// caller that wants its traces correlated across hops — batching
+	// today, inter-node forwarding in the future cluster — stamps its
+	// own. A batch carries one id for the whole frame.
+	TraceID obs.TraceID `json:"trace_id,omitempty"`
 }
 
 // Bounds is the LevelBounds payload: D(src,dst) ∈ [Lo, Hi].
@@ -81,6 +88,9 @@ type Response struct {
 	ShedReason string     `json:"shed_reason,omitempty"`
 	Error      string     `json:"error,omitempty"`
 	Batch      []Response `json:"batch,omitempty"`
+	// TraceID echoes the request's trace context (derived or supplied),
+	// present whenever the server resolved one.
+	TraceID obs.TraceID `json:"trace_id,omitempty"`
 }
 
 // WriteFrame marshals v and writes one frame.
