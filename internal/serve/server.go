@@ -271,14 +271,10 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // SelfClient returns an in-process client connected over net.Pipe —
-// the zero-port path used by tests and the load generator.
+// the zero-port path used by tests and the load generator. It is
+// exactly DialTransport over the server's Loopback transport.
 func (s *Server) SelfClient() (*Client, error) {
-	cs, ss := net.Pipe()
-	if !s.startConn(ss) {
-		cs.Close()
-		return nil, ErrServerClosed
-	}
-	return NewClient(cs), nil
+	return DialTransport(s.Loopback(), "")
 }
 
 // startConn registers and launches one connection handler; it reports

@@ -1,0 +1,180 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/word"
+)
+
+// transportServer boots a server listening on one address of the
+// given transport.
+func transportServer(t *testing.T, tr Transport, addr string) (*Server, string) {
+	t.Helper()
+	s := NewServer(Config{Shards: 2, QueueDepth: 64, CacheSize: 64, Registry: obs.NewRegistry()})
+	ln, err := tr.Listen(addr)
+	if err != nil {
+		s.Close()
+		t.Fatalf("Listen(%q): %v", addr, err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() { s.Close() })
+	return s, ln.Addr().String()
+}
+
+// roundTrip asserts one distance query answers correctly through c.
+func roundTrip(t *testing.T, c *Client) {
+	t.Helper()
+	src := word.MustParse(2, "00110")
+	dst := word.MustParse(2, "11010")
+	resp, err := c.Do(context.Background(), DistanceRequest(src, dst, Undirected))
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.Status != StatusOK {
+		t.Fatalf("status %q (shed %q, error %q)", resp.Status, resp.ShedReason, resp.Error)
+	}
+}
+
+// TestMemTransportRoundTrip runs a full server over the channel-link
+// fabric: the TCP path with the sockets swapped out.
+func TestMemTransportRoundTrip(t *testing.T) {
+	mt := NewMemTransport()
+	_, addr := transportServer(t, mt, "node-a")
+	c, err := DialTransport(mt, addr)
+	if err != nil {
+		t.Fatalf("DialTransport: %v", err)
+	}
+	defer c.Close()
+	roundTrip(t, c)
+}
+
+// TestTCPTransportRoundTrip runs the same exchange over real sockets.
+func TestTCPTransportRoundTrip(t *testing.T) {
+	tr := TCP{}
+	_, addr := transportServer(t, tr, "127.0.0.1:0")
+	c, err := DialTransport(tr, addr)
+	if err != nil {
+		t.Fatalf("DialTransport: %v", err)
+	}
+	defer c.Close()
+	roundTrip(t, c)
+}
+
+// TestLoopbackTransport pins the SelfClient path to the Transport
+// shape: Dial works, Listen refuses.
+func TestLoopbackTransport(t *testing.T) {
+	s := NewServer(Config{Shards: 1, QueueDepth: 16, Registry: obs.NewRegistry()})
+	defer s.Close()
+	lb := s.Loopback()
+	if _, err := lb.Listen(""); err == nil {
+		t.Fatalf("loopback Listen succeeded; want error")
+	}
+	c, err := DialTransport(lb, "ignored")
+	if err != nil {
+		t.Fatalf("loopback Dial: %v", err)
+	}
+	defer c.Close()
+	roundTrip(t, c)
+}
+
+// TestMemTransportRefusal covers absent addresses, duplicate listens,
+// and dial-after-close.
+func TestMemTransportRefusal(t *testing.T) {
+	mt := NewMemTransport()
+	if _, err := mt.Dial("nowhere"); !errors.Is(err, ErrMemRefused) {
+		t.Fatalf("Dial(nowhere) = %v; want ErrMemRefused", err)
+	}
+	ln, err := mt.Listen("dup")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	if _, err := mt.Listen("dup"); err == nil {
+		t.Fatalf("second Listen(dup) succeeded; want in-use error")
+	}
+	ln.Close()
+	if _, err := mt.Dial("dup"); !errors.Is(err, ErrMemRefused) {
+		t.Fatalf("Dial after close = %v; want ErrMemRefused", err)
+	}
+	// The address is reusable after close.
+	ln2, err := mt.Listen("dup")
+	if err != nil {
+		t.Fatalf("Listen after close: %v", err)
+	}
+	ln2.Close()
+}
+
+// TestMemTransportSever proves closing a listener kills established
+// connections: the crash-from-the-peer's-view semantics the cluster
+// failure tests rely on.
+func TestMemTransportSever(t *testing.T) {
+	mt := NewMemTransport()
+	ln, err := mt.Listen("victim")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	accepted := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			accepted <- err
+			return
+		}
+		accepted <- nil
+		_ = conn // leaked on purpose: the listener must sever it
+	}()
+	conn, err := mt.Dial("victim")
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if err := <-accepted; err != nil {
+		t.Fatalf("Accept: %v", err)
+	}
+	ln.Close()
+	buf := make([]byte, 1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := conn.Read(buf)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatalf("Read on severed conn succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("Read on severed conn did not fail")
+	}
+}
+
+// TestMemTransportLinkDelay verifies the injected latency shows up on
+// a round trip (the lever the deadline-propagation tests pull).
+func TestMemTransportLinkDelay(t *testing.T) {
+	mt := NewMemTransport()
+	_, addr := transportServer(t, mt, "slow")
+	const delay = 30 * time.Millisecond
+	mt.SetLinkDelay(addr, delay)
+	c, err := DialTransport(mt, addr)
+	if err != nil {
+		t.Fatalf("DialTransport: %v", err)
+	}
+	defer c.Close()
+	src := word.MustParse(2, "00110")
+	dst := word.MustParse(2, "11010")
+	req := DistanceRequest(src, dst, Undirected)
+	req.DeadlineMS = 10_000 // the deadline must not fire here
+	t0 := time.Now()
+	resp, err := c.Do(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.Status != StatusOK {
+		t.Fatalf("status %q", resp.Status)
+	}
+	if rtt := time.Since(t0); rtt < 2*delay {
+		t.Fatalf("round trip %v; want ≥ %v (one delayed write per direction)", rtt, 2*delay)
+	}
+}
