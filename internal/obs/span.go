@@ -139,6 +139,12 @@ const (
 	SpanCache     = "cache"
 	SpanKernel    = "kernel" // prefix: kernel/distance, kernel/route, ...
 	SpanWrite     = "write"
+	// SpanForward is the remote round trip of a request proxied to a
+	// cluster peer; its detail names the peer. The forwarded request
+	// keeps its trace id across the hop, so the spans recorded at
+	// every node of the forward chain stitch into one cross-node
+	// trace.
+	SpanForward = "forward"
 )
 
 // LayerNone marks a span that has no distance-layer index (admission,

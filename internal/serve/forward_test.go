@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/word"
+)
+
+// scriptedForwarder returns a fixed verdict (and response) for every
+// request, recording what it saw.
+type scriptedForwarder struct {
+	verdict ForwardVerdict
+	resp    Response
+	calls   atomic.Int64
+	lastReq atomic.Pointer[Request]
+}
+
+func (f *scriptedForwarder) Forward(ctx context.Context, req Request, qs []Query, deadline time.Time, tr *obs.ReqTrace) (Response, ForwardVerdict) {
+	f.calls.Add(1)
+	r := req
+	f.lastReq.Store(&r)
+	return f.resp, f.verdict
+}
+
+func forwarderServer(t *testing.T, fw Forwarder) (*Server, *Client) {
+	t.Helper()
+	s := NewServer(Config{Shards: 1, QueueDepth: 16, Registry: obs.NewRegistry(), Forwarder: fw})
+	t.Cleanup(func() { s.Close() })
+	c, err := s.SelfClient()
+	if err != nil {
+		t.Fatalf("SelfClient: %v", err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return s, c
+}
+
+func fwTestRequest() Request {
+	src := word.MustParse(2, "00110")
+	dst := word.MustParse(2, "11010")
+	return DistanceRequest(src, dst, Undirected)
+}
+
+// TestForwarderProxied pins the forwarded outcome: the peer's response
+// reaches the client under the origin's request id, and the request
+// counts as forwarded — not answered — in the conservation identity.
+func TestForwarderProxied(t *testing.T) {
+	fw := &scriptedForwarder{
+		verdict: ForwardProxied,
+		resp:    Response{ID: 999, Status: StatusOK, Distance: 7},
+	}
+	s, c := forwarderServer(t, fw)
+	resp, err := c.Do(context.Background(), fwTestRequest())
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.Status != StatusOK || resp.Distance != 7 {
+		t.Fatalf("resp = %+v; want proxied OK distance 7", resp)
+	}
+	// The peer answered under its own wire id (999); the origin must
+	// restamp its client's id or Do would never have matched it. Pin
+	// that explicitly against what the forwarder saw.
+	if seen := fw.lastReq.Load(); seen == nil || resp.ID != seen.ID {
+		t.Fatalf("resp.ID = %d; want the origin request id (%+v)", resp.ID, seen)
+	}
+	if got := fw.calls.Load(); got != 1 {
+		t.Fatalf("forwarder calls = %d; want 1", got)
+	}
+	counts := s.Counts()
+	if counts.Forwarded != 1 || counts.Answered != 0 {
+		t.Fatalf("counts = %+v; want Forwarded=1 Answered=0", counts)
+	}
+	if !counts.Conserved() {
+		t.Fatalf("conservation violated: %+v", counts)
+	}
+}
+
+// TestForwarderDeadline pins satellite 2's server half: a forward that
+// reports its deadline expired is shed with reason deadline at the
+// proxying node, never silently dropped.
+func TestForwarderDeadline(t *testing.T) {
+	fw := &scriptedForwarder{verdict: ForwardDeadline}
+	s, c := forwarderServer(t, fw)
+	resp, err := c.Do(context.Background(), fwTestRequest())
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.Status != StatusShed || resp.ShedReason != "deadline" {
+		t.Fatalf("resp = %+v; want shed:deadline", resp)
+	}
+	counts := s.Counts()
+	if counts.ShedByReason["deadline"] != 1 || counts.Forwarded != 0 {
+		t.Fatalf("counts = %+v; want one deadline shed, zero forwarded", counts)
+	}
+	if !counts.Conserved() {
+		t.Fatalf("conservation violated: %+v", counts)
+	}
+}
+
+// TestForwarderLocal pins the decline path: ForwardLocal falls through
+// to the ordinary local answer.
+func TestForwarderLocal(t *testing.T) {
+	fw := &scriptedForwarder{verdict: ForwardLocal}
+	s, c := forwarderServer(t, fw)
+	resp, err := c.Do(context.Background(), fwTestRequest())
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.Status != StatusOK {
+		t.Fatalf("status %q; want local answer", resp.Status)
+	}
+	counts := s.Counts()
+	if counts.Answered != 1 || counts.Forwarded != 0 {
+		t.Fatalf("counts = %+v; want Answered=1 Forwarded=0", counts)
+	}
+}
+
+// TestForwardedInCounting pins the hop-by-hop half of the cluster
+// identity: an admitted frame carrying forward state increments
+// ForwardedIn, a plain client frame does not.
+func TestForwardedInCounting(t *testing.T) {
+	s, c := forwarderServer(t, nil)
+	if _, err := c.Do(context.Background(), fwTestRequest()); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if got := s.Counts().ForwardedIn; got != 0 {
+		t.Fatalf("ForwardedIn after plain request = %d; want 0", got)
+	}
+	req := fwTestRequest()
+	req.Fwd = &ForwardState{Origin: "node-a", Key: "00110", Hops: 1, TTL: 8}
+	if _, err := c.Do(context.Background(), req); err != nil {
+		t.Fatalf("Do(fwd): %v", err)
+	}
+	counts := s.Counts()
+	if counts.ForwardedIn != 1 {
+		t.Fatalf("ForwardedIn = %d; want 1", counts.ForwardedIn)
+	}
+	if counts.Sent != 2 || !counts.Conserved() {
+		t.Fatalf("counts = %+v; want Sent=2 conserved", counts)
+	}
+}
+
+// TestForwarderTraceStitching proves the forwarded request carries the
+// resolved trace id to the Forwarder and the outcome lands on the
+// sampled trace as "forwarded".
+func TestForwarderTraceStitching(t *testing.T) {
+	fw := &scriptedForwarder{
+		verdict: ForwardProxied,
+		resp:    Response{Status: StatusOK, Distance: 3},
+	}
+	s := NewServer(Config{
+		Shards: 1, QueueDepth: 16, Registry: obs.NewRegistry(),
+		Forwarder: fw, TraceSample: 1,
+	})
+	defer s.Close()
+	c, err := s.SelfClient()
+	if err != nil {
+		t.Fatalf("SelfClient: %v", err)
+	}
+	defer c.Close()
+	req := fwTestRequest()
+	req.TraceID = obs.TraceID(0xabcdef12345678)
+	resp, err := c.Do(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if resp.TraceID != req.TraceID {
+		t.Fatalf("resp trace id %s; want %s", resp.TraceID, req.TraceID)
+	}
+	seen := fw.lastReq.Load()
+	if seen == nil || seen.TraceID != req.TraceID {
+		t.Fatalf("forwarder saw trace id %v; want %s", seen, req.TraceID)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		traces := s.Traces().Recent()
+		if len(traces) > 0 {
+			if got := traces[0].Outcome; got != "forwarded" {
+				t.Fatalf("trace outcome %q; want forwarded", got)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sampled trace never published")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -6,7 +6,9 @@ import "repro/internal/obs"
 // with the Config.Registry; a nil registry degrades every instrument
 // to a nil check, per the obs contract.
 const (
-	metricSent           = "dn_serve_sent_total" // every admitted frame
+	metricSent           = "dn_serve_sent_total"      // every admitted frame
+	metricForwarded      = "dn_serve_forwarded_total" // outcomes resolved by a cluster peer
+	metricForwardedIn    = "dn_serve_forwarded_in_total" // admitted frames that arrived via a forward
 	metricRequests       = "dn_serve_requests_total"  // labelled {kind=...}
 	metricAnswered       = "dn_serve_answered_total"  // full-fidelity outcomes
 	metricDegraded       = "dn_serve_degraded_total"  // labelled {mode=distance|bounds}
@@ -65,6 +67,8 @@ const (
 // serveMetrics are the pre-resolved instrument handles of one Server.
 type serveMetrics struct {
 	sent      *obs.Counter
+	forwarded *obs.Counter
+	fwdIn     *obs.Counter
 	requests  [KindBatch + 1]*obs.Counter
 	answered  *obs.Counter
 	degraded  [LevelBounds + 1]*obs.Counter // LevelFull slot unused
@@ -81,6 +85,8 @@ type serveMetrics struct {
 func newServeMetrics(reg *obs.Registry) serveMetrics {
 	var m serveMetrics
 	m.sent = reg.Counter(metricSent)
+	m.forwarded = reg.Counter(metricForwarded)
+	m.fwdIn = reg.Counter(metricForwardedIn)
 	for k := KindDistance; k <= KindBatch; k++ {
 		m.requests[k] = reg.Counter(obs.Label(metricRequests, "kind", k.String()))
 	}

@@ -189,6 +189,13 @@ func appendKey(b []byte, q Query) []byte {
 	return b
 }
 
+// AppendKey appends the canonical cache-key bytes of q to b and
+// returns the extended slice. The encoding identifies the query
+// exactly (kind, mode, base, length, then the raw src/dst digits), so
+// it doubles as the placement key of the cluster layer: hashing these
+// bytes decides which node owns the query's cache line.
+func (q Query) AppendKey(b []byte) []byte { return appendKey(b, q) }
+
 // Engine is the per-worker compute core: one routing Scratch plus an
 // optional shared result cache. Not safe for concurrent use — the
 // server gives each worker shard its own Engine (the Cache itself is

@@ -58,24 +58,72 @@ type Config struct {
 	// ShedSpikeFraction is the per-window shed fraction that fires the
 	// shed_spike trigger. Default 0.5.
 	ShedSpikeFraction float64
+	// Forwarder, when non-nil, is consulted by each worker after the
+	// shed checks and before local compute. It may resolve the
+	// request remotely (outcome "forwarded"), redirect it, or decline
+	// (local compute proceeds). This is the hook internal/cluster
+	// plugs the de Bruijn fabric into; a nil Forwarder is the
+	// single-node server with unchanged behavior.
+	Forwarder Forwarder
 }
+
+// Forwarder decides whether a request is answered on this node or by
+// a cluster peer. It runs on a worker goroutine with the request's
+// remaining deadline; implementations must be safe for concurrent
+// use.
+type Forwarder interface {
+	// Forward may resolve req (whose scalar queries are qs — one
+	// element unless the request is a batch) remotely. The returned
+	// verdict selects the outcome; for ForwardProxied and
+	// ForwardRedirected, resp is sent to the client after the server
+	// restamps its ID and trace id. req.TraceID carries the resolved
+	// trace id, and tr (non-nil only for sampled requests) receives
+	// the forward span.
+	Forward(ctx context.Context, req Request, qs []Query, deadline time.Time, tr *obs.ReqTrace) (resp Response, verdict ForwardVerdict)
+}
+
+// ForwardVerdict is a Forwarder's decision for one request.
+type ForwardVerdict uint8
+
+const (
+	// ForwardLocal declines: the request is answered on this node.
+	ForwardLocal ForwardVerdict = iota
+	// ForwardProxied resolves the request with a peer's response;
+	// the outcome is "forwarded".
+	ForwardProxied
+	// ForwardRedirected resolves the request with a redirect
+	// response naming the owner; counted as "forwarded" too (the
+	// query left this node unanswered, deliberately).
+	ForwardRedirected
+	// ForwardDeadline reports the deadline expired mid-forward; the
+	// request is shed with reason deadline.
+	ForwardDeadline
+)
 
 // ErrServerClosed is returned by Serve and SelfClient after Close.
 var ErrServerClosed = errors.New("serve: server closed")
 
 // Counts is the conservation snapshot: every admitted request has
-// exactly one outcome, so Sent = Answered + Degraded + Shed always.
+// exactly one outcome, so Sent = Answered + Degraded + Shed +
+// Forwarded always. ForwardedIn is informational (a subset of Sent,
+// not an outcome): it counts admissions that arrived via a cluster
+// forward, which is what lets a cluster checker conserve forwards
+// hop-by-hop — every forwarded_out at some node is a forwarded_in at
+// another.
 type Counts struct {
-	Sent     int64
-	Answered int64 // full-fidelity answers (cache hits included)
-	Degraded int64 // answered at LevelDistance or LevelBounds
-	Shed     int64 // sum over ShedByReason
+	Sent      int64
+	Answered  int64 // full-fidelity answers (cache hits included)
+	Degraded  int64 // answered at LevelDistance or LevelBounds
+	Shed      int64 // sum over ShedByReason
+	Forwarded int64 // resolved by a cluster peer (proxied or redirected)
 	ShedByReason map[string]int64
+
+	ForwardedIn int64 // admissions carrying forward state (subset of Sent)
 }
 
 // Conserved reports whether the invariant holds exactly.
 func (c Counts) Conserved() bool {
-	return c.Sent == c.Answered+c.Degraded+c.Shed
+	return c.Sent == c.Answered+c.Degraded+c.Shed+c.Forwarded
 }
 
 // task is one admitted request travelling from a connection reader to
@@ -116,10 +164,12 @@ type Server struct {
 
 	monitorDone chan struct{} // nil without a flight recorder
 
-	sent     atomic.Int64
-	answered atomic.Int64
-	degraded atomic.Int64
-	shedN    [numShedReasons]atomic.Int64
+	sent      atomic.Int64
+	answered  atomic.Int64
+	degraded  atomic.Int64
+	forwarded atomic.Int64
+	fwdIn     atomic.Int64
+	shedN     [numShedReasons]atomic.Int64
 
 	ctx       context.Context
 	cancel    context.CancelFunc
@@ -225,6 +275,8 @@ func (s *Server) Counts() Counts {
 		Sent:         s.sent.Load(),
 		Answered:     s.answered.Load(),
 		Degraded:     s.degraded.Load(),
+		Forwarded:    s.forwarded.Load(),
+		ForwardedIn:  s.fwdIn.Load(),
 		ShedByReason: make(map[string]int64, numShedReasons),
 	}
 	for r := shedReason(0); r < numShedReasons; r++ {
@@ -451,6 +503,10 @@ func (s *Server) admit(ctx context.Context, body []byte, out chan<- outFrame, pe
 	s.m.sent.Inc()
 	start := time.Now()
 	req, err := ParseRequest(body)
+	if err == nil && req.Fwd != nil {
+		s.fwdIn.Add(1)
+		s.m.fwdIn.Inc()
+	}
 	id := req.TraceID
 	if id == 0 && s.sampler.Enabled() {
 		id = obs.TraceIDFromBytes(body)
@@ -597,6 +653,9 @@ func (s *Server) process(eng *Engine, t *task) {
 	case time.Now().After(t.deadline):
 		reason = shedDeadline
 	default:
+		if s.forwardTask(t) {
+			return
+		}
 		s.answerTask(eng, t)
 		return
 	}
@@ -604,6 +663,49 @@ func (s *Server) process(eng *Engine, t *task) {
 	s.shedN[reason].Add(1)
 	s.m.shed[reason].Inc()
 	s.sendResponse(t.out, t.ctx, withTraceID(shedResponse(t.req.ID, reason), t.id), t.tr)
+}
+
+// forwardTask offers the task to the configured Forwarder and reports
+// whether it resolved the request (forwarded or shed on a mid-forward
+// deadline). false — including the no-Forwarder case — means local
+// compute proceeds.
+func (s *Server) forwardTask(t *task) bool {
+	fw := s.cfg.Forwarder
+	if fw == nil {
+		return false
+	}
+	qs := t.batch
+	if qs == nil {
+		qs = []Query{t.q}
+	}
+	req := t.req
+	req.TraceID = t.id // resolved id, so the peer joins the same trace
+	ctx, cancel := context.WithDeadline(t.ctx, t.deadline)
+	resp, verdict := fw.Forward(ctx, req, qs, t.deadline, t.tr)
+	cancel()
+	switch verdict {
+	case ForwardProxied, ForwardRedirected:
+		s.forwarded.Add(1)
+		s.m.forwarded.Inc()
+		t.tr.SetOutcome("forwarded")
+		lat := float64(time.Since(t.start))
+		if t.tr != nil {
+			s.m.latencyNs.ObserveExemplar(lat, t.id)
+		} else {
+			s.m.latencyNs.Observe(lat)
+		}
+		resp.ID = t.req.ID
+		resp.TraceID = t.id
+		s.sendResponse(t.out, t.ctx, resp, t.tr)
+		return true
+	case ForwardDeadline:
+		s.shedTrace(t.tr, shedDeadline)
+		s.shedN[shedDeadline].Add(1)
+		s.m.shed[shedDeadline].Inc()
+		s.sendResponse(t.out, t.ctx, withTraceID(shedResponse(t.req.ID, shedDeadline), t.id), t.tr)
+		return true
+	}
+	return false
 }
 
 // answerTask computes the answer(s) at the current degrade rung and

@@ -48,9 +48,35 @@ type Request struct {
 	// TraceID optionally carries request trace context (16 hex digits).
 	// When absent the server derives one by hashing the frame, so a
 	// caller that wants its traces correlated across hops — batching
-	// today, inter-node forwarding in the future cluster — stamps its
-	// own. A batch carries one id for the whole frame.
+	// and inter-node cluster forwarding — stamps its own. A batch
+	// carries one id for the whole frame.
 	TraceID obs.TraceID `json:"trace_id,omitempty"`
+	// Fwd carries intra-cluster forwarding state. Clients never set
+	// it; a cluster node forwarding a query to a peer attaches the
+	// resumable routing-walk state here, so the frame stays a plain
+	// PR 5 wire request that any node can also answer directly.
+	Fwd *ForwardState `json:"fwd,omitempty"`
+}
+
+// ForwardState is the hop-by-hop state of a query travelling the
+// cluster fabric: enough for the receiving node to resume the
+// de Bruijn walk toward the key's owner without any origin-side
+// bookkeeping. Field semantics are owned by internal/cluster; serve
+// only transports (and counts) them.
+type ForwardState struct {
+	// Origin is the identifier of the node the query entered the
+	// cluster at.
+	Origin string `json:"origin"`
+	// Key is the placement key, an identifier-space word.
+	Key string `json:"key"`
+	// Imag is the imaginary identifier of the Koorde walk and Inject
+	// the key digits still to inject.
+	Imag   string `json:"imag"`
+	Inject string `json:"inject"`
+	// Hops counts inter-node hops taken so far; TTL is the remaining
+	// hop budget (a node receiving TTL ≤ 0 answers locally).
+	Hops int `json:"hops"`
+	TTL  int `json:"ttl"`
 }
 
 // Bounds is the LevelBounds payload: D(src,dst) ∈ [Lo, Hi].
@@ -64,6 +90,11 @@ const (
 	StatusOK    = "ok"    // answered, possibly degraded (see Degrade)
 	StatusShed  = "shed"  // load-shed; ShedReason says why
 	StatusError = "error" // invalid request; Error says why
+	// StatusRedirect is the cluster's redirect mode: the query was
+	// not answered here; RedirectAddr names the node that owns it.
+	// Proxying is the default, so plain PR 5 clients never see this
+	// status unless the cluster was explicitly configured for it.
+	StatusRedirect = "redirect"
 )
 
 // Response is one server answer frame. Status "ok" fills the payload
@@ -88,6 +119,9 @@ type Response struct {
 	ShedReason string     `json:"shed_reason,omitempty"`
 	Error      string     `json:"error,omitempty"`
 	Batch      []Response `json:"batch,omitempty"`
+	// RedirectAddr is the owning node's client address
+	// (StatusRedirect only).
+	RedirectAddr string `json:"redirect_addr,omitempty"`
 	// TraceID echoes the request's trace context (derived or supplied),
 	// present whenever the server resolved one.
 	TraceID obs.TraceID `json:"trace_id,omitempty"`
