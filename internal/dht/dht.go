@@ -222,7 +222,11 @@ func (r *Ring) Lookup(start *Node, key word.Word) (LookupResult, error) {
 	if key.Base() != r.d || key.Len() != r.k {
 		return LookupResult{}, fmt.Errorf("%w: %v", ErrBadID, key)
 	}
-	return r.lookup(start, key, start.id, key.Digits())
+	st, err := r.StartWalk(start, key)
+	if err != nil {
+		return LookupResult{}, err
+	}
+	return r.lookup(start, st)
 }
 
 // LookupOptimized is Koorde's "best imaginary starting node"
@@ -239,18 +243,18 @@ func (r *Ring) LookupOptimized(start *Node, key word.Word) (LookupResult, error)
 	if key.Base() != r.d || key.Len() != r.k {
 		return LookupResult{}, fmt.Errorf("%w: %v", ErrBadID, key)
 	}
-	img, remaining, err := r.bestImaginary(start, key)
+	st, err := r.StartWalkOptimized(start, key)
 	if err != nil {
 		return LookupResult{}, err
 	}
-	return r.lookup(start, key, img, remaining)
+	return r.lookup(start, st)
 }
 
-// lookup runs the Koorde walk with the given imaginary start and the
-// key digits still to inject.
-func (r *Ring) lookup(start *Node, key word.Word, imaginary word.Word, inject []byte) (LookupResult, error) {
+// lookup runs the Koorde walk as a Step loop — the same transition a
+// cluster node applies per forwarded hop, so in-process lookups and
+// distributed walks agree hop-for-hop by construction.
+func (r *Ring) lookup(start *Node, st WalkState) (LookupResult, error) {
 	cur := start
-	keyRank := key.MustRank()
 	res := LookupResult{Path: []word.Word{start.id}}
 	guard := 4*r.k + 2*len(r.nodes) + 4
 	for step := 0; ; step++ {
@@ -258,36 +262,27 @@ func (r *Ring) lookup(start *Node, key word.Word, imaginary word.Word, inject []
 			r.m.timeouts.Inc()
 			return LookupResult{}, fmt.Errorf("dht: lookup did not converge within %d steps", guard)
 		}
-		if keyRank == cur.rank {
+		sr, err := r.Step(cur, st)
+		if err != nil {
+			return LookupResult{}, err
+		}
+		if sr.Next == nil {
 			res.Owner = cur
 			r.observeLookup(res)
 			return res, nil
 		}
-		if inHalfOpen(cur.rank, cur.successor.rank, keyRank) {
-			res.Owner = cur.successor
-			res.Hops++
-			res.Path = append(res.Path, cur.successor.id)
+		cur = sr.Next
+		st = sr.State
+		if sr.DeBruijn {
+			res.DeBruijnHops++
+		}
+		res.Hops++
+		res.Path = append(res.Path, cur.id)
+		if sr.Final {
+			res.Owner = cur
 			r.observeLookup(res)
 			return res, nil
 		}
-		if len(inject) > 0 && inBlock(cur.rank, cur.successor.rank, imaginary.MustRank()) {
-			// The imaginary identifier lives in cur's block: take a
-			// de Bruijn hop injecting the key's next digit. The next
-			// holder is the image's predecessor, located from cur's
-			// finger (the node preceding cur.id⁻(0)); the model
-			// charges one message for the hop and counts any further
-			// catch-up as successor hops below.
-			imaginary = imaginary.ShiftLeft(inject[0])
-			inject = inject[1:]
-			cur = r.predecessorOfRank(imaginary.MustRank())
-			res.DeBruijnHops++
-			res.Hops++
-			res.Path = append(res.Path, cur.id)
-			continue
-		}
-		cur = cur.successor
-		res.Hops++
-		res.Path = append(res.Path, cur.id)
 	}
 }
 

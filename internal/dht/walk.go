@@ -1,0 +1,123 @@
+package dht
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/word"
+)
+
+// Resumable lookups. Lookup resolves a key in one call on one machine;
+// a cluster of real servers cannot — each node only decides the next
+// hop and ships the walk's state to it. StartWalk/Step factor the
+// Koorde walk into exactly that shape: Step is the pure per-node
+// transition, WalkState is what travels on the wire between nodes, and
+// Lookup itself is re-expressed as StartWalk + a Step loop, so the
+// distributed walk is hop-for-hop the walk the in-process tests and
+// experiments measure — same owners, same hop counts, same paths.
+
+// WalkState is the portable state of a Koorde walk between hops: the
+// key being resolved, the imaginary identifier the current node stands
+// in for, and how many of the key's digits are still to inject. The
+// inject sequence is always a suffix of the key's digits (StartWalk
+// begins with all k, the optimized start with fewer), so Remaining
+// fully determines it — which is what keeps the state cheap to
+// serialize for inter-node forwarding.
+type WalkState struct {
+	Key       word.Word
+	Imaginary word.Word
+	Remaining int
+}
+
+// inject returns the key digits still to inject.
+func (st WalkState) inject() []byte {
+	digits := st.Key.Digits()
+	return digits[len(digits)-st.Remaining:]
+}
+
+// StepResult is one node's routing decision for a walk.
+type StepResult struct {
+	// Next is the node the walk moves to; nil when the stepping node
+	// owns the key and the walk is done.
+	Next *Node
+	// Final reports that Next is the key's owner: the receiver must
+	// answer without stepping again (its own Step would walk past —
+	// ownership of a key in (predecessor, id] is only visible from the
+	// predecessor's side).
+	Final bool
+	// DeBruijn reports an imaginary shift hop (digit injected);
+	// false is a successor hop.
+	DeBruijn bool
+	// State is the walk state to hand to Next.
+	State WalkState
+}
+
+// StartWalk begins the basic Koorde walk at start: the imaginary
+// identifier is the node's own, and all k key digits remain to inject.
+func (r *Ring) StartWalk(start *Node, key word.Word) (WalkState, error) {
+	if start == nil {
+		return WalkState{}, errors.New("dht: nil start node")
+	}
+	if key.Base() != r.d || key.Len() != r.k {
+		return WalkState{}, fmt.Errorf("%w: %v", ErrBadID, key)
+	}
+	return WalkState{Key: key, Imaginary: start.id, Remaining: r.k}, nil
+}
+
+// StartWalkOptimized begins the walk from the best imaginary
+// identifier in start's block (Koorde's refinement): the block member
+// whose suffix overlaps the key's prefix longest, leaving only the
+// unmatched digits to inject.
+func (r *Ring) StartWalkOptimized(start *Node, key word.Word) (WalkState, error) {
+	if start == nil {
+		return WalkState{}, errors.New("dht: nil start node")
+	}
+	if key.Base() != r.d || key.Len() != r.k {
+		return WalkState{}, fmt.Errorf("%w: %v", ErrBadID, key)
+	}
+	img, remaining, err := r.bestImaginary(start, key)
+	if err != nil {
+		return WalkState{}, err
+	}
+	return WalkState{Key: key, Imaginary: img, Remaining: len(remaining)}, nil
+}
+
+// Step is one node's transition of the walk: given that cur holds
+// state st, it returns where the walk goes next. It mutates nothing —
+// the caller (a lookup loop in-process, a forwarding server in a
+// cluster) owns progress and termination. The transition order is the
+// Koorde walk's: ownership, successor-interval termination, de Bruijn
+// digit injection, successor catch-up.
+func (r *Ring) Step(cur *Node, st WalkState) (StepResult, error) {
+	if cur == nil {
+		return StepResult{}, errors.New("dht: nil current node")
+	}
+	if st.Key.Base() != r.d || st.Key.Len() != r.k {
+		return StepResult{}, fmt.Errorf("%w: %v", ErrBadID, st.Key)
+	}
+	if st.Remaining < 0 || st.Remaining > r.k {
+		return StepResult{}, fmt.Errorf("dht: walk state has %d digits remaining for DG(%d,%d)", st.Remaining, r.d, r.k)
+	}
+	keyRank := st.Key.MustRank()
+	if keyRank == cur.rank {
+		return StepResult{State: st}, nil
+	}
+	if inHalfOpen(cur.rank, cur.successor.rank, keyRank) {
+		return StepResult{Next: cur.successor, Final: true, State: st}, nil
+	}
+	if st.Remaining > 0 && inBlock(cur.rank, cur.successor.rank, st.Imaginary.MustRank()) {
+		// The imaginary identifier lives in cur's block: take a
+		// de Bruijn hop injecting the key's next digit. The next
+		// holder is the image's predecessor (cur's finger points at
+		// the start of the image block; predecessorOfRank resolves
+		// the exact member).
+		img := st.Imaginary.ShiftLeft(st.inject()[0])
+		next := r.predecessorOfRank(img.MustRank())
+		return StepResult{
+			Next:     next,
+			DeBruijn: true,
+			State:    WalkState{Key: st.Key, Imaginary: img, Remaining: st.Remaining - 1},
+		}, nil
+	}
+	return StepResult{Next: cur.successor, State: st}, nil
+}

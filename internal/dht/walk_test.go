@@ -1,0 +1,158 @@
+package dht
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/word"
+)
+
+// driveWalk runs a Step loop by hand — the exact loop a forwarding
+// cluster node executes — and returns the visited path, hop counts,
+// and owner.
+func driveWalk(t *testing.T, r *Ring, start *Node, st WalkState) (owner *Node, hops, dbHops int, path []word.Word) {
+	t.Helper()
+	cur := start
+	path = []word.Word{cur.ID()}
+	guard := 4*r.k + 2*len(r.nodes) + 4
+	for step := 0; ; step++ {
+		if step > guard {
+			t.Fatalf("walk did not converge within %d steps", guard)
+		}
+		sr, err := r.Step(cur, st)
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if sr.Next == nil {
+			return cur, hops, dbHops, path
+		}
+		cur = sr.Next
+		st = sr.State
+		hops++
+		if sr.DeBruijn {
+			dbHops++
+		}
+		path = append(path, cur.ID())
+		if sr.Final {
+			return cur, hops, dbHops, path
+		}
+	}
+}
+
+// TestStepWalkMatchesLookup pins the tentpole equivalence: the
+// resumable Step walk visits the same nodes as Lookup, hop for hop,
+// for both the basic and the optimized imaginary start, across ring
+// shapes and keys.
+func TestStepWalkMatchesLookup(t *testing.T) {
+	cases := []struct{ d, k, n int }{
+		{2, 6, 1}, {2, 6, 2}, {2, 6, 10}, {2, 8, 16}, {3, 4, 7}, {2, 12, 32},
+	}
+	for _, tc := range cases {
+		r := randomRing(t, tc.d, tc.k, tc.n, int64(tc.d*100+tc.k*10+tc.n))
+		rng := rand.New(rand.NewSource(int64(tc.n)))
+		for trial := 0; trial < 50; trial++ {
+			key := word.Random(tc.d, tc.k, rng)
+			start := r.nodes[rng.Intn(len(r.nodes))]
+			for _, opt := range []bool{false, true} {
+				var res LookupResult
+				var st WalkState
+				var err error
+				if opt {
+					res, err = r.LookupOptimized(start, key)
+					if err == nil {
+						st, err = r.StartWalkOptimized(start, key)
+					}
+				} else {
+					res, err = r.Lookup(start, key)
+					if err == nil {
+						st, err = r.StartWalk(start, key)
+					}
+				}
+				if err != nil {
+					t.Fatalf("DG(%d,%d) n=%d opt=%v: %v", tc.d, tc.k, tc.n, opt, err)
+				}
+				owner, hops, dbHops, path := driveWalk(t, r, start, st)
+				if owner != res.Owner || hops != res.Hops || dbHops != res.DeBruijnHops {
+					t.Fatalf("DG(%d,%d) n=%d opt=%v key=%v from %v:\n step walk: owner=%v hops=%d db=%d\n lookup:    owner=%v hops=%d db=%d",
+						tc.d, tc.k, tc.n, opt, key, start.ID(),
+						owner.ID(), hops, dbHops, res.Owner.ID(), res.Hops, res.DeBruijnHops)
+				}
+				if len(path) != len(res.Path) {
+					t.Fatalf("path lengths differ: %v vs %v", path, res.Path)
+				}
+				for i := range path {
+					if path[i].String() != res.Path[i].String() {
+						t.Fatalf("paths diverge at hop %d: %v vs %v", i, path, res.Path)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStepFinalTerminates pins the Final contract: the receiver of a
+// Final hop is the owner and must not step again (its own Step would
+// move past the key).
+func TestStepFinalTerminates(t *testing.T) {
+	r := randomRing(t, 2, 8, 16, 42)
+	rng := rand.New(rand.NewSource(43))
+	finals := 0
+	for trial := 0; trial < 200; trial++ {
+		key := word.Random(2, 8, rng)
+		start := r.nodes[rng.Intn(len(r.nodes))]
+		owner, err := r.Owner(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := r.StartWalk(start, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := start
+		for {
+			sr, serr := r.Step(cur, st)
+			if serr != nil {
+				t.Fatal(serr)
+			}
+			if sr.Next == nil {
+				if cur != owner {
+					t.Fatalf("walk stopped at %v; owner is %v", cur.ID(), owner.ID())
+				}
+				break
+			}
+			if sr.Final {
+				finals++
+				if sr.Next != owner {
+					t.Fatalf("final hop lands on %v; owner is %v", sr.Next.ID(), owner.ID())
+				}
+				break
+			}
+			cur, st = sr.Next, sr.State
+		}
+	}
+	if finals == 0 {
+		t.Fatal("no walk ended on a Final hop; test exercises nothing")
+	}
+}
+
+// TestStepValidates covers the defensive paths.
+func TestStepValidates(t *testing.T) {
+	r := randomRing(t, 2, 4, 4, 7)
+	key := word.MustParse(2, "0110")
+	if _, err := r.Step(nil, WalkState{Key: key}); err == nil {
+		t.Error("accepted nil node")
+	}
+	bad := word.MustParse(3, "012")
+	if _, err := r.Step(r.nodes[0], WalkState{Key: bad}); err == nil {
+		t.Error("accepted mismatched key")
+	}
+	if _, err := r.Step(r.nodes[0], WalkState{Key: key, Imaginary: key, Remaining: 99}); err == nil {
+		t.Error("accepted out-of-range remaining count")
+	}
+	if _, err := r.StartWalk(nil, key); err == nil {
+		t.Error("StartWalk accepted nil node")
+	}
+	if _, err := r.StartWalkOptimized(r.nodes[0], bad); err == nil {
+		t.Error("StartWalkOptimized accepted mismatched key")
+	}
+}

@@ -69,10 +69,15 @@ type ForwardState struct {
 	Origin string `json:"origin"`
 	// Key is the placement key, an identifier-space word.
 	Key string `json:"key"`
-	// Imag is the imaginary identifier of the Koorde walk and Inject
-	// the key digits still to inject.
-	Imag   string `json:"imag"`
-	Inject string `json:"inject"`
+	// Imag is the imaginary identifier of the Koorde walk and
+	// Remaining how many of the key's digits are still to inject (the
+	// inject sequence is always a suffix of the key, so the count
+	// reconstructs it).
+	Imag      string `json:"imag"`
+	Remaining int    `json:"remaining"`
+	// Final marks the last hop of the walk: the receiver owns the key
+	// and answers without stepping again.
+	Final bool `json:"final,omitempty"`
 	// Hops counts inter-node hops taken so far; TTL is the remaining
 	// hop budget (a node receiving TTL ≤ 0 answers locally).
 	Hops int `json:"hops"`
