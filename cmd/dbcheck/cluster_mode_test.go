@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunClusterMode pins the graph-independent cluster mode: one
+// report, no graph sweep, clean verdict.
+func TestRunClusterMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "cluster"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var v Verdict
+	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+		t.Fatalf("verdict is not JSON: %v", err)
+	}
+	if !v.OK || v.Findings != 0 {
+		t.Fatalf("cluster oracle not clean: %+v", v)
+	}
+	if v.Graphs != 0 || len(v.Reports) != 1 || v.Reports[0].Mode != "cluster" {
+		t.Fatalf("want 0 graphs and exactly the cluster report, got %+v", v)
+	}
+	if v.Reports[0].Checked == 0 {
+		t.Fatal("cluster oracle checked nothing")
+	}
+}
+
+// TestRunClusterModeIgnoresGraphFlags pins that -mode cluster with
+// explicit -d/-k still runs once (the oracle is graph-independent).
+func TestRunClusterModeIgnoresGraphFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "cluster", "-d", "2", "-k", "3"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var v Verdict
+	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Reports) != 1 || v.Reports[0].Mode != "cluster" {
+		t.Fatalf("want exactly the cluster report, got %+v", v.Reports)
+	}
+}

@@ -1,10 +1,15 @@
 // Command dbcheck runs the differential-verification harness
 // (internal/check) and writes machine-readable JSON verdicts:
 //
-//	dbcheck -d 2 -k 5                    # all three oracles on DG(2,5)
+//	dbcheck -d 2 -k 5                    # per-graph oracles on DG(2,5)
 //	dbcheck -d 2 -k 5 -mode routes       # just the route oracle
+//	dbcheck -mode cluster                # the cluster conservation oracle
 //	dbcheck -mode all                    # sweep every DG(d,k) ≤ 4096 vertices
 //	dbcheck -mode all -max-vertices 256  # a faster sweep
+//
+// The cluster oracle is graph-independent (it exercises the serving
+// fabric, not a particular DG(d,k)), so -mode all runs it once before
+// the per-graph sweep and -mode cluster runs it alone.
 //
 // With no -d/-k, dbcheck sweeps every de Bruijn graph DG(d,k) with
 // d ∈ [2, 36], k ≥ 1 and at most -max-vertices vertices — the CI gate
@@ -59,7 +64,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dbcheck", flag.ContinueOnError)
 	d := fs.Int("d", 0, "alphabet size (0 with -k 0: sweep all graphs under -max-vertices)")
 	k := fs.Int("k", 0, "word length")
-	mode := fs.String("mode", "all", "oracle selection: routes | engines | invariants | all")
+	mode := fs.String("mode", "all", "oracle selection: routes | engines | invariants | cluster | all")
 	maxVertices := fs.Int("max-vertices", 4096, "sweep bound on d^k when -d/-k are not given")
 	seed := fs.Int64("seed", 1, "seed for sampling, workloads and fault plans")
 	samplePairs := fs.Int("sample-pairs", 4096, "route-oracle pairs sampled per graph above -sample-above vertices")
@@ -74,13 +79,16 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("give both -d and -k, or neither (sweep)")
 	}
 	switch *mode {
-	case "routes", "engines", "invariants", "all":
+	case "routes", "engines", "invariants", "cluster", "all":
 	default:
-		return fmt.Errorf("unknown -mode %q (routes | engines | invariants | all)", *mode)
+		return fmt.Errorf("unknown -mode %q (routes | engines | invariants | cluster | all)", *mode)
 	}
 
 	var graphs [][2]int
-	if *d != 0 {
+	if *mode == "cluster" {
+		// Cluster behavior does not vary with the query graph: the
+		// oracle runs once, not per (d,k).
+	} else if *d != 0 {
 		graphs = append(graphs, [2]int{*d, *k})
 	} else {
 		graphs = sweepGraphs(*maxVertices)
@@ -88,6 +96,17 @@ func run(args []string, out io.Writer) error {
 
 	start := time.Now()
 	v := Verdict{Schema: Schema, OK: true, Graphs: len(graphs)}
+	if *mode == "cluster" || *mode == "all" {
+		r, err := check.Cluster(check.ClusterOptions{Seed: *seed, MaxFindings: *maxFindings})
+		if err != nil {
+			return err
+		}
+		if !r.OK() {
+			v.OK = false
+		}
+		v.Findings += len(r.Findings)
+		v.Reports = append(v.Reports, r)
+	}
 	for _, g := range graphs {
 		reps, err := runGraph(g[0], g[1], *mode, check.RoutesOptions{
 			Seed:        *seed,

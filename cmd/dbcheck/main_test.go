@@ -19,10 +19,10 @@ func TestRunSingleGraph(t *testing.T) {
 	if !v.OK || v.Findings != 0 {
 		t.Fatalf("DG(2,3) not clean: %+v", v)
 	}
-	if v.Graphs != 1 || len(v.Reports) != 3 {
-		t.Fatalf("want 1 graph and 3 reports, got %d and %d", v.Graphs, len(v.Reports))
+	if v.Graphs != 1 || len(v.Reports) != 4 {
+		t.Fatalf("want 1 graph and 4 reports (cluster + per-graph), got %d and %d", v.Graphs, len(v.Reports))
 	}
-	for i, mode := range []string{"routes", "engines", "invariants"} {
+	for i, mode := range []string{"cluster", "routes", "engines", "invariants"} {
 		if v.Reports[i].Mode != mode {
 			t.Errorf("report %d mode %q, want %q", i, v.Reports[i].Mode, mode)
 		}

@@ -1,0 +1,40 @@
+package check
+
+import "testing"
+
+// TestClusterOracleClean runs the cluster conservation oracle at a
+// reduced query volume and requires a clean verdict.
+func TestClusterOracleClean(t *testing.T) {
+	rep, err := Cluster(ClusterOptions{Seed: 1, Queries: 240})
+	if err != nil {
+		t.Fatalf("Cluster: %v", err)
+	}
+	if !rep.OK() {
+		for _, f := range rep.Findings {
+			t.Errorf("finding: %s", f)
+		}
+		t.Fatalf("cluster oracle not clean (%d findings, truncated=%v)", len(rep.Findings), rep.Truncated)
+	}
+	if rep.Checked == 0 {
+		t.Fatal("oracle checked nothing")
+	}
+	if rep.Mode != "cluster" {
+		t.Fatalf("mode %q", rep.Mode)
+	}
+}
+
+// TestClusterOracleDeterministic pins the seeded reproducibility of
+// the verdict.
+func TestClusterOracleDeterministic(t *testing.T) {
+	a, err := Cluster(ClusterOptions{Seed: 7, Queries: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cluster(ClusterOptions{Seed: 7, Queries: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checked != b.Checked || len(a.Findings) != len(b.Findings) {
+		t.Fatalf("same seed, different verdicts: %+v vs %+v", a, b)
+	}
+}

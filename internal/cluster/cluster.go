@@ -1,0 +1,148 @@
+// Package cluster runs N serving nodes as one logical route-query
+// service, routed over its own de Bruijn fabric. Each node owns a
+// slice of the query key space by consistent placement on a DG(d,k)
+// identifier space — the same space the paper's routing works in —
+// and misses are forwarded between nodes with the Koorde walk of
+// internal/dht (successor + finger pointers, imaginary de Bruijn
+// hops), one dht.Ring.Step per real hop. The system that serves
+// queries about de Bruijn routing is itself routed by it.
+//
+// Any node answers any query: a node that does not hold a key either
+// proxies the query hop-by-hop toward the owner (default) or
+// redirects the client to it. Forwards ride the ordinary client wire
+// protocol with a resumable ForwardState attached, so every hop is a
+// plain admitted request and the serve conservation identity extends
+// cluster-wide:
+//
+//	Σ sent = Σ answered + Σ degraded + Σ shed + Σ forwarded
+//
+// per node and in sum, always — and hop-by-hop, every forwarded
+// outcome at one node is a forwarded_in admission at another, so in a
+// quiesced failure-free cluster Σ forwarded = Σ forwarded_in exactly.
+// internal/check's cluster oracle gates both.
+//
+// Placement keys hash the query's canonical cache-key bytes, so the
+// partition is exactly a partition of the cache key space: the
+// cluster's caches form one additive cluster-wide LRU with no
+// duplication (modulo replication). Because any node can compute any
+// answer, ownership is a locality optimization, never a liveness
+// dependency: a forward that fails — peer crashed, link severed —
+// falls back to computing locally, and the failure is gossiped so the
+// ring heals.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/word"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultIDBase      = 2
+	DefaultIDLen       = 16
+	DefaultReplication = 2
+)
+
+// Config describes one cluster node.
+type Config struct {
+	// ID is the node's identifier in the DG(IDBase, IDLen) space, as
+	// a digit string ("0110..."). Empty derives one by hashing
+	// ClientAddr — fine for ad-hoc clusters, but explicit IDs are
+	// what make placements reproducible across restarts.
+	ID string
+	// IDBase and IDLen shape the identifier space DG(d,k); all nodes
+	// of a cluster must agree. Defaults 2 and 16 (65536 identifiers).
+	IDBase, IDLen int
+	// ClientAddr is the query listener (the dbserve wire protocol);
+	// PeerAddr is the control listener (join/leave/membership/status).
+	ClientAddr, PeerAddr string
+	// Transport carries both listeners and all outbound connections:
+	// serve.TCP for real clusters, serve.NewMemTransport for
+	// in-process ones. Required.
+	Transport serve.Transport
+	// Replication is the replica-set size R: a key is held by its
+	// owner plus the R-1 following ring nodes, any of which answers
+	// without forwarding. Default 2.
+	Replication int
+	// MaxHops bounds a forward chain (TTL); a node receiving an
+	// exhausted budget answers locally. Default 4*IDLen + 16,
+	// comfortably above the Koorde walk's guard for sane N.
+	MaxHops int
+	// Redirect switches miss handling from proxying to redirecting:
+	// the client gets StatusRedirect naming the owner's ClientAddr
+	// instead of a proxied answer. Forwarded-in requests are always
+	// proxied; only client-fresh misses redirect.
+	Redirect bool
+	// Seeds are peer addresses of existing members to join through
+	// (tried in order). Empty boots a standalone single-node cluster.
+	Seeds []string
+	// Serve configures the embedded per-node server. Its Forwarder
+	// is owned by the cluster and must be nil; its Registry, when
+	// set, also receives the cluster metrics.
+	Serve serve.Config
+	// JoinTimeout bounds each join attempt (default 5s).
+	JoinTimeout time.Duration
+}
+
+// withDefaults validates and fills cfg.
+func (cfg Config) withDefaults() (Config, error) {
+	if cfg.Transport == nil {
+		return cfg, errors.New("cluster: Config.Transport is required")
+	}
+	if cfg.ClientAddr == "" || cfg.PeerAddr == "" {
+		return cfg, errors.New("cluster: ClientAddr and PeerAddr are required")
+	}
+	if cfg.Serve.Forwarder != nil {
+		return cfg, errors.New("cluster: Serve.Forwarder is owned by the cluster")
+	}
+	if cfg.IDBase == 0 {
+		cfg.IDBase = DefaultIDBase
+	}
+	if cfg.IDLen == 0 {
+		cfg.IDLen = DefaultIDLen
+	}
+	if _, err := word.Count(cfg.IDBase, cfg.IDLen); err != nil {
+		return cfg, fmt.Errorf("cluster: identifier space: %w", err)
+	}
+	if cfg.Replication == 0 {
+		cfg.Replication = DefaultReplication
+	}
+	if cfg.Replication < 1 {
+		return cfg, fmt.Errorf("cluster: Replication %d < 1", cfg.Replication)
+	}
+	if cfg.MaxHops == 0 {
+		cfg.MaxHops = 4*cfg.IDLen + 16
+	}
+	if cfg.JoinTimeout <= 0 {
+		cfg.JoinTimeout = 5 * time.Second
+	}
+	return cfg, nil
+}
+
+// DeriveID hashes seed text into an identifier of DG(d,k) — the
+// default node identity (seeded by ClientAddr) and the retry path on
+// join collisions (seeded by addr plus an attempt counter).
+func DeriveID(d, k int, seed string, attempt int) word.Word {
+	h := uint64(14695981039346656037) // FNV-64a offset
+	for i := 0; i < len(seed); i++ {
+		h ^= uint64(seed[i])
+		h *= 1099511628211
+	}
+	h ^= uint64(attempt) * 0x9e3779b97f4a7c15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	size, err := word.Count(d, k)
+	if err != nil {
+		panic(err) // caller validated the space
+	}
+	w, err := word.Unrank(d, k, h%uint64(size))
+	if err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/word"
+)
+
+// Harness is a whole in-memory cluster over one MemTransport: real
+// nodes, real wire frames, channel-link connections — the TCP
+// deployment with the sockets swapped out. Node identifiers come from
+// a seeded generator, so a harness run is reproducible end to end.
+type Harness struct {
+	Transport *serve.MemTransport
+	cfg       HarnessConfig
+	rng       *rand.Rand
+	used      map[string]bool
+	nextAddr  int
+	nodes     []*Node // Kill/Leave leave nil holes; index = node number
+}
+
+// HarnessConfig shapes a harness cluster.
+type HarnessConfig struct {
+	// Nodes is the initial node count (≥ 1).
+	Nodes int
+	// Seed drives identifier generation.
+	Seed int64
+	// IDBase/IDLen default to the cluster defaults; small tests use a
+	// small space.
+	IDBase, IDLen int
+	// Replication, MaxHops, Redirect pass through to every node.
+	Replication int
+	MaxHops     int
+	Redirect    bool
+	// Serve is the per-node server config template. Registry must be
+	// nil: each node gets its own registry so per-node metrics stay
+	// separable.
+	Serve serve.Config
+}
+
+// NewHarness boots an n-node converged cluster.
+func NewHarness(cfg HarnessConfig) (*Harness, error) {
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("cluster: harness needs ≥ 1 node, got %d", cfg.Nodes)
+	}
+	if cfg.Serve.Registry != nil {
+		return nil, fmt.Errorf("cluster: harness owns per-node registries")
+	}
+	if cfg.IDBase == 0 {
+		cfg.IDBase = DefaultIDBase
+	}
+	if cfg.IDLen == 0 {
+		cfg.IDLen = DefaultIDLen
+	}
+	h := &Harness{
+		Transport: serve.NewMemTransport(),
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		used:      make(map[string]bool),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		if _, err := h.Join(); err != nil {
+			h.Close()
+			return nil, err
+		}
+	}
+	if err := h.WaitConverged(5 * time.Second); err != nil {
+		h.Close()
+		return nil, err
+	}
+	return h, nil
+}
+
+// freshID draws an unused identifier from the seeded generator.
+func (h *Harness) freshID() word.Word {
+	for {
+		w := word.Random(h.cfg.IDBase, h.cfg.IDLen, h.rng)
+		if !h.used[w.String()] {
+			h.used[w.String()] = true
+			return w
+		}
+	}
+}
+
+// Join boots one more node (seeded through every live peer) and
+// returns its index.
+func (h *Harness) Join() (int, error) {
+	var seeds []string
+	for _, n := range h.nodes {
+		if n != nil {
+			seeds = append(seeds, n.PeerAddr())
+		}
+	}
+	i := len(h.nodes)
+	scfg := h.cfg.Serve
+	scfg.Registry = obs.NewRegistry()
+	node, err := New(Config{
+		ID:          h.freshID().String(),
+		IDBase:      h.cfg.IDBase,
+		IDLen:       h.cfg.IDLen,
+		ClientAddr:  fmt.Sprintf("client-%d", i),
+		PeerAddr:    fmt.Sprintf("peer-%d", i),
+		Transport:   h.Transport,
+		Replication: h.cfg.Replication,
+		MaxHops:     h.cfg.MaxHops,
+		Redirect:    h.cfg.Redirect,
+		Seeds:       seeds,
+		Serve:       scfg,
+	})
+	if err != nil {
+		return 0, err
+	}
+	h.nodes = append(h.nodes, node)
+	return i, nil
+}
+
+// Node returns node i (nil after Kill/Leave).
+func (h *Harness) Node(i int) *Node { return h.nodes[i] }
+
+// Live returns the running nodes.
+func (h *Harness) Live() []*Node {
+	var out []*Node
+	for _, n := range h.nodes {
+		if n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Client dials node i's query listener.
+func (h *Harness) Client(i int) (*serve.Client, error) {
+	n := h.nodes[i]
+	if n == nil {
+		return nil, fmt.Errorf("cluster: node %d is down", i)
+	}
+	return serve.DialTransport(h.Transport, n.ClientAddr())
+}
+
+// Kill crashes node i: listeners close, established connections
+// sever, no goodbye. Returns the node's final conservation counts
+// (exact: the dying server drains its queue shedding shutdown).
+func (h *Harness) Kill(i int) (serve.Counts, error) {
+	n := h.nodes[i]
+	if n == nil {
+		return serve.Counts{}, fmt.Errorf("cluster: node %d already down", i)
+	}
+	h.nodes[i] = nil
+	err := n.Close()
+	if err != nil {
+		return serve.Counts{}, err
+	}
+	return n.Counts(), nil
+}
+
+// Leave departs node i cleanly (membership gossiped before shutdown).
+func (h *Harness) Leave(i int) (serve.Counts, error) {
+	n := h.nodes[i]
+	if n == nil {
+		return serve.Counts{}, fmt.Errorf("cluster: node %d already down", i)
+	}
+	h.nodes[i] = nil
+	err := n.Leave()
+	if err != nil {
+		return serve.Counts{}, err
+	}
+	return n.Counts(), nil
+}
+
+// WaitConverged blocks until the live nodes share one membership view.
+func (h *Harness) WaitConverged(timeout time.Duration) error {
+	live := h.Live()
+	if len(live) == 0 {
+		return nil
+	}
+	return WaitConverged(timeout, live...)
+}
+
+// Close shuts every live node down.
+func (h *Harness) Close() {
+	for i, n := range h.nodes {
+		if n != nil {
+			n.Close()
+			h.nodes[i] = nil
+		}
+	}
+}
+
+// ClusterCounts aggregates conservation counters cluster-wide.
+// PerNode holds every node that ever served (killed ones included —
+// their final counts still participate in the identity).
+type ClusterCounts struct {
+	PerNode []serve.Counts
+	Sent, Answered, Degraded, Shed, Forwarded, ForwardedIn int64
+}
+
+// Add folds one node's counts in.
+func (c *ClusterCounts) Add(n serve.Counts) {
+	c.PerNode = append(c.PerNode, n)
+	c.Sent += n.Sent
+	c.Answered += n.Answered
+	c.Degraded += n.Degraded
+	c.Shed += n.Shed
+	c.Forwarded += n.Forwarded
+	c.ForwardedIn += n.ForwardedIn
+}
+
+// Conserved reports the cluster-wide outcome identity.
+func (c ClusterCounts) Conserved() bool {
+	return c.Sent == c.Answered+c.Degraded+c.Shed+c.Forwarded
+}
+
+// HopConserved reports the hop-by-hop forward identity of a quiesced,
+// failure-free run: every forwarded outcome was admitted somewhere as
+// a forwarded-in. (Under churn the identity relaxes to Forwarded ≤
+// ForwardedIn: a peer can admit a forward whose origin then sheds on
+// deadline or falls back when the response is lost.)
+func (c ClusterCounts) HopConserved() bool {
+	return c.Forwarded == c.ForwardedIn
+}
+
+// Counts aggregates the live nodes plus any extra (killed) counts the
+// caller retained.
+func (h *Harness) Counts(extra ...serve.Counts) ClusterCounts {
+	var c ClusterCounts
+	for _, n := range h.nodes {
+		if n != nil {
+			c.Add(n.Counts())
+		}
+	}
+	for _, e := range extra {
+		c.Add(e)
+	}
+	return c
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import "sort"
+
+// Member is one cluster node as the others see it.
+type Member struct {
+	// ID is the node's identifier word (digit-string form).
+	ID string `json:"id"`
+	// ClientAddr accepts query connections; PeerAddr accepts control
+	// connections.
+	ClientAddr string `json:"client_addr"`
+	PeerAddr   string `json:"peer_addr"`
+}
+
+// Membership is a full-state membership view: the complete member
+// list under a (Version, Origin) stamp. Views are totally ordered by
+// the stamp — higher version wins, ties broken by origin id — and
+// every change ships the whole list, so applying the maximum view
+// converges all nodes without per-entry merge rules. Versions move
+// forward only: a node making a change stamps max(seen)+1 with itself
+// as origin.
+type Membership struct {
+	Version uint64   `json:"version"`
+	Origin  string   `json:"origin"`
+	Members []Member `json:"members"`
+}
+
+// Newer reports whether m supersedes old.
+func (m Membership) Newer(old Membership) bool {
+	if m.Version != old.Version {
+		return m.Version > old.Version
+	}
+	return m.Origin > old.Origin
+}
+
+// find returns the member with the given id, if present.
+func (m Membership) find(id string) (Member, bool) {
+	for _, mem := range m.Members {
+		if mem.ID == id {
+			return mem, true
+		}
+	}
+	return Member{}, false
+}
+
+// withMember returns a copy of the member list with mem added or
+// replaced, sorted by ID for deterministic broadcasts.
+func (m Membership) withMember(mem Member) []Member {
+	out := make([]Member, 0, len(m.Members)+1)
+	for _, x := range m.Members {
+		if x.ID != mem.ID {
+			out = append(out, x)
+		}
+	}
+	out = append(out, mem)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// withoutMember returns a copy of the member list with id removed.
+func (m Membership) withoutMember(id string) []Member {
+	out := make([]Member, 0, len(m.Members))
+	for _, x := range m.Members {
+		if x.ID != id {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Control-plane envelope types. The peer listener speaks
+// length-prefixed JSON envelopes (the serve frame format) — one
+// request, one response per frame, multiple RPCs per connection.
+const (
+	envJoin       = "join"       // Member → Membership (or error)
+	envMembership = "membership" // Membership push → ack with local view
+	envStatus     = "status"     // → Status
+	envPing       = "ping"       // → ping
+)
+
+// envelope is one control frame.
+type envelope struct {
+	Type   string      `json:"type"`
+	From   string      `json:"from,omitempty"`
+	Member *Member     `json:"member,omitempty"`
+	Mem    *Membership `json:"membership,omitempty"`
+	Status *Status     `json:"status,omitempty"`
+	Err    string      `json:"error,omitempty"`
+}
+
+// errIDCollision is the join rejection for an identifier already held
+// by a different node. The digit string is the whole identity, so the
+// wire form is matched by substring.
+var errIDCollision = errors.New("cluster: identifier already in use")
+
+// maxEnvelope bounds a control frame (a full membership view of a
+// large cluster fits comfortably).
+const maxEnvelope = 1 << 20
+
+// servePeers accepts control connections until the listener closes.
+func (n *Node) servePeers() {
+	for {
+		conn, err := n.peerLn.Accept()
+		if err != nil {
+			return
+		}
+		go n.handlePeer(conn)
+	}
+}
+
+// handlePeer answers envelope RPCs on one connection until EOF.
+func (n *Node) handlePeer(conn net.Conn) {
+	defer conn.Close()
+	for {
+		body, err := serve.ReadFrame(conn, maxEnvelope)
+		if err != nil {
+			return
+		}
+		var env envelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			_ = serve.WriteFrame(conn, envelope{Type: env.Type, Err: err.Error()})
+			return
+		}
+		if err := serve.WriteFrame(conn, n.handleEnvelope(env)); err != nil {
+			return
+		}
+	}
+}
+
+// handleEnvelope executes one control RPC.
+func (n *Node) handleEnvelope(env envelope) envelope {
+	switch env.Type {
+	case envJoin:
+		if env.Member == nil {
+			return envelope{Type: envJoin, Err: "join without member"}
+		}
+		return n.handleJoin(*env.Member)
+	case envMembership:
+		if env.Mem == nil {
+			return envelope{Type: envMembership, Err: "membership without view"}
+		}
+		n.mu.Lock()
+		err := n.applyMembershipLocked(*env.Mem)
+		view := n.mem
+		n.mu.Unlock()
+		if err != nil {
+			return envelope{Type: envMembership, Err: err.Error()}
+		}
+		return envelope{Type: envMembership, From: n.idStr, Mem: &view}
+	case envStatus:
+		st := n.Status()
+		return envelope{Type: envStatus, From: n.idStr, Status: &st}
+	case envPing:
+		return envelope{Type: envPing, From: n.idStr}
+	default:
+		return envelope{Type: env.Type, Err: fmt.Sprintf("unknown envelope type %q", env.Type)}
+	}
+}
+
+// handleJoin admits a new member and gossips the grown view. An
+// identifier held by a different address is rejected — identifiers
+// are the placement identity, and silently replacing one would
+// reroute another node's key slice.
+func (n *Node) handleJoin(m Member) envelope {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if existing, ok := n.mem.find(m.ID); ok && (existing.ClientAddr != m.ClientAddr || existing.PeerAddr != m.PeerAddr) {
+		return envelope{Type: envJoin, Err: errIDCollision.Error()}
+	}
+	n.m.joins.Inc()
+	if err := n.bumpLocked(n.mem.withMember(m)); err != nil {
+		return envelope{Type: envJoin, Err: err.Error()}
+	}
+	view := n.mem
+	return envelope{Type: envJoin, From: n.idStr, Mem: &view}
+}
+
+// joinVia runs the join RPC against one seed.
+func (n *Node) joinVia(seed string, self Member) (Membership, error) {
+	resp, err := n.peerRPC(seed, envelope{Type: envJoin, From: self.ID, Member: &self})
+	if err != nil {
+		return Membership{}, err
+	}
+	if resp.Err != "" {
+		if strings.Contains(resp.Err, errIDCollision.Error()) {
+			return Membership{}, fmt.Errorf("%w (via %s)", errIDCollision, seed)
+		}
+		return Membership{}, fmt.Errorf("cluster: join via %s: %s", seed, resp.Err)
+	}
+	if resp.Mem == nil {
+		return Membership{}, fmt.Errorf("cluster: join via %s: empty view", seed)
+	}
+	return *resp.Mem, nil
+}
+
+// peerRPC dials addr's control listener, runs one envelope exchange,
+// and closes. Control traffic is rare (joins, leaves, gossip), so
+// per-RPC connections keep the failure model trivial: any dead peer
+// fails the dial.
+func (n *Node) peerRPC(addr string, env envelope) (envelope, error) {
+	conn, err := n.cfg.Transport.Dial(addr)
+	if err != nil {
+		return envelope{}, err
+	}
+	defer conn.Close()
+	deadline := time.Now().Add(n.cfg.JoinTimeout)
+	_ = conn.SetDeadline(deadline)
+	if err := serve.WriteFrame(conn, env); err != nil {
+		return envelope{}, err
+	}
+	body, err := serve.ReadFrame(conn, maxEnvelope)
+	if err != nil {
+		return envelope{}, err
+	}
+	var resp envelope
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return envelope{}, err
+	}
+	return resp, nil
+}
