@@ -1,0 +1,222 @@
+// Command dbcluster runs one node of the multi-node route-query
+// cluster (internal/cluster) over TCP:
+//
+//	dbcluster -addr :4700 -peer :4710                  # boot a standalone node
+//	dbcluster -addr :4701 -peer :4711 -seed :4710      # join through a member
+//	dbcluster -replication 1 -redirect                 # placement knobs
+//	dbcluster -debug-addr :4720                        # plus /metrics and pprof
+//	dbcluster -status 127.0.0.1:4710                   # print a node's status JSON
+//	dbcluster -probe 127.0.0.1:4700                    # client smoke, then exit
+//
+// A node serves the ordinary dbserve wire protocol on -addr: any
+// member answers any query, proxying misses hop-by-hop over the
+// Koorde fabric toward the owner (or redirecting when -redirect is
+// set — the probe follows one redirect). The control listener on
+// -peer speaks the join/membership/status protocol; -status is its
+// standalone client. On SIGINT/SIGTERM the node announces departure
+// (a clean leave) before shutting down.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/word"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "dbcluster:", err)
+		os.Exit(1)
+	}
+}
+
+// testStop, when non-nil, stops the serving loop in place of a
+// signal; tests close it to exercise the full boot/leave path.
+var testStop chan struct{}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("dbcluster", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:4700", "query listener address (dbserve wire protocol)")
+	peer := fs.String("peer", "127.0.0.1:4710", "control listener address (join/membership/status)")
+	seeds := fs.String("seed", "", "comma-separated control addresses of existing members to join through")
+	id := fs.String("id", "", "node identifier digits in DG(idbase, idlen) (empty: derived from -addr)")
+	idBase := fs.Int("idbase", cluster.DefaultIDBase, "identifier alphabet size (all members must agree)")
+	idLen := fs.Int("idlen", cluster.DefaultIDLen, "identifier length (all members must agree)")
+	replication := fs.Int("replication", cluster.DefaultReplication, "replica-set size R: owner plus R-1 ring successors hold each key")
+	maxHops := fs.Int("max-hops", 0, "forward TTL (0: 4*idlen + 16)")
+	redirect := fs.Bool("redirect", false, "redirect client misses to the owner instead of proxying")
+	shards := fs.Int("shards", 0, "worker shards per node (0: GOMAXPROCS)")
+	queue := fs.Int("queue", 1024, "admission queue depth (full queue sheds)")
+	cacheSize := fs.Int("cache", 4096, "LRU result-cache capacity in answers (0 disables)")
+	deadline := fs.Duration("deadline", 100*time.Millisecond, "default per-request deadline")
+	traceSample := fs.Int("trace-sample", 0, "record one request trace in every N (0 disables tracing)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/traces, pprof on this address")
+	status := fs.String("status", "", "print the status JSON of the node at this control address, then exit")
+	probe := fs.String("probe", "", "send smoke queries to the node at this query address, then exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *status != "" {
+		return runStatus(*status, out)
+	}
+	if *probe != "" {
+		return runProbe(*probe, out)
+	}
+
+	reg := obs.NewRegistry()
+	serveCfg := serve.Config{
+		Shards:          *shards,
+		QueueDepth:      *queue,
+		CacheSize:       *cacheSize,
+		DefaultDeadline: *deadline,
+		TraceSample:     *traceSample,
+		Registry:        reg,
+	}
+	var seedList []string
+	for _, s := range strings.Split(*seeds, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			seedList = append(seedList, s)
+		}
+	}
+	n, err := cluster.New(cluster.Config{
+		ID:          *id,
+		IDBase:      *idBase,
+		IDLen:       *idLen,
+		ClientAddr:  *addr,
+		PeerAddr:    *peer,
+		Transport:   serve.TCP{},
+		Replication: *replication,
+		MaxHops:     *maxHops,
+		Redirect:    *redirect,
+		Seeds:       seedList,
+		Serve:       serveCfg,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *debugAddr != "" {
+		ds, err := obs.ServeDebugOpts(*debugAddr, obs.DebugOptions{
+			Registry: reg, Traces: n.Server().Traces(),
+		})
+		if err != nil {
+			n.Close()
+			return err
+		}
+		defer ds.Close()
+		fmt.Fprintf(out, "debug server on http://%s (/metrics, /metrics.json, /debug/pprof/)\n", ds.Addr())
+	}
+
+	mem := n.Membership()
+	fmt.Fprintf(out, "node %s serving on %s (control %s, %d member(s), R=%d)\n",
+		n.ID(), n.ClientAddr(), n.PeerAddr(), len(mem.Members), *replication)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+	select {
+	case <-sig:
+	case <-testStop:
+	}
+	fmt.Fprintln(out, "leaving cluster")
+	return n.Leave()
+}
+
+// runStatus prints the status document of one node, fetched over its
+// control listener.
+func runStatus(addr string, out io.Writer) error {
+	st, err := cluster.RemoteStatus(serve.TCP{}, addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(st)
+}
+
+// runProbe is the CI smoke client: it dials one node's query address,
+// issues traced queries across several key-space slices (so some land
+// outside the dialed node's replica set and must ride the fabric),
+// and verifies a full-fidelity answer for each. In redirect mode it
+// follows one redirect per query.
+func runProbe(addr string, out io.Writer) error {
+	c, err := serve.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	redirects := make(map[string]*serve.Client)
+	defer func() {
+		for _, rc := range redirects {
+			rc.Close()
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	pairs := []struct{ src, dst string }{
+		{"0110100101", "1010011010"},
+		{"0000011111", "1111100000"},
+		{"1001011001", "0110100110"},
+		{"0101010101", "1010101010"},
+		{"0011001100", "1100110011"},
+		{"1110001110", "0001110001"},
+		{"1011101000", "0010111010"},
+		{"0100101101", "1101001011"},
+	}
+	ok := 0
+	for i, p := range pairs {
+		src := word.MustParse(2, p.src)
+		dst := word.MustParse(2, p.dst)
+		var req serve.Request
+		switch i % 3 {
+		case 0:
+			req = serve.DistanceRequest(src, dst, serve.Undirected)
+		case 1:
+			req = serve.RouteRequest(src, dst, serve.Undirected)
+		default:
+			req = serve.NextHopRequest(src, dst, serve.Undirected)
+		}
+		req.TraceID = obs.TraceID(0xc10 + i)
+		resp, err := c.Do(ctx, req)
+		if err != nil {
+			return fmt.Errorf("probe %s→%s: %w", p.src, p.dst, err)
+		}
+		if resp.Status == serve.StatusRedirect {
+			rc, ok := redirects[resp.RedirectAddr]
+			if !ok {
+				if rc, err = serve.Dial(resp.RedirectAddr); err != nil {
+					return fmt.Errorf("probe %s→%s: redirect to %s: %w", p.src, p.dst, resp.RedirectAddr, err)
+				}
+				redirects[resp.RedirectAddr] = rc
+			}
+			if resp, err = rc.Do(ctx, req); err != nil {
+				return fmt.Errorf("probe %s→%s via %s: %w", p.src, p.dst, resp.RedirectAddr, err)
+			}
+		}
+		if resp.Status != serve.StatusOK || resp.Degrade != "" {
+			return fmt.Errorf("probe %s→%s: status %q (shed %q, degrade %q, error %q), want a full-fidelity answer",
+				p.src, p.dst, resp.Status, resp.ShedReason, resp.Degrade, resp.Error)
+		}
+		if resp.TraceID != req.TraceID {
+			return fmt.Errorf("probe %s→%s: trace id %v not echoed (got %v)", p.src, p.dst, req.TraceID, resp.TraceID)
+		}
+		ok++
+		fmt.Fprintf(out, "probe %-10s %s→%s ok trace=%v\n", req.Kind, p.src, p.dst, resp.TraceID)
+	}
+	fmt.Fprintf(out, "probe complete: %d/%d ok\n", ok, len(pairs))
+	return nil
+}

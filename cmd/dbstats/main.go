@@ -13,6 +13,7 @@
 //	dbstats -table deflect    # E18: bufferless deflection load × policy
 //	dbstats -table serve      # E21: route-query server load sweep
 //	dbstats -table trace      # E22: flight-recorder postmortem of an overload
+//	dbstats -table cluster    # E23: multi-node cluster over its own fabric
 //	dbstats -table all        # everything above
 package main
 
@@ -126,6 +127,12 @@ func run(args []string, out io.Writer) error {
 			// flight recorder armed; the table is the frozen postmortem.
 			return experiments.FlightTable(experiments.ServeLoadConfig{Seed: *seed}, 16000)
 		},
+		"cluster": func() (*stats.Table, error) {
+			// A seeded closed-loop replay against a 4-node in-memory
+			// cluster: per-node conservation counters, fabric hop means,
+			// and latency quantiles.
+			return experiments.ClusterTable(experiments.ClusterRunConfig{Seed: *seed})
+		},
 	}
 	titles := map[string]string{
 		"eq5":       "E3 — directed average distance: equation (5) vs exact",
@@ -145,8 +152,9 @@ func run(args []string, out io.Writer) error {
 		"deflect":   "E18 — bufferless deflection: load × policy vs store-and-forward",
 		"serve":     "E21 — route-query server: offered load vs degrade/shed/latency",
 		"trace":     "E22 — flight recorder: frozen postmortem of an E21 overload run",
+		"cluster":   "E23 — multi-node cluster: load partitioned over its own de Bruijn fabric",
 	}
-	order := []string{"census", "eq5", "fig2", "crossover", "policy", "fault", "dist", "moore", "broadcast", "diversity", "latency", "dht", "loadcurve", "stretch", "deflect", "serve", "trace"}
+	order := []string{"census", "eq5", "fig2", "crossover", "policy", "fault", "dist", "moore", "broadcast", "diversity", "latency", "dht", "loadcurve", "stretch", "deflect", "serve", "trace", "cluster"}
 
 	emit := func(name string) error {
 		t, err := printers[name]()

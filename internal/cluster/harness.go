@@ -20,7 +20,8 @@ type Harness struct {
 	rng       *rand.Rand
 	used      map[string]bool
 	nextAddr  int
-	nodes     []*Node // Kill/Leave leave nil holes; index = node number
+	nodes     []*Node         // Kill/Leave leave nil holes; index = node number
+	regs      []*obs.Registry // per-node registries, parallel to nodes
 }
 
 // HarnessConfig shapes a harness cluster.
@@ -115,11 +116,16 @@ func (h *Harness) Join() (int, error) {
 		return 0, err
 	}
 	h.nodes = append(h.nodes, node)
+	h.regs = append(h.regs, scfg.Registry)
 	return i, nil
 }
 
 // Node returns node i (nil after Kill/Leave).
 func (h *Harness) Node(i int) *Node { return h.nodes[i] }
+
+// Registry returns node i's metrics registry. It outlives the node —
+// a killed node's final counters stay readable.
+func (h *Harness) Registry(i int) *obs.Registry { return h.regs[i] }
 
 // Live returns the running nodes.
 func (h *Harness) Live() []*Node {

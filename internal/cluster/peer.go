@@ -141,13 +141,18 @@ func (n *Node) joinVia(seed string, self Member) (Membership, error) {
 // per-RPC connections keep the failure model trivial: any dead peer
 // fails the dial.
 func (n *Node) peerRPC(addr string, env envelope) (envelope, error) {
-	conn, err := n.cfg.Transport.Dial(addr)
+	return rpcOverTransport(n.cfg.Transport, addr, n.cfg.JoinTimeout, env)
+}
+
+// rpcOverTransport is one envelope exchange against a control listener
+// from any client (a node or an external tool).
+func rpcOverTransport(tr serve.Transport, addr string, timeout time.Duration, env envelope) (envelope, error) {
+	conn, err := tr.Dial(addr)
 	if err != nil {
 		return envelope{}, err
 	}
 	defer conn.Close()
-	deadline := time.Now().Add(n.cfg.JoinTimeout)
-	_ = conn.SetDeadline(deadline)
+	_ = conn.SetDeadline(time.Now().Add(timeout))
 	if err := serve.WriteFrame(conn, env); err != nil {
 		return envelope{}, err
 	}
@@ -160,4 +165,24 @@ func (n *Node) peerRPC(addr string, env envelope) (envelope, error) {
 		return envelope{}, err
 	}
 	return resp, nil
+}
+
+// RemoteStatus runs the status RPC against a node's control address —
+// the client side of dbcluster -status and the CI smoke assertions.
+// A non-positive timeout means 5s.
+func RemoteStatus(tr serve.Transport, addr string, timeout time.Duration) (Status, error) {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	resp, err := rpcOverTransport(tr, addr, timeout, envelope{Type: envStatus})
+	if err != nil {
+		return Status{}, err
+	}
+	if resp.Err != "" {
+		return Status{}, fmt.Errorf("cluster: status from %s: %s", addr, resp.Err)
+	}
+	if resp.Status == nil {
+		return Status{}, fmt.Errorf("cluster: status from %s: empty reply", addr)
+	}
+	return *resp.Status, nil
 }
