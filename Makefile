@@ -26,7 +26,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/network/ ./internal/dht/ ./internal/obs/ ./internal/deflect/ ./internal/check/ ./internal/core/ ./internal/match/ ./internal/suffixtree/ ./internal/serve/
+	$(GO) test -race ./internal/network/ ./internal/dht/ ./internal/obs/ ./internal/deflect/ ./internal/check/ ./internal/core/ ./internal/match/ ./internal/suffixtree/ ./internal/serve/ ./internal/cluster/
 
 cover:
 	$(GO) test -cover ./...
