@@ -61,6 +61,12 @@ bench-compare:
 check:
 	$(GO) run ./cmd/dbcheck -mode all
 
+# The adversarial serving gate: chaos oracle sweep plus the hang-bug
+# regression tests under the race detector.
+chaos-check:
+	$(GO) run ./cmd/dbcheck -mode chaos
+	$(GO) test -race -run 'Chaos|Peer|SlowReader|WriteTimeout|StalledPeer|Storm|SingleShard|Eviction' ./internal/serve/ ./internal/cluster/ ./internal/check/
+
 # In-process load check of the route-query server: runs the closed- and
 # open-loop generators against a real server and fails on any violation
 # of the outcome-conservation invariant (sent = answered+degraded+shed).

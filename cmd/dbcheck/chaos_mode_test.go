@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestRunChaosMode pins the graph-independent chaos mode: one report,
+// no graph sweep, clean verdict at a reduced per-cell volume.
+func TestRunChaosMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "chaos", "-chaos-requests", "96"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var v Verdict
+	if err := json.Unmarshal(out.Bytes(), &v); err != nil {
+		t.Fatalf("verdict is not JSON: %v", err)
+	}
+	if !v.OK || v.Findings != 0 {
+		t.Fatalf("chaos oracle not clean: %+v", v)
+	}
+	if v.Graphs != 0 || len(v.Reports) != 1 || v.Reports[0].Mode != "chaos" {
+		t.Fatalf("want 0 graphs and exactly the chaos report, got %+v", v)
+	}
+	if v.Reports[0].Checked == 0 {
+		t.Fatal("chaos oracle checked nothing")
+	}
+}

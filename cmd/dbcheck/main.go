@@ -4,12 +4,17 @@
 //	dbcheck -d 2 -k 5                    # per-graph oracles on DG(2,5)
 //	dbcheck -d 2 -k 5 -mode routes       # just the route oracle
 //	dbcheck -mode cluster                # the cluster conservation oracle
+//	dbcheck -mode chaos                  # the adversarial serving oracle
 //	dbcheck -mode all                    # sweep every DG(d,k) ≤ 4096 vertices
 //	dbcheck -mode all -max-vertices 256  # a faster sweep
 //
-// The cluster oracle is graph-independent (it exercises the serving
-// fabric, not a particular DG(d,k)), so -mode all runs it once before
-// the per-graph sweep and -mode cluster runs it alone.
+// The cluster and chaos oracles are graph-independent (they exercise
+// the serving fabric, not a particular DG(d,k)), so -mode all runs
+// each once before the per-graph sweep and -mode cluster / -mode
+// chaos run them alone. The chaos oracle drives workload shapes
+// (uniform, Zipf+hotspot, flash crowd, batch mix) through fault
+// schedules (latency, drop+corrupt, sever-mid-frame, slow reader) and
+// a churn storm; -chaos-requests sizes each grid cell.
 //
 // With no -d/-k, dbcheck sweeps every de Bruijn graph DG(d,k) with
 // d ∈ [2, 36], k ≥ 1 and at most -max-vertices vertices — the CI gate
@@ -64,13 +69,14 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dbcheck", flag.ContinueOnError)
 	d := fs.Int("d", 0, "alphabet size (0 with -k 0: sweep all graphs under -max-vertices)")
 	k := fs.Int("k", 0, "word length")
-	mode := fs.String("mode", "all", "oracle selection: routes | engines | invariants | cluster | all")
+	mode := fs.String("mode", "all", "oracle selection: routes | engines | invariants | cluster | chaos | all")
 	maxVertices := fs.Int("max-vertices", 4096, "sweep bound on d^k when -d/-k are not given")
 	seed := fs.Int64("seed", 1, "seed for sampling, workloads and fault plans")
 	samplePairs := fs.Int("sample-pairs", 4096, "route-oracle pairs sampled per graph above -sample-above vertices")
 	sampleAbove := fs.Int("sample-above", 4096, "route-oracle vertex count above which pairs are sampled")
 	messages := fs.Int("messages", 0, "messages per engine scenario (0 = auto)")
 	maxFindings := fs.Int("max-findings", 32, "findings kept per report before truncating the scan")
+	chaosRequests := fs.Int("chaos-requests", 0, "requests per chaos-oracle grid cell (0 = default)")
 	workers := fs.Int("workers", check.DefaultWorkers(), "worker goroutines per oracle scan (1 = historical sequential scan)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,15 +85,15 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("give both -d and -k, or neither (sweep)")
 	}
 	switch *mode {
-	case "routes", "engines", "invariants", "cluster", "all":
+	case "routes", "engines", "invariants", "cluster", "chaos", "all":
 	default:
-		return fmt.Errorf("unknown -mode %q (routes | engines | invariants | cluster | all)", *mode)
+		return fmt.Errorf("unknown -mode %q (routes | engines | invariants | cluster | chaos | all)", *mode)
 	}
 
 	var graphs [][2]int
-	if *mode == "cluster" {
-		// Cluster behavior does not vary with the query graph: the
-		// oracle runs once, not per (d,k).
+	if *mode == "cluster" || *mode == "chaos" {
+		// Serving behavior does not vary with the query graph: these
+		// oracles run once, not per (d,k).
 	} else if *d != 0 {
 		graphs = append(graphs, [2]int{*d, *k})
 	} else {
@@ -98,6 +104,17 @@ func run(args []string, out io.Writer) error {
 	v := Verdict{Schema: Schema, OK: true, Graphs: len(graphs)}
 	if *mode == "cluster" || *mode == "all" {
 		r, err := check.Cluster(check.ClusterOptions{Seed: *seed, MaxFindings: *maxFindings})
+		if err != nil {
+			return err
+		}
+		if !r.OK() {
+			v.OK = false
+		}
+		v.Findings += len(r.Findings)
+		v.Reports = append(v.Reports, r)
+	}
+	if *mode == "chaos" || *mode == "all" {
+		r, err := check.Chaos(check.ChaosOptions{Seed: *seed, Requests: *chaosRequests, MaxFindings: *maxFindings})
 		if err != nil {
 			return err
 		}

@@ -9,7 +9,7 @@ import (
 
 func TestRunSingleGraph(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-d", "2", "-k", "3", "-mode", "all"}, &out); err != nil {
+	if err := run([]string{"-d", "2", "-k", "3", "-mode", "all", "-chaos-requests", "96"}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	var v Verdict
@@ -19,10 +19,10 @@ func TestRunSingleGraph(t *testing.T) {
 	if !v.OK || v.Findings != 0 {
 		t.Fatalf("DG(2,3) not clean: %+v", v)
 	}
-	if v.Graphs != 1 || len(v.Reports) != 4 {
-		t.Fatalf("want 1 graph and 4 reports (cluster + per-graph), got %d and %d", v.Graphs, len(v.Reports))
+	if v.Graphs != 1 || len(v.Reports) != 5 {
+		t.Fatalf("want 1 graph and 5 reports (cluster + chaos + per-graph), got %d and %d", v.Graphs, len(v.Reports))
 	}
-	for i, mode := range []string{"cluster", "routes", "engines", "invariants"} {
+	for i, mode := range []string{"cluster", "chaos", "routes", "engines", "invariants"} {
 		if v.Reports[i].Mode != mode {
 			t.Errorf("report %d mode %q, want %q", i, v.Reports[i].Mode, mode)
 		}
@@ -70,12 +70,12 @@ func TestRunSweep(t *testing.T) {
 // on a clean tree.
 func TestRunWorkersInvariance(t *testing.T) {
 	var seq bytes.Buffer
-	if err := run([]string{"-d", "2", "-k", "3", "-workers", "1"}, &seq); err != nil {
+	if err := run([]string{"-d", "2", "-k", "3", "-chaos-requests", "64", "-workers", "1"}, &seq); err != nil {
 		t.Fatalf("run -workers 1: %v", err)
 	}
 	for _, workers := range []string{"2", "8"} {
 		var par bytes.Buffer
-		if err := run([]string{"-d", "2", "-k", "3", "-workers", workers}, &par); err != nil {
+		if err := run([]string{"-d", "2", "-k", "3", "-chaos-requests", "64", "-workers", workers}, &par); err != nil {
 			t.Fatalf("run -workers %s: %v", workers, err)
 		}
 		if !verdictsEqual(t, seq.Bytes(), par.Bytes()) {
@@ -132,7 +132,7 @@ func TestRunReportsFindingsNonzero(t *testing.T) {
 	// point of the harness), so just pin that the error path formats a
 	// count — the run() contract the CI gate relies on is: clean sweep
 	// → nil error, findings → non-nil error mentioning the count.
-	err := run([]string{"-d", "2", "-k", "2"}, &bytes.Buffer{})
+	err := run([]string{"-d", "2", "-k", "2", "-chaos-requests", "64"}, &bytes.Buffer{})
 	if err != nil && !strings.Contains(err.Error(), "finding") {
 		t.Fatalf("unexpected error shape: %v", err)
 	}

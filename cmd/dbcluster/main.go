@@ -61,6 +61,9 @@ func run(args []string, out io.Writer) error {
 	queue := fs.Int("queue", 1024, "admission queue depth (full queue sheds)")
 	cacheSize := fs.Int("cache", 4096, "LRU result-cache capacity in answers (0 disables)")
 	deadline := fs.Duration("deadline", 100*time.Millisecond, "default per-request deadline")
+	writeTimeout := fs.Duration("write-timeout", 0, "per-frame response write deadline; a reader slower than this is evicted (0: 30s default, negative: disabled)")
+	peerIOTimeout := fs.Duration("peer-io-timeout", 0, "per-frame deadline on peer control and forward connections (0: 10s default, negative: disabled)")
+	gossipInterval := fs.Duration("gossip-interval", 0, "anti-entropy membership push-pull pace (0: 100ms default, negative: disabled)")
 	traceSample := fs.Int("trace-sample", 0, "record one request trace in every N (0 disables tracing)")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/traces, pprof on this address")
 	status := fs.String("status", "", "print the status JSON of the node at this control address, then exit")
@@ -82,6 +85,7 @@ func run(args []string, out io.Writer) error {
 		QueueDepth:      *queue,
 		CacheSize:       *cacheSize,
 		DefaultDeadline: *deadline,
+		WriteTimeout:    *writeTimeout,
 		TraceSample:     *traceSample,
 		Registry:        reg,
 	}
@@ -92,17 +96,19 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	n, err := cluster.New(cluster.Config{
-		ID:          *id,
-		IDBase:      *idBase,
-		IDLen:       *idLen,
-		ClientAddr:  *addr,
-		PeerAddr:    *peer,
-		Transport:   serve.TCP{},
-		Replication: *replication,
-		MaxHops:     *maxHops,
-		Redirect:    *redirect,
-		Seeds:       seedList,
-		Serve:       serveCfg,
+		ID:             *id,
+		IDBase:         *idBase,
+		IDLen:          *idLen,
+		ClientAddr:     *addr,
+		PeerAddr:       *peer,
+		Transport:      serve.TCP{},
+		Replication:    *replication,
+		MaxHops:        *maxHops,
+		Redirect:       *redirect,
+		Seeds:          seedList,
+		Serve:          serveCfg,
+		PeerIOTimeout:  *peerIOTimeout,
+		GossipInterval: *gossipInterval,
 	})
 	if err != nil {
 		return err

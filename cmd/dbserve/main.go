@@ -58,6 +58,7 @@ func run(args []string, out io.Writer) error {
 	queue := fs.Int("queue", 1024, "admission queue depth (full queue sheds)")
 	cacheSize := fs.Int("cache", 4096, "LRU result-cache capacity in answers (0 disables)")
 	deadline := fs.Duration("deadline", 100*time.Millisecond, "default per-request deadline")
+	writeTimeout := fs.Duration("write-timeout", 0, "per-frame response write deadline; a reader slower than this is evicted (0: 30s default, negative: disabled)")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /debug/traces, /debug/flight, pprof on this address")
 	traceSample := fs.Int("trace-sample", 0, "record one request trace in every N (0 disables tracing)")
 	traceSeed := fs.Uint64("trace-seed", 1, "seed of the deterministic trace sampler")
@@ -88,6 +89,7 @@ func run(args []string, out io.Writer) error {
 		QueueDepth:      *queue,
 		CacheSize:       *cacheSize,
 		DefaultDeadline: *deadline,
+		WriteTimeout:    *writeTimeout,
 		Registry:        reg,
 		TraceSample:     *traceSample,
 		TraceSeed:       *traceSeed,

@@ -14,6 +14,7 @@
 //	dbstats -table serve      # E21: route-query server load sweep
 //	dbstats -table trace      # E22: flight-recorder postmortem of an overload
 //	dbstats -table cluster    # E23: multi-node cluster over its own fabric
+//	dbstats -table chaos      # E24: adversarial load through the chaos transport
 //	dbstats -table all        # everything above
 package main
 
@@ -133,6 +134,12 @@ func run(args []string, out io.Writer) error {
 			// and latency quantiles.
 			return experiments.ClusterTable(experiments.ClusterRunConfig{Seed: *seed})
 		},
+		"chaos": func() (*stats.Table, error) {
+			// Workload shapes × fault schedules through the chaos
+			// transport, plus a churn-storm row: the conservation ledger
+			// must balance in every cell.
+			return experiments.ChaosTable(experiments.ChaosRunConfig{Seed: *seed})
+		},
 	}
 	titles := map[string]string{
 		"eq5":       "E3 — directed average distance: equation (5) vs exact",
@@ -153,8 +160,9 @@ func run(args []string, out io.Writer) error {
 		"serve":     "E21 — route-query server: offered load vs degrade/shed/latency",
 		"trace":     "E22 — flight recorder: frozen postmortem of an E21 overload run",
 		"cluster":   "E23 — multi-node cluster: load partitioned over its own de Bruijn fabric",
+		"chaos":     "E24 — adversarial serving: workload shapes × fault schedules, conservation everywhere",
 	}
-	order := []string{"census", "eq5", "fig2", "crossover", "policy", "fault", "dist", "moore", "broadcast", "diversity", "latency", "dht", "loadcurve", "stretch", "deflect", "serve", "trace", "cluster"}
+	order := []string{"census", "eq5", "fig2", "crossover", "policy", "fault", "dist", "moore", "broadcast", "diversity", "latency", "dht", "loadcurve", "stretch", "deflect", "serve", "trace", "cluster", "chaos"}
 
 	emit := func(name string) error {
 		t, err := printers[name]()

@@ -1,0 +1,610 @@
+package check
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/word"
+)
+
+// ChaosOptions parameterizes the adversarial-serving oracle.
+type ChaosOptions struct {
+	// Seed drives the chaos schedules and workloads; a fixed seed makes
+	// the whole sweep — fault timing included — reproducible, and the
+	// verdict byte-identical across runs.
+	Seed int64
+	// Requests per grid cell (0 means 300).
+	Requests int
+	// MaxFindings caps the findings per report (0 means 32).
+	MaxFindings int
+}
+
+// Chaos sweeps a grid of workload shapes × fault schedules through the
+// ChaosTransport and re-derives the serving contract under each cell:
+//
+//   - every admitted request resolves to exactly one labelled outcome
+//     (sent = answered + degraded + shed, exactly, after drain), and
+//     the client-side ledger balances too;
+//   - no answer lies: a full-fidelity or distance-degraded response
+//     matches a clean engine exactly, a bounds-degraded response
+//     brackets the true distance, and a cached answer is never
+//     degraded;
+//   - the process drains: once the load and the server are gone, the
+//     goroutine count returns to its pre-cell baseline — a wedged
+//     writer or a parked reader is a leak, not an accident.
+//
+// The grid crosses four load shapes (uniform closed-loop, Zipf+hotspot
+// skew, a flash-crowd rate schedule, a batch/scalar mix) with four
+// fault schedules (latency+jitter, drop+corrupt, sever-mid-frame,
+// slow-reader throttling). Two cluster cells extend the sweep to the
+// fabric: chaos on every link of a live cluster (outcome conservation
+// stays exact per node; the hop identity relaxes to Σ forwarded ≤
+// Σ forwarded_in), and a churn storm — a correlated kill burst plus
+// joins under load on clean links — where the same relaxed identities
+// must hold with the victims' final counts folded in.
+//
+// Serving behavior does not vary with the query graph, so like the
+// cluster oracle this mode runs once on DG(2,8), not per (d,k). Every
+// cell contributes a fixed number of assertions, so Checked — and a
+// clean Report — is deterministic for a fixed seed.
+func Chaos(opt ChaosOptions) (Report, error) {
+	rep := Report{Mode: "chaos", D: 2, K: 8}
+	if opt.Requests <= 0 {
+		opt.Requests = 300
+	}
+	f := newFindings(opt.MaxFindings)
+	x := &chaosScan{opt: opt, f: f}
+	for _, unit := range []func() error{x.grid, x.fabric, x.storm} {
+		if err := unit(); err != nil {
+			return rep, err
+		}
+		if f.full() {
+			break
+		}
+	}
+	rep.Checked = x.checked
+	rep.Findings = f.result()
+	rep.Truncated = f.full()
+	return rep, nil
+}
+
+type chaosScan struct {
+	opt     ChaosOptions
+	f       *findings
+	checked int
+}
+
+func (x *chaosScan) assert(ok bool, format string, args ...any) {
+	x.checked++
+	if !ok {
+		x.f.addf("chaos-serving", format, args...)
+	}
+}
+
+// cellSeed derives a per-cell seed so each cell's chaos and workload
+// are independent but reproducible.
+func (x *chaosScan) cellSeed(name string) int64 {
+	seed := x.opt.Seed
+	for _, c := range name {
+		seed = seed*31 + int64(c)
+	}
+	return seed
+}
+
+// chaosShape is one workload shape: a mutation of the base LoadConfig.
+type chaosShape struct {
+	name  string
+	apply func(cfg *serve.LoadConfig, requests int)
+}
+
+// chaosSched is one fault schedule (Seed filled per cell).
+type chaosSched struct {
+	name string
+	cfg  serve.ChaosConfig
+}
+
+func chaosShapes() []chaosShape {
+	return []chaosShape{
+		{"uniform", func(cfg *serve.LoadConfig, n int) {
+			cfg.RequestsPerClient = n / cfg.Clients
+		}},
+		{"zipf-hotspot", func(cfg *serve.LoadConfig, n int) {
+			cfg.RequestsPerClient = n / cfg.Clients
+			cfg.ZipfS = 1.5
+			cfg.HotspotFrac = 0.3
+			cfg.HotSet = 64
+		}},
+		{"flash-crowd", func(cfg *serve.LoadConfig, n int) {
+			// A low/high/low staircase whose spike offers ~4× the
+			// shoulders; total offered ≈ n requests.
+			rate := float64(n) / 0.6
+			cfg.Schedule = []serve.RatePhase{
+				{Rate: rate / 2, Duration: 100 * time.Millisecond},
+				{Rate: rate * 2, Duration: 100 * time.Millisecond},
+				{Rate: rate / 2, Duration: 100 * time.Millisecond},
+			}
+			cfg.MaxInFlight = 1024
+		}},
+		{"batch-mix", func(cfg *serve.LoadConfig, n int) {
+			cfg.RequestsPerClient = n / cfg.Clients
+			cfg.BatchSize = 8
+			cfg.BatchFrac = 0.3
+		}},
+	}
+}
+
+func chaosScheds() []chaosSched {
+	return []chaosSched{
+		{"latency-jitter", serve.ChaosConfig{
+			Latency: 200 * time.Microsecond,
+			Jitter:  300 * time.Microsecond,
+		}},
+		{"drop-corrupt", serve.ChaosConfig{
+			Latency:     50 * time.Microsecond,
+			DropFrac:    0.05,
+			CorruptFrac: 0.05,
+		}},
+		{"sever", serve.ChaosConfig{
+			Latency:   50 * time.Microsecond,
+			SeverFrac: 0.04,
+		}},
+		{"slow-reader", serve.ChaosConfig{
+			ReadChunk: 256,
+			ReadDelay: 100 * time.Microsecond,
+		}},
+	}
+}
+
+// grid runs every shape × schedule cell on a single-node server.
+func (x *chaosScan) grid() error {
+	for _, shape := range chaosShapes() {
+		for _, sched := range chaosScheds() {
+			if err := x.cell(shape, sched); err != nil {
+				return err
+			}
+			if x.f.full() {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// cell boots a fresh server behind a chaotic link, drives one shaped
+// load through it, and asserts the fixed contract: conservation on
+// both ledgers, no lying answers, no leaked goroutines.
+func (x *chaosScan) cell(shape chaosShape, sched chaosSched) error {
+	name := shape.name + "/" + sched.name
+	before := runtime.NumGoroutine()
+
+	mem := serve.NewMemTransport()
+	ln, err := mem.Listen("srv")
+	if err != nil {
+		return fmt.Errorf("check: chaos %s: %w", name, err)
+	}
+	srv := serve.NewServer(serve.Config{
+		Shards: 4, QueueDepth: 512, CacheSize: 512,
+		DefaultDeadline: 500 * time.Millisecond,
+		WriteTimeout:    500 * time.Millisecond,
+		Registry:        obs.NewRegistry(),
+	})
+	go srv.Serve(ln)
+	ccfg := sched.cfg
+	ccfg.Seed = x.cellSeed(name)
+	ct := serve.NewChaosTransport(mem, ccfg)
+	ct.SetEnabled(true)
+
+	v := newRespValidator()
+	cfg := serve.LoadConfig{
+		D: 2, K: 8,
+		Clients:        4,
+		HotSet:         64,
+		Seed:           x.cellSeed("load/" + name),
+		Transport:      ct,
+		Addr:           "srv",
+		RequestTimeout: 400 * time.Millisecond,
+		Observer:       v.observe,
+	}
+	shape.apply(&cfg, x.opt.Requests)
+	res, err := serve.RunLoad(srv, cfg)
+	if err != nil {
+		srv.Close()
+		ln.Close()
+		return fmt.Errorf("check: chaos %s: %w", name, err)
+	}
+
+	x.assert(res.Conserved(), "%s: client ledger broken: %+v", name, res)
+	x.assert(res.Completed > 0, "%s: nothing completed through the chaotic link", name)
+	counts, settled := pollServeConserved(srv, 15*time.Second)
+	x.assert(settled, "%s: server ledger never balanced after drain: %+v", name, counts)
+	x.assert(v.cachedDegraded == 0, "%s: %d cached answers served degraded (first: %s)",
+		name, v.cachedDegraded, v.firstCached)
+	x.assert(v.wrong == 0, "%s: %d answers disagree with the clean engine (first: %s)",
+		name, v.wrong, v.firstWrong)
+	x.assert(v.invalid == 0, "%s: %d malformed responses (first: %s)",
+		name, v.invalid, v.firstInvalid)
+
+	srv.Close()
+	ln.Close()
+	x.assert(goroutinesSettle(before, 15*time.Second),
+		"%s: goroutines leaked: %d running, baseline %d", name, runtime.NumGoroutine(), before)
+	return nil
+}
+
+// pollServeConserved waits for the server's outcome ledger to balance:
+// after RunLoad returns, tasks admitted from dying connections may
+// still be draining toward their shed-canceled outcome.
+func pollServeConserved(srv *serve.Server, timeout time.Duration) (serve.Counts, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		c := srv.Counts()
+		if c.Conserved() {
+			return c, true
+		}
+		if time.Now().After(deadline) {
+			return c, false
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// goroutinesSettle reports whether the goroutine count returns to the
+// baseline (plus scheduler slack) before the timeout.
+func goroutinesSettle(baseline int, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= baseline+3 {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// respValidator checks every client-observed response against a clean
+// engine. Violations are counted, not asserted per response, so each
+// cell contributes a fixed number of assertions regardless of load
+// variance — that is what keeps the verdict byte-identical for a
+// fixed seed.
+type respValidator struct {
+	mu     sync.Mutex
+	engine *serve.Engine
+
+	cachedDegraded int
+	wrong          int
+	invalid        int
+	firstCached    string
+	firstWrong     string
+	firstInvalid   string
+}
+
+func newRespValidator() *respValidator {
+	return &respValidator{engine: serve.NewEngine(nil)}
+}
+
+// observe is the LoadConfig.Observer hook: called once per completed
+// request, from many client goroutines.
+func (v *respValidator) observe(req serve.Request, resp serve.Response) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if req.Kind == "batch" {
+		if resp.Status != serve.StatusOK {
+			v.scalar(req, resp) // shed/error envelopes validate as scalars
+			return
+		}
+		if len(resp.Batch) != len(req.Batch) {
+			v.invalidf("batch of %d answered with %d sub-responses", len(req.Batch), len(resp.Batch))
+			return
+		}
+		for i, sub := range req.Batch {
+			v.scalar(sub, resp.Batch[i])
+		}
+		return
+	}
+	v.scalar(req, resp)
+}
+
+func (v *respValidator) scalar(req serve.Request, resp serve.Response) {
+	switch resp.Status {
+	case serve.StatusShed:
+		if resp.ShedReason == "" {
+			v.invalidf("shed response without a reason (%s %s→%s)", req.Kind, req.Src, req.Dst)
+		}
+		return
+	case serve.StatusError:
+		if resp.Error == "" {
+			v.invalidf("error response without a message (%s %s→%s)", req.Kind, req.Src, req.Dst)
+		}
+		return
+	case serve.StatusOK:
+	default:
+		v.invalidf("unknown status %q (%s %s→%s)", resp.Status, req.Kind, req.Src, req.Dst)
+		return
+	}
+	if resp.Cached && resp.Degrade != "" {
+		v.cachedDegraded++
+		if v.firstCached == "" {
+			v.firstCached = fmt.Sprintf("%s %s→%s cached at degrade %q", req.Kind, req.Src, req.Dst, resp.Degrade)
+		}
+	}
+	q, err := serve.ParseQuery(req)
+	if err != nil {
+		v.invalidf("ok response to an unparseable request (%s %s→%s): %v", req.Kind, req.Src, req.Dst, err)
+		return
+	}
+	a, _, err := v.engine.Answer(q, serve.LevelFull)
+	if err != nil {
+		v.invalidf("ok response where the clean engine errors (%s %s→%s): %v", req.Kind, req.Src, req.Dst, err)
+		return
+	}
+	switch resp.Degrade {
+	case "", "distance":
+		if resp.Distance != a.Distance {
+			v.wrongf("%s %s→%s: distance %d, clean engine %d", req.Kind, req.Src, req.Dst, resp.Distance, a.Distance)
+		}
+	case "bounds":
+		if resp.Bounds == nil || resp.Bounds.Lo > a.Distance || a.Distance > resp.Bounds.Hi {
+			v.wrongf("%s %s→%s: bounds %+v exclude true distance %d", req.Kind, req.Src, req.Dst, resp.Bounds, a.Distance)
+		}
+	default:
+		v.invalidf("unknown degrade rung %q (%s %s→%s)", resp.Degrade, req.Kind, req.Src, req.Dst)
+	}
+}
+
+func (v *respValidator) invalidf(format string, args ...any) {
+	v.invalid++
+	if v.firstInvalid == "" {
+		v.firstInvalid = fmt.Sprintf(format, args...)
+	}
+}
+
+func (v *respValidator) wrongf(format string, args ...any) {
+	v.wrong++
+	if v.firstWrong == "" {
+		v.firstWrong = fmt.Sprintf(format, args...)
+	}
+}
+
+// fabric drives a live cluster whose every link — peer fabric and
+// client connections alike — runs through the chaos decorator, and
+// checks the relaxed identities: outcome conservation stays exact per
+// node once drained, while the hop identity holds in ≤-form (a lost
+// forward response makes the origin fall back, so a peer can admit a
+// forward whose origin never labels the outcome forwarded).
+func (x *chaosScan) fabric() error {
+	before := runtime.NumGoroutine()
+	h, err := cluster.NewHarness(cluster.HarnessConfig{
+		Nodes:         4,
+		Seed:          x.cellSeed("fabric"),
+		IDLen:         10,
+		Replication:   1,
+		PeerIOTimeout: 300 * time.Millisecond,
+		Chaos: &serve.ChaosConfig{
+			Seed:      x.cellSeed("fabric/chaos"),
+			Latency:   100 * time.Microsecond,
+			Jitter:    100 * time.Microsecond,
+			SeverFrac: 0.02,
+		},
+		Serve: serve.Config{
+			Shards: 4, QueueDepth: 512, CacheSize: 512,
+			DefaultDeadline: 2 * time.Second,
+			WriteTimeout:    500 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("check: chaos fabric: %w", err)
+	}
+	h.Chaos.SetEnabled(true)
+
+	// Drivers redial on failure: a severed client connection is part of
+	// the schedule, not a finding. What must hold is the ledger.
+	reqs := chaosQueries(x.cellSeed("fabric/load"), x.opt.Requests)
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		resolved int
+		derr     error
+	)
+	const drivers = 2
+	per := len(reqs) / drivers
+	for d := 0; d < drivers; d++ {
+		wg.Add(1)
+		go func(d int) {
+			defer wg.Done()
+			c, err := h.Client(d)
+			if err != nil {
+				mu.Lock()
+				derr = err
+				mu.Unlock()
+				return
+			}
+			defer func() { c.Close() }()
+			for _, req := range reqs[d*per : (d+1)*per] {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				_, err := c.Do(ctx, req)
+				cancel()
+				if err != nil {
+					// The link died under us; redial and move on.
+					c.Close()
+					if c, err = h.Client(d); err != nil {
+						mu.Lock()
+						derr = err
+						mu.Unlock()
+						return
+					}
+					continue
+				}
+				mu.Lock()
+				resolved++
+				mu.Unlock()
+			}
+		}(d)
+	}
+	wg.Wait()
+	if derr != nil {
+		h.Close()
+		return fmt.Errorf("check: chaos fabric: %w", derr)
+	}
+
+	x.assert(resolved > 0, "fabric: no request survived the chaotic links")
+	agg, settled := x.pollClusterConserved(h, nil, 15*time.Second)
+	x.assert(settled, "fabric: cluster ledger never balanced after drain: %+v", agg)
+	x.assert(perNodeConserved(agg), "fabric: a node's ledger is broken: %+v", agg.PerNode)
+	x.assert(agg.Forwarded <= agg.ForwardedIn,
+		"fabric: more forwarded outcomes (%d) than admitted forwards (%d)", agg.Forwarded, agg.ForwardedIn)
+	h.Close()
+	x.assert(goroutinesSettle(before, 15*time.Second),
+		"fabric: goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), before)
+	return nil
+}
+
+// storm runs the churn-storm cell: a correlated kill burst plus joins
+// under live load, on clean links, with driver-facing nodes protected.
+func (x *chaosScan) storm() error {
+	before := runtime.NumGoroutine()
+	h, err := cluster.NewHarness(cluster.HarnessConfig{
+		Nodes:         6,
+		Seed:          x.cellSeed("storm"),
+		IDLen:         10,
+		Replication:   2,
+		PeerIOTimeout: 500 * time.Millisecond,
+		Serve: serve.Config{
+			Shards: 4, QueueDepth: 512, CacheSize: 512,
+			DefaultDeadline: 2 * time.Second,
+			WriteTimeout:    500 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("check: chaos storm: %w", err)
+	}
+
+	reqs := chaosQueries(x.cellSeed("storm/load"), x.opt.Requests)
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		resolved  int
+		derrs     int
+		firstDerr string
+		stormOnce sync.Once
+		killed    []serve.Counts
+		serr      error
+	)
+	const drivers = 2
+	per := len(reqs) / drivers
+	for d := 0; d < drivers; d++ {
+		c, err := h.Client(d)
+		if err != nil {
+			h.Close()
+			return fmt.Errorf("check: chaos storm: %w", err)
+		}
+		wg.Add(1)
+		go func(d int, c *serve.Client) {
+			defer wg.Done()
+			defer c.Close()
+			for i, req := range reqs[d*per : (d+1)*per] {
+				if d == 0 && i == per/3 {
+					stormOnce.Do(func() {
+						killed, serr = h.Storm(2, 2, drivers)
+					})
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				_, err := c.Do(ctx, req)
+				cancel()
+				mu.Lock()
+				if err != nil {
+					derrs++
+					if firstDerr == "" {
+						firstDerr = err.Error()
+					}
+				} else {
+					resolved++
+				}
+				mu.Unlock()
+			}
+		}(d, c)
+	}
+	wg.Wait()
+	if serr != nil {
+		h.Close()
+		return fmt.Errorf("check: chaos storm: %w", serr)
+	}
+
+	// The drivers attach to protected nodes, so the storm must not cost
+	// them a single request: forwards to dead peers fall back locally.
+	x.assert(derrs == 0, "storm: %d driver requests failed on protected nodes (first: %s)", derrs, firstDerr)
+	x.assert(resolved+derrs == len(reqs)/drivers*drivers,
+		"storm: %d outcomes for %d requests", resolved+derrs, len(reqs)/drivers*drivers)
+	killedOK := true
+	for _, kc := range killed {
+		killedOK = killedOK && kc.Conserved()
+	}
+	x.assert(killedOK, "storm: a victim's final ledger is broken: %+v", killed)
+	agg, settled := x.pollClusterConserved(h, killed, 15*time.Second)
+	x.assert(settled, "storm: cluster ledger never balanced after drain: %+v", agg)
+	x.assert(perNodeConserved(agg), "storm: a node's ledger is broken: %+v", agg.PerNode)
+	x.assert(agg.Forwarded <= agg.ForwardedIn,
+		"storm: more forwarded outcomes (%d) than admitted forwards (%d)", agg.Forwarded, agg.ForwardedIn)
+	x.assert(h.WaitConverged(30*time.Second) == nil, "storm: membership never re-converged")
+	h.Close()
+	x.assert(goroutinesSettle(before, 15*time.Second),
+		"storm: goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), before)
+	return nil
+}
+
+// pollClusterConserved waits for the cluster-wide outcome ledger —
+// live nodes plus retained victim counts — to balance exactly.
+func (x *chaosScan) pollClusterConserved(h *cluster.Harness, extra []serve.Counts, timeout time.Duration) (cluster.ClusterCounts, bool) {
+	deadline := time.Now().Add(timeout)
+	for {
+		agg := h.Counts(extra...)
+		if agg.Conserved() && perNodeConserved(agg) {
+			return agg, true
+		}
+		if time.Now().After(deadline) {
+			return agg, false
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+func perNodeConserved(agg cluster.ClusterCounts) bool {
+	for _, pn := range agg.PerNode {
+		if !pn.Conserved() {
+			return false
+		}
+	}
+	return true
+}
+
+// chaosQueries yields a seeded stream of scalar requests over DG(2,8).
+func chaosQueries(seed int64, n int) []serve.Request {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]serve.Request, n)
+	for i := range out {
+		src := word.Random(2, 8, rng)
+		dst := word.Random(2, 8, rng)
+		mode := serve.Undirected
+		if rng.Intn(2) == 1 {
+			mode = serve.Directed
+		}
+		switch i % 3 {
+		case 0:
+			out[i] = serve.DistanceRequest(src, dst, mode)
+		case 1:
+			out[i] = serve.RouteRequest(src, dst, mode)
+		default:
+			out[i] = serve.NextHopRequest(src, dst, mode)
+		}
+	}
+	return out
+}

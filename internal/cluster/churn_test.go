@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sync"
 	"testing"
@@ -42,9 +43,9 @@ func TestClusterChurnConservation(t *testing.T) {
 	}
 
 	const (
-		drivers       = 4
-		perDriver     = 300
-		churnAt       = 100 // requests per driver before the churn events
+		drivers   = 4
+		perDriver = 300
+		churnAt   = 100 // requests per driver before the churn events
 	)
 	var mu sync.Mutex
 	outcomes := map[string]int{}
@@ -204,7 +205,7 @@ func TestPlacementStability(t *testing.T) {
 func TestJoinCollisionRejected(t *testing.T) {
 	h := testHarness(t, HarnessConfig{Nodes: 1, Seed: 17, IDLen: 8})
 	n0 := h.Node(0)
-	scfg := serve.Config{Shards: 1, QueueDepth: 16}
+	scfg := serve.Config{Shards: 2, QueueDepth: 16}
 	_, err := New(Config{
 		ID:         n0.ID().String(),
 		IDBase:     DefaultIDBase,
@@ -217,5 +218,8 @@ func TestJoinCollisionRejected(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("join with a taken explicit identifier succeeded")
+	}
+	if errors.Is(err, ErrSingleShard) {
+		t.Fatalf("wrong rejection: %v", err)
 	}
 }

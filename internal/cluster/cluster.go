@@ -34,6 +34,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/serve"
@@ -86,7 +87,28 @@ type Config struct {
 	Serve serve.Config
 	// JoinTimeout bounds each join attempt (default 5s).
 	JoinTimeout time.Duration
+	// PeerIOTimeout bounds every control-plane frame read/write in
+	// handlePeer and every data-plane forward frame write (via the
+	// pooled peer clients' write timeout). Without it, a peer that
+	// stalls or goes half-open mid-frame parks a goroutine — or a
+	// worker shard — forever. Default 10s; negative disables (tests
+	// only).
+	PeerIOTimeout time.Duration
+	// GossipInterval paces the anti-entropy loop: each tick the node
+	// pushes its membership view to one peer (round-robin) and
+	// installs the newer view the reply carries. Event-time
+	// broadcasts are best-effort — a push lost to a dying peer or a
+	// mid-join race would otherwise leave views divergent forever.
+	// Default 100ms; negative disables (tests only).
+	GossipInterval time.Duration
 }
+
+// ErrSingleShard rejects a cluster node configured with exactly one
+// worker shard: a forward parks the shard for a full round trip, so a
+// single-shard node deadlocks against itself the moment a forwarded
+// request and the request it forwards contend for the only worker
+// (the E23 finding). See DESIGN §11.
+var ErrSingleShard = errors.New("cluster: Serve.Shards == 1 cannot forward safely; use ≥ 2 shards")
 
 // withDefaults validates and fills cfg.
 func (cfg Config) withDefaults() (Config, error) {
@@ -98,6 +120,18 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.Serve.Forwarder != nil {
 		return cfg, errors.New("cluster: Serve.Forwarder is owned by the cluster")
+	}
+	if cfg.Serve.Shards == 1 {
+		return cfg, ErrSingleShard
+	}
+	if cfg.Serve.Shards == 0 {
+		// The serve default (GOMAXPROCS) resolves to 1 on a single-CPU
+		// machine, which is exactly the self-deadlock ErrSingleShard
+		// guards against — pin the floor at 2 here.
+		cfg.Serve.Shards = runtime.GOMAXPROCS(0)
+		if cfg.Serve.Shards < 2 {
+			cfg.Serve.Shards = 2
+		}
 	}
 	if cfg.IDBase == 0 {
 		cfg.IDBase = DefaultIDBase
@@ -119,6 +153,18 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.JoinTimeout <= 0 {
 		cfg.JoinTimeout = 5 * time.Second
+	}
+	if cfg.PeerIOTimeout == 0 {
+		cfg.PeerIOTimeout = 10 * time.Second
+	}
+	if cfg.PeerIOTimeout < 0 {
+		cfg.PeerIOTimeout = 0
+	}
+	if cfg.GossipInterval == 0 {
+		cfg.GossipInterval = 100 * time.Millisecond
+	}
+	if cfg.GossipInterval < 0 {
+		cfg.GossipInterval = 0
 	}
 	return cfg, nil
 }

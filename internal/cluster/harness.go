@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -16,12 +17,18 @@ import (
 // a seeded generator, so a harness run is reproducible end to end.
 type Harness struct {
 	Transport *serve.MemTransport
-	cfg       HarnessConfig
-	rng       *rand.Rand
-	used      map[string]bool
-	nextAddr  int
-	nodes     []*Node         // Kill/Leave leave nil holes; index = node number
-	regs      []*obs.Registry // per-node registries, parallel to nodes
+	// Chaos is the fault-injecting decorator over Transport, present
+	// only when HarnessConfig.Chaos was set. It boots disabled — the
+	// cluster forms on clean links — and the test flips it on once
+	// converged. When present, every node and every Client dial runs
+	// through it.
+	Chaos    *serve.ChaosTransport
+	cfg      HarnessConfig
+	rng      *rand.Rand
+	used     map[string]bool
+	nextAddr int
+	nodes    []*Node         // Kill/Leave leave nil holes; index = node number
+	regs     []*obs.Registry // per-node registries, parallel to nodes
 }
 
 // HarnessConfig shapes a harness cluster.
@@ -41,6 +48,16 @@ type HarnessConfig struct {
 	// nil: each node gets its own registry so per-node metrics stay
 	// separable.
 	Serve serve.Config
+	// PeerIOTimeout passes through to every node (0 keeps the cluster
+	// default; tests use short values so wedged-peer recovery is fast).
+	PeerIOTimeout time.Duration
+	// GossipInterval passes through to every node (0 keeps the
+	// cluster default; negative disables the anti-entropy loop).
+	GossipInterval time.Duration
+	// Chaos, when non-nil, wraps the fabric in a ChaosTransport with
+	// this config (initially disabled — enable via Harness.Chaos after
+	// the cluster converges).
+	Chaos *serve.ChaosConfig
 }
 
 // NewHarness boots an n-node converged cluster.
@@ -62,6 +79,9 @@ func NewHarness(cfg HarnessConfig) (*Harness, error) {
 		cfg:       cfg,
 		rng:       rand.New(rand.NewSource(cfg.Seed)),
 		used:      make(map[string]bool),
+	}
+	if cfg.Chaos != nil {
+		h.Chaos = serve.NewChaosTransport(h.Transport, *cfg.Chaos)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		if _, err := h.Join(); err != nil {
@@ -100,17 +120,19 @@ func (h *Harness) Join() (int, error) {
 	scfg := h.cfg.Serve
 	scfg.Registry = obs.NewRegistry()
 	node, err := New(Config{
-		ID:          h.freshID().String(),
-		IDBase:      h.cfg.IDBase,
-		IDLen:       h.cfg.IDLen,
-		ClientAddr:  fmt.Sprintf("client-%d", i),
-		PeerAddr:    fmt.Sprintf("peer-%d", i),
-		Transport:   h.Transport,
-		Replication: h.cfg.Replication,
-		MaxHops:     h.cfg.MaxHops,
-		Redirect:    h.cfg.Redirect,
-		Seeds:       seeds,
-		Serve:       scfg,
+		ID:             h.freshID().String(),
+		IDBase:         h.cfg.IDBase,
+		IDLen:          h.cfg.IDLen,
+		ClientAddr:     fmt.Sprintf("client-%d", i),
+		PeerAddr:       fmt.Sprintf("peer-%d", i),
+		Transport:      h.link(),
+		Replication:    h.cfg.Replication,
+		MaxHops:        h.cfg.MaxHops,
+		Redirect:       h.cfg.Redirect,
+		Seeds:          seeds,
+		Serve:          scfg,
+		PeerIOTimeout:  h.cfg.PeerIOTimeout,
+		GossipInterval: h.cfg.GossipInterval,
 	})
 	if err != nil {
 		return 0, err
@@ -138,13 +160,23 @@ func (h *Harness) Live() []*Node {
 	return out
 }
 
-// Client dials node i's query listener.
+// link is the transport everything dials through: the chaos decorator
+// when configured, the bare fabric otherwise.
+func (h *Harness) link() serve.Transport {
+	if h.Chaos != nil {
+		return h.Chaos
+	}
+	return h.Transport
+}
+
+// Client dials node i's query listener (through the chaos decorator
+// when configured).
 func (h *Harness) Client(i int) (*serve.Client, error) {
 	n := h.nodes[i]
 	if n == nil {
 		return nil, fmt.Errorf("cluster: node %d is down", i)
 	}
-	return serve.DialTransport(h.Transport, n.ClientAddr())
+	return serve.DialTransport(h.link(), n.ClientAddr())
 }
 
 // Kill crashes node i: listeners close, established connections
@@ -177,6 +209,60 @@ func (h *Harness) Leave(i int) (serve.Counts, error) {
 	return n.Counts(), nil
 }
 
+// Storm is a correlated churn burst: kills crash victims concurrently
+// (chosen by the harness rng from the live nodes, skipping indices
+// < protect so driver-facing nodes survive), then joins fresh nodes.
+// It returns the final conservation counts of every victim — the
+// caller folds them into Counts so the cluster-wide identity still
+// covers the dead. The burst is the point: every victim's connections
+// sever at once, mid-frame for any frame in flight, while the
+// survivors' forwards and gossip are still aimed at them.
+func (h *Harness) Storm(kills, joins, protect int) ([]serve.Counts, error) {
+	var victims []int
+	for i := protect; i < len(h.nodes); i++ {
+		if h.nodes[i] != nil {
+			victims = append(victims, i)
+		}
+	}
+	if kills > len(victims) {
+		return nil, fmt.Errorf("cluster: storm wants %d kills, only %d unprotected nodes", kills, len(victims))
+	}
+	h.rng.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
+	victims = victims[:kills]
+
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		killed []serve.Counts
+		kerr   error
+	)
+	for _, i := range victims {
+		n := h.nodes[i]
+		h.nodes[i] = nil
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			err := n.Close()
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil && kerr == nil {
+				kerr = err
+			}
+			killed = append(killed, n.Counts())
+		}(n)
+	}
+	wg.Wait()
+	if kerr != nil {
+		return killed, kerr
+	}
+	for j := 0; j < joins; j++ {
+		if _, err := h.Join(); err != nil {
+			return killed, err
+		}
+	}
+	return killed, nil
+}
+
 // WaitConverged blocks until the live nodes share one membership view.
 func (h *Harness) WaitConverged(timeout time.Duration) error {
 	live := h.Live()
@@ -200,7 +286,7 @@ func (h *Harness) Close() {
 // PerNode holds every node that ever served (killed ones included —
 // their final counts still participate in the identity).
 type ClusterCounts struct {
-	PerNode []serve.Counts
+	PerNode                                                []serve.Counts
 	Sent, Answered, Degraded, Shed, Forwarded, ForwardedIn int64
 }
 

@@ -43,7 +43,9 @@ type Node struct {
 	hopSum   atomic.Int64
 	hopCount atomic.Int64
 
-	bg sync.WaitGroup // broadcast goroutines
+	bg   sync.WaitGroup // broadcast goroutines
+	gw   sync.WaitGroup // the anti-entropy gossip loop
+	stop chan struct{}  // closed by Close; parks the gossip loop
 }
 
 // New boots a node: listeners up, server answering, membership either
@@ -60,6 +62,7 @@ func New(cfg Config) (*Node, error) {
 		cfg:     cfg,
 		m:       newClusterMetrics(cfg.Serve.Registry),
 		clients: make(map[string]*serve.Client),
+		stop:    make(chan struct{}),
 	}
 	size, _ := word.Count(cfg.IDBase, cfg.IDLen)
 	n.space = uint64(size)
@@ -102,6 +105,10 @@ func New(cfg Config) (*Node, error) {
 	}
 	go n.srv.Serve(n.clientLn)
 	go n.servePeers()
+	if cfg.GossipInterval > 0 {
+		n.gw.Add(1)
+		go n.gossipLoop()
+	}
 	return n, nil
 }
 
@@ -162,12 +169,22 @@ func (n *Node) applyMembershipLocked(mem Membership) error {
 	if !mem.Newer(n.mem) {
 		return nil
 	}
+	rejoin := false
 	if _, ok := mem.find(n.idStr); !ok {
-		// A view that evicts this node (a peer judged it dead). Keep
-		// serving — re-adding ourselves would fight the evictor; the
-		// operator or a future join heals it. Self stays in the local
-		// copy so the ring (and placement) keeps working here.
+		// A view that evicts this node: a peer judged it dead after a
+		// failed forward, but this node is demonstrably alive. Rejoin
+		// by installing the peers' view with ourselves re-added under
+		// a bumped version, and gossip it back. Retaining self without
+		// the bump would leave this view permanently divergent — same
+		// version and origin as the peers', different member set — a
+		// state no push-pull exchange can repair. A transiently flaky
+		// node may flap (evict, rejoin, evict…), but every round is a
+		// strictly newer view, so gossip converges as soon as the
+		// forwards stop failing.
+		mem.Version++
+		mem.Origin = n.idStr
 		mem.Members = mem.withMember(Member{ID: n.idStr, ClientAddr: n.cfg.ClientAddr, PeerAddr: n.cfg.PeerAddr})
+		rejoin = true
 	}
 	ids := make([]word.Word, 0, len(mem.Members))
 	for _, m := range mem.Members {
@@ -190,6 +207,9 @@ func (n *Node) applyMembershipLocked(mem Membership) error {
 	n.self = self
 	n.m.members.Set(float64(len(mem.Members)))
 	n.m.version.Set(float64(mem.Version))
+	if rejoin {
+		n.broadcastLocked()
+	}
 	return nil
 }
 
@@ -206,7 +226,9 @@ func (n *Node) bumpLocked(members []Member) error {
 
 // broadcastLocked pushes the current view to every other member,
 // asynchronously (failures are ignored here; the forwarding path
-// detects dead peers). Caller holds n.mu.
+// detects dead peers and the anti-entropy loop repairs lost pushes).
+// The exchange is push-pull: a peer holding a newer view returns it,
+// and the returned view is installed here. Caller holds n.mu.
 func (n *Node) broadcastLocked() {
 	view := n.mem
 	for _, m := range view.Members {
@@ -217,9 +239,63 @@ func (n *Node) broadcastLocked() {
 		n.bg.Add(1)
 		go func() {
 			defer n.bg.Done()
-			env := envelope{Type: envMembership, From: n.idStr, Mem: &view}
-			_, _ = n.peerRPC(addr, env)
+			n.pushView(addr, view)
 		}()
+	}
+}
+
+// pushView sends one membership view to a peer and installs whatever
+// (possibly newer) view the peer replies with. Errors are ignored:
+// the push is repaired by the next anti-entropy tick.
+func (n *Node) pushView(addr string, view Membership) {
+	env := envelope{Type: envMembership, From: n.idStr, Mem: &view}
+	reply, err := n.peerRPC(addr, env)
+	if err != nil || reply.Mem == nil {
+		return
+	}
+	n.mu.Lock()
+	if !n.closed {
+		_ = n.applyMembershipLocked(*reply.Mem)
+	}
+	n.mu.Unlock()
+}
+
+// gossipLoop is the anti-entropy pump: every GossipInterval it
+// push-pulls the local view with one peer, rotating round-robin
+// through the membership. Event-time broadcasts are best-effort — a
+// push that races a crash, a join, or a competing same-version bump
+// can be lost, and with purely event-driven gossip the cluster would
+// then sit divergent until the next membership event. The loop bounds
+// that divergence to a few intervals.
+func (n *Node) gossipLoop() {
+	defer n.gw.Done()
+	t := time.NewTicker(n.cfg.GossipInterval)
+	defer t.Stop()
+	next := 0
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			return
+		}
+		view := n.mem
+		var peers []string
+		for _, m := range view.Members {
+			if m.ID != n.idStr {
+				peers = append(peers, m.PeerAddr)
+			}
+		}
+		n.mu.Unlock()
+		if len(peers) == 0 {
+			continue
+		}
+		n.pushView(peers[next%len(peers)], view)
+		next++
 	}
 }
 
@@ -309,6 +385,10 @@ func (n *Node) peerClient(addr string) (*serve.Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Forward round trips ride this pooled client from worker shards;
+	// a peer that dies mid-frame (or stops reading) must fail the
+	// write, not park the shard until TCP keepalive.
+	c.SetWriteTimeout(n.cfg.PeerIOTimeout)
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -373,6 +453,7 @@ func (n *Node) Close() error {
 		return ErrNodeClosed
 	}
 	n.closed = true
+	close(n.stop)
 	clients := n.clients
 	n.clients = nil
 	n.mu.Unlock()
@@ -384,6 +465,7 @@ func (n *Node) Close() error {
 		c.Close()
 	}
 	n.bg.Wait()
+	n.gw.Wait()
 	return err
 }
 

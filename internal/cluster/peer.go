@@ -19,6 +19,7 @@ const (
 	envMembership = "membership" // Membership push → ack with local view
 	envStatus     = "status"     // → Status
 	envPing       = "ping"       // → ping
+	envError      = "error"      // reply to a frame that didn't decode
 )
 
 // envelope is one control frame.
@@ -51,18 +52,38 @@ func (n *Node) servePeers() {
 	}
 }
 
-// handlePeer answers envelope RPCs on one connection until EOF.
+// handlePeer answers envelope RPCs on one connection until EOF. Every
+// frame read and write carries a deadline: a peer that stalls mid-frame
+// — or a half-open connection that will never deliver another byte —
+// must not park this goroutine forever, it must surface as an I/O
+// error that closes the connection. (The serve data plane has the same
+// property via Config.WriteTimeout and the forwarder's client write
+// timeout; without deadlines, one wedged peer is a permanent goroutine
+// leak per connection.)
 func (n *Node) handlePeer(conn net.Conn) {
 	defer conn.Close()
+	timeout := n.cfg.PeerIOTimeout
 	for {
+		if timeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(timeout))
+		}
 		body, err := serve.ReadFrame(conn, maxEnvelope)
 		if err != nil {
 			return
 		}
 		var env envelope
 		if err := json.Unmarshal(body, &env); err != nil {
-			_ = serve.WriteFrame(conn, envelope{Type: env.Type, Err: err.Error()})
+			// Reply with the dedicated error type: env.Type came from
+			// the frame that failed to decode, so echoing it would
+			// always send "".
+			if timeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(timeout))
+			}
+			_ = serve.WriteFrame(conn, envelope{Type: envError, Err: err.Error()})
 			return
+		}
+		if timeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(timeout))
 		}
 		if err := serve.WriteFrame(conn, n.handleEnvelope(env)); err != nil {
 			return

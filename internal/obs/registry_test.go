@@ -313,4 +313,3 @@ func TestHistogramExemplars(t *testing.T) {
 	var nh *Histogram
 	nh.ObserveExemplar(1, 0x1)
 }
-

@@ -1,0 +1,286 @@
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosConfig shapes a ChaosTransport. Every probability applies per
+// frame, decided by a per-connection rng seeded from (Seed, connection
+// sequence number): the fault schedule of connection n is a pure
+// function of the config, independent of wall clock and scheduling.
+type ChaosConfig struct {
+	// Seed keys every fault decision. Two transports with the same
+	// config inject the same fault sequence on the same connection
+	// ordinal.
+	Seed int64
+	// Latency delays each delivered frame; Jitter adds a uniform
+	// [0, Jitter) extra drawn from the connection's rng.
+	Latency time.Duration
+	Jitter  time.Duration
+	// DropFrac silently discards that fraction of frames — the writer
+	// sees success, the reader sees nothing. Models packet loss above
+	// the framing layer.
+	DropFrac float64
+	// CorruptFrac delivers that fraction of frames with the first body
+	// byte inverted. The length prefix is kept intact so the stream
+	// stays framed; the payload no longer parses, which is how real
+	// checksummed corruption surfaces to this protocol (a bad_request
+	// shed on the server, a dead connection on the client).
+	CorruptFrac float64
+	// SeverFrac kills the connection mid-frame for that fraction of
+	// frames: the header and roughly half the body are delivered, then
+	// the connection closes. The reader sees a torn frame (ErrBadFrame
+	// or an unexpected EOF); the writer gets ErrChaosSevered.
+	SeverFrac float64
+	// ReadChunk caps each Read to that many bytes and ReadDelay sleeps
+	// before each one — together they model a slow-reader peer without
+	// touching the writer side.
+	ReadChunk int
+	ReadDelay time.Duration
+}
+
+// ChaosStats counts injected faults across all connections.
+type ChaosStats struct {
+	Frames    int64 // frames that traversed a chaotic connection
+	Dropped   int64
+	Corrupted int64
+	Severed   int64
+}
+
+// ErrChaosSevered is returned by writes on a connection the chaos
+// schedule severed mid-frame.
+var ErrChaosSevered = errors.New("serve: chaos transport severed connection")
+
+// ChaosTransport decorates any Transport — TCP, MemTransport, a
+// loopback — with deterministic fault injection on the framed byte
+// stream. Both directions are chaotic: dialed connections and accepted
+// connections each get an independent fault schedule, so request and
+// response frames are dropped, corrupted, delayed, and severed alike.
+//
+// The decorator is frame-aware: it reassembles the length-prefixed
+// frames of the wire protocol inside Write and applies one fate per
+// frame, so a "drop" removes an entire request or response (the
+// interesting failure) instead of desynchronizing the stream (which
+// would just kill the connection on the next frame).
+//
+// Chaos starts disabled; connections made while disabled pass through
+// untouched forever (SetEnabled affects future Dials/Accepts only).
+// That lets a harness boot a cluster on a clean fabric and switch the
+// weather on once membership has converged.
+type ChaosTransport struct {
+	inner   Transport
+	cfg     ChaosConfig
+	enabled atomic.Bool
+	connSeq atomic.Int64
+
+	frames    atomic.Int64
+	dropped   atomic.Int64
+	corrupted atomic.Int64
+	severed   atomic.Int64
+}
+
+// NewChaosTransport wraps inner with the configured fault injection,
+// initially disabled.
+func NewChaosTransport(inner Transport, cfg ChaosConfig) *ChaosTransport {
+	return &ChaosTransport{inner: inner, cfg: cfg}
+}
+
+// SetEnabled switches fault injection for future connections; existing
+// connections keep the mode they were created with.
+func (t *ChaosTransport) SetEnabled(on bool) { t.enabled.Store(on) }
+
+// Enabled reports whether new connections get fault injection.
+func (t *ChaosTransport) Enabled() bool { return t.enabled.Load() }
+
+// Stats returns the injected-fault counters.
+func (t *ChaosTransport) Stats() ChaosStats {
+	return ChaosStats{
+		Frames:    t.frames.Load(),
+		Dropped:   t.dropped.Load(),
+		Corrupted: t.corrupted.Load(),
+		Severed:   t.severed.Load(),
+	}
+}
+
+// Listen opens a listener whose accepted connections are chaotic (when
+// enabled at accept time).
+func (t *ChaosTransport) Listen(addr string) (net.Listener, error) {
+	l, err := t.inner.Listen(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosListener{Listener: l, t: t}, nil
+}
+
+// Dial connects through the inner transport; the returned connection
+// is chaotic when injection is enabled at dial time.
+func (t *ChaosTransport) Dial(addr string) (net.Conn, error) {
+	conn, err := t.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return t.wrap(conn), nil
+}
+
+// wrap decorates one connection with its own deterministic fault
+// schedule, or returns it untouched while injection is disabled.
+func (t *ChaosTransport) wrap(conn net.Conn) net.Conn {
+	if !t.enabled.Load() {
+		return conn
+	}
+	seq := t.connSeq.Add(1)
+	return &chaosConn{
+		Conn: conn,
+		t:    t,
+		rng:  rand.New(rand.NewSource(t.cfg.Seed ^ seq*0x5851F42D4C957F2D)),
+	}
+}
+
+type chaosListener struct {
+	net.Listener
+	t *ChaosTransport
+}
+
+func (l *chaosListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.t.wrap(conn), nil
+}
+
+// frame fates, drawn per reassembled frame.
+type chaosFate uint8
+
+const (
+	fateDeliver chaosFate = iota
+	fateDrop
+	fateCorrupt
+	fateSever
+)
+
+// chaosConn applies one fate per outgoing frame. Reads are untouched
+// except for the slow-reader throttle; all fault injection happens on
+// the write side of each half, which covers both directions of a
+// connection because both halves are wrapped.
+type chaosConn struct {
+	net.Conn
+	t *ChaosTransport
+
+	mu      sync.Mutex // serializes reassembly, rng draws, inner writes
+	rng     *rand.Rand
+	buf     []byte // partial frame accumulated across Write calls
+	severed bool
+
+	rmu sync.Mutex // serializes throttled reads
+}
+
+// maxChaosFrame bounds a plausible length prefix; a larger value means
+// the stream is not speaking this protocol, and the connection falls
+// back to raw passthrough.
+const maxChaosFrame = 1 << 24
+
+func (c *chaosConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.severed {
+		return 0, ErrChaosSevered
+	}
+	c.buf = append(c.buf, p...)
+	for len(c.buf) >= frameHeaderLen {
+		n := int(binary.BigEndian.Uint32(c.buf))
+		if n > maxChaosFrame {
+			// Not our framing: flush everything raw and stop
+			// reassembling this call's bytes.
+			if _, err := c.Conn.Write(c.buf); err != nil {
+				return 0, err
+			}
+			c.buf = c.buf[:0]
+			break
+		}
+		total := frameHeaderLen + n
+		if len(c.buf) < total {
+			break
+		}
+		frame := c.buf[:total]
+		if err := c.deliver(frame); err != nil {
+			c.buf = c.buf[:0]
+			return 0, err
+		}
+		c.buf = append(c.buf[:0], c.buf[total:]...)
+	}
+	return len(p), nil
+}
+
+// deliver applies one drawn fate to a complete frame. Called with mu
+// held.
+func (c *chaosConn) deliver(frame []byte) error {
+	cfg := &c.t.cfg
+	c.t.frames.Add(1)
+	d := cfg.Latency
+	if cfg.Jitter > 0 {
+		d += time.Duration(c.rng.Int63n(int64(cfg.Jitter)))
+	}
+	fate := fateDeliver
+	switch p := c.rng.Float64(); {
+	case p < cfg.DropFrac:
+		fate = fateDrop
+	case p < cfg.DropFrac+cfg.CorruptFrac:
+		fate = fateCorrupt
+	case p < cfg.DropFrac+cfg.CorruptFrac+cfg.SeverFrac:
+		fate = fateSever
+	}
+	if d > 0 && fate != fateDrop {
+		time.Sleep(d)
+	}
+	switch fate {
+	case fateDrop:
+		c.t.dropped.Add(1)
+		return nil
+	case fateCorrupt:
+		if len(frame) > frameHeaderLen {
+			c.t.corrupted.Add(1)
+			// Invert the first body byte: the frame stays framed but
+			// the payload no longer parses (JSON cannot start with
+			// '{'^0xFF), so corruption is always detected downstream.
+			corrupted := append([]byte(nil), frame...)
+			corrupted[frameHeaderLen] ^= 0xFF
+			_, err := c.Conn.Write(corrupted)
+			return err
+		}
+		_, err := c.Conn.Write(frame)
+		return err
+	case fateSever:
+		c.t.severed.Add(1)
+		cut := frameHeaderLen + (len(frame)-frameHeaderLen)/2
+		_, _ = c.Conn.Write(frame[:cut])
+		c.severed = true
+		c.Conn.Close()
+		return ErrChaosSevered
+	default:
+		_, err := c.Conn.Write(frame)
+		return err
+	}
+}
+
+func (c *chaosConn) Read(p []byte) (int, error) {
+	cfg := &c.t.cfg
+	if cfg.ReadChunk <= 0 && cfg.ReadDelay <= 0 {
+		return c.Conn.Read(p)
+	}
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	if cfg.ReadDelay > 0 {
+		time.Sleep(cfg.ReadDelay)
+	}
+	if cfg.ReadChunk > 0 && len(p) > cfg.ReadChunk {
+		p = p[:cfg.ReadChunk]
+	}
+	return c.Conn.Read(p)
+}

@@ -1,0 +1,408 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// chaosEvent is one reader-side observation: a delivered frame body or
+// a terminal read error.
+type chaosEvent struct {
+	body string
+	err  string
+}
+
+// runChaosFrames pushes n frames through a chaotic dialed connection
+// and returns what the reader on the far side observed.
+func runChaosFrames(t *testing.T, cfg ChaosConfig, n int) ([]chaosEvent, ChaosStats) {
+	t.Helper()
+	mem := NewMemTransport()
+	ln, err := mem.Listen("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ct := NewChaosTransport(mem, cfg)
+	ct.SetEnabled(true)
+
+	events := make(chan chaosEvent, n+1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			body, err := ReadFrame(conn, DefaultMaxFrame)
+			if err != nil {
+				if !errors.Is(err, io.EOF) {
+					events <- chaosEvent{err: fmt.Sprintf("%T", errors.Unwrap(err))}
+				}
+				return
+			}
+			events <- chaosEvent{body: string(body)}
+		}
+	}()
+
+	conn, err := ct.Dial("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := WriteFrame(conn, map[string]int{"seq": i}); err != nil {
+			break // severed: remaining frames unwritable by design
+		}
+	}
+	conn.Close()
+	<-done
+	close(events)
+	var out []chaosEvent
+	for ev := range events {
+		out = append(out, ev)
+	}
+	return out, ct.Stats()
+}
+
+// TestChaosDeterministicSchedule pins the tentpole's determinism
+// claim: the same seed injects the same fault sequence, observed as an
+// identical delivery transcript.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	cfg := ChaosConfig{Seed: 42, DropFrac: 0.3, CorruptFrac: 0.2}
+	a, astats := runChaosFrames(t, cfg, 64)
+	b, bstats := runChaosFrames(t, cfg, 64)
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed, different transcripts:\n%v\n%v", a, b)
+	}
+	if astats != bstats {
+		t.Fatalf("same seed, different stats: %+v vs %+v", astats, bstats)
+	}
+	if astats.Dropped == 0 || astats.Corrupted == 0 {
+		t.Fatalf("schedule injected nothing: %+v", astats)
+	}
+	c, _ := runChaosFrames(t, ChaosConfig{Seed: 43, DropFrac: 0.3, CorruptFrac: 0.2}, 64)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical transcripts")
+	}
+}
+
+// TestChaosDropIsSilent: a dropped frame vanishes without failing the
+// writer — the loss model the request-timeout path exists for.
+func TestChaosDropIsSilent(t *testing.T) {
+	events, stats := runChaosFrames(t, ChaosConfig{Seed: 1, DropFrac: 1}, 16)
+	if len(events) != 0 {
+		t.Fatalf("DropFrac 1 delivered %d events: %v", len(events), events)
+	}
+	if stats.Dropped != 16 || stats.Frames != 16 {
+		t.Fatalf("stats = %+v, want 16 dropped of 16", stats)
+	}
+}
+
+// TestChaosCorruptKeepsFraming: corrupted frames stay length-framed
+// (the stream survives) but the payload is detectably damaged.
+func TestChaosCorruptKeepsFraming(t *testing.T) {
+	events, stats := runChaosFrames(t, ChaosConfig{Seed: 1, CorruptFrac: 1}, 16)
+	if len(events) != 16 {
+		t.Fatalf("CorruptFrac 1 delivered %d of 16 frames: %v", len(events), events)
+	}
+	for i, ev := range events {
+		if ev.err != "" {
+			t.Fatalf("frame %d: read error %s (framing broken)", i, ev.err)
+		}
+		want := fmt.Sprintf(`{"seq":%d}`, i)
+		if ev.body == want {
+			t.Fatalf("frame %d survived uncorrupted", i)
+		}
+		if ev.body[0] == '{' {
+			t.Fatalf("frame %d corruption undetectable: %q", i, ev.body)
+		}
+	}
+	if stats.Corrupted != 16 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+// TestChaosSeverMidFrame: a severed connection delivers a torn frame
+// (header plus partial body) and fails the writer with
+// ErrChaosSevered.
+func TestChaosSeverMidFrame(t *testing.T) {
+	mem := NewMemTransport()
+	ln, err := mem.Listen("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ct := NewChaosTransport(mem, ChaosConfig{Seed: 7, SeverFrac: 1})
+	ct.SetEnabled(true)
+
+	readErr := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			readErr <- err
+			return
+		}
+		defer conn.Close()
+		_, err = ReadFrame(conn, DefaultMaxFrame)
+		readErr <- err
+	}()
+
+	conn, err := ct.Dial("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	werr := WriteFrame(conn, map[string]string{"payload": "soon to be torn"})
+	if !errors.Is(werr, ErrChaosSevered) {
+		t.Fatalf("writer error = %v, want ErrChaosSevered", werr)
+	}
+	if err := <-readErr; !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("reader error = %v, want ErrBadFrame (torn frame)", err)
+	}
+	if err := WriteFrame(conn, "more"); !errors.Is(err, ErrChaosSevered) {
+		t.Fatalf("write after sever = %v, want ErrChaosSevered", err)
+	}
+	if st := ct.Stats(); st.Severed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestChaosDisabledPassthrough: while disabled (the boot state) the
+// decorator is invisible — frames arrive byte-identical and no faults
+// are counted.
+func TestChaosDisabledPassthrough(t *testing.T) {
+	events, stats := runChaosFrames(t, ChaosConfig{Seed: 1}, 8)
+	// Zero-probability config but enabled: frames traverse the chaotic
+	// path and must arrive intact.
+	if len(events) != 8 {
+		t.Fatalf("delivered %d of 8", len(events))
+	}
+	for i, ev := range events {
+		if want := fmt.Sprintf(`{"seq":%d}`, i); ev.body != want {
+			t.Fatalf("frame %d = %q, want %q", i, ev.body, want)
+		}
+	}
+	if stats.Dropped+stats.Corrupted+stats.Severed != 0 {
+		t.Fatalf("benign config injected faults: %+v", stats)
+	}
+
+	mem := NewMemTransport()
+	ln, err := mem.Listen("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	ct := NewChaosTransport(mem, ChaosConfig{Seed: 1, DropFrac: 1})
+	// Not enabled: even DropFrac 1 must pass everything through.
+	got := make(chan []byte, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		body, _ := ReadFrame(conn, DefaultMaxFrame)
+		got <- body
+	}()
+	conn, err := ct.Dial("sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := WriteFrame(conn, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	if body := <-got; !bytes.Equal(body, []byte(`"hello"`)) {
+		t.Fatalf("disabled transport altered frame: %q", body)
+	}
+	if st := ct.Stats(); st.Frames != 0 {
+		t.Fatalf("disabled transport counted frames: %+v", st)
+	}
+}
+
+// TestClientWriteTimeoutUnsticksStalledPeer is the data-plane half of
+// the peer-I/O hang bugfix: a peer that accepts and then never reads
+// blocks WriteFrame on a pipe forever; with a write timeout the Do
+// fails promptly instead of parking its caller (a cluster worker
+// shard, in the forwarding path).
+func TestClientWriteTimeoutUnsticksStalledPeer(t *testing.T) {
+	mem := NewMemTransport()
+	ln, err := mem.Listen("stalled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan struct{})
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		close(accepted)
+		// Stall: hold the connection open, never read a byte.
+		<-time.After(10 * time.Second)
+		conn.Close()
+	}()
+
+	c, err := DialTransport(mem, "stalled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetWriteTimeout(150 * time.Millisecond)
+	<-accepted
+
+	start := time.Now()
+	_, err = c.Do(context.Background(), DistanceRequest(mustWord(t, 2, "0110"), mustWord(t, 2, "1001"), Undirected))
+	if err == nil {
+		t.Fatal("Do against a stalled peer succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Do took %v: write timeout did not unstick the stalled write", elapsed)
+	}
+	// The failed write closes the connection; the reader notices
+	// asynchronously and then Err reports the death.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("client still reports healthy after a failed frame write")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServerEvictsSlowReader is the S4 satellite: a client reading one
+// byte at a time with long pauses must not wedge the server — the
+// accept loop keeps accepting, a healthy client keeps getting answers,
+// and once the write timeout evicts the slow reader the connection's
+// queued work sheds and conservation is exact.
+func TestServerEvictsSlowReader(t *testing.T) {
+	mem := NewMemTransport()
+	ln, err := mem.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{
+		Shards:          2,
+		QueueDepth:      256,
+		DefaultDeadline: time.Second,
+		WriteTimeout:    200 * time.Millisecond,
+		Registry:        obs.NewRegistry(),
+	})
+	go s.Serve(ln)
+	time.Sleep(50 * time.Millisecond) // let the accept loop start
+
+	before := runtime.NumGoroutine()
+
+	// The slow reader: pump requests, read one byte per 50ms — far
+	// slower than responses accumulate, so the out queue and the
+	// writer wedge on it.
+	slow, err := mem.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const slowRequests = 100
+	writeDone := make(chan error, 1)
+	go func() {
+		for i := 0; i < slowRequests; i++ {
+			req := DistanceRequest(mustWord(t, 2, "010101"), mustWord(t, 2, "101010"), Undirected)
+			req.ID = uint64(i + 1)
+			if err := WriteFrame(slow, &req); err != nil {
+				writeDone <- err
+				return
+			}
+		}
+		writeDone <- nil
+	}()
+	readerStop := make(chan struct{})
+	go func() {
+		buf := make([]byte, 1)
+		for {
+			select {
+			case <-readerStop:
+				return
+			default:
+			}
+			if _, err := slow.Read(buf); err != nil {
+				return
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}()
+
+	// A healthy client must stay responsive throughout the wedge.
+	healthy, err := DialTransport(mem, "srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		resp, err := healthy.Do(ctx, DistanceRequest(mustWord(t, 2, "011011"), mustWord(t, 2, "110110"), Undirected))
+		cancel()
+		if err != nil || resp.Status != StatusOK {
+			t.Fatalf("healthy client starved during slow-reader wedge: %+v, %v", resp, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err := <-writeDone; err == nil {
+		// All requests in: wait for the eviction to land.
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			c := s.Counts()
+			if c.Sent >= slowRequests+5 && c.Conserved() &&
+				c.Answered+c.Degraded+c.Shed == c.Sent {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	close(readerStop)
+	slow.Close()
+
+	// Every admitted request must have exactly one outcome — the
+	// evicted connection's queued tasks shed, nothing is lost.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		c := s.Counts()
+		if c.Conserved() && c.Sent == c.Answered+c.Degraded+c.Shed && c.Sent >= slowRequests {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("conservation not restored after slow-reader eviction: %+v", c)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// And the wedge must not have leaked goroutines: with both
+	// connections gone, writer, reader, and worker counts settle back.
+	healthy.Close()
+	settleGoroutines(t, before, 8*time.Second)
+}
+
+// settleGoroutines waits for the goroutine count to return to at most
+// baseline plus a small slack.
+func settleGoroutines(t *testing.T, baseline int, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutines leaked: %d > baseline %d\n%s", n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/word"
 )
@@ -24,6 +26,10 @@ type Client struct {
 	maxFrame int
 
 	wmu sync.Mutex // serializes frame writes
+	// wtimeout, when > 0, bounds each frame write (stored as
+	// nanoseconds). Without it a peer that stops reading parks Do —
+	// and every goroutine sharing this client — in WriteFrame forever.
+	wtimeout atomic.Int64
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -101,10 +107,17 @@ func (c *Client) Do(ctx context.Context, req Request) (Response, error) {
 	c.mu.Unlock()
 
 	c.wmu.Lock()
+	if wt := time.Duration(c.wtimeout.Load()); wt > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(wt))
+	}
 	err := WriteFrame(c.conn, &req)
 	c.wmu.Unlock()
 	if err != nil {
 		c.forget(req.ID)
+		// A failed write leaves the stream in an unknown state
+		// (possibly mid-frame); the connection is unusable. Closing it
+		// unsticks the reader so Err() reports the death.
+		c.conn.Close()
 		return Response{}, err
 	}
 	select {
@@ -129,6 +142,24 @@ func (c *Client) Do(ctx context.Context, req Request) (Response, error) {
 		}
 		return Response{}, fmt.Errorf("%w: %w", ErrClientClosed, err)
 	}
+}
+
+// SetWriteTimeout bounds every subsequent frame write; 0 (the
+// default) disables the bound. A write that misses the deadline fails
+// the calling Do — the caller decides what a wedged peer means (the
+// cluster forwarder treats it as a dead peer and recomputes locally).
+func (c *Client) SetWriteTimeout(d time.Duration) {
+	c.wtimeout.Store(int64(d))
+}
+
+// Err reports the terminal connection error once the response reader
+// has exited; nil while the connection is healthy. A non-nil Err means
+// every future Do will fail — callers that own the dial (the load
+// generator) use it to decide when to reconnect.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
 }
 
 func (c *Client) forget(id uint64) {

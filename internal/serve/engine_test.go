@@ -150,9 +150,9 @@ func TestEngineBadQuery(t *testing.T) {
 	x := word.MustParse(2, "0110")
 	z := word.MustParse(3, "0110")
 	for _, q := range []Query{
-		{Kind: KindDistance},                            // zero words
-		{Kind: KindDistance, Src: x, Dst: z},            // mixed bases
-		{Kind: KindBatch, Src: x, Dst: x},               // not answerable
+		{Kind: KindDistance},                                          // zero words
+		{Kind: KindDistance, Src: x, Dst: z},                          // mixed bases
+		{Kind: KindBatch, Src: x, Dst: x},                             // not answerable
 		{Kind: KindDistance, Src: x, Dst: word.MustParse(2, "01101")}, // mixed lengths
 	} {
 		if _, _, err := eng.Answer(q, LevelFull); !errors.Is(err, ErrBadQuery) {

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -15,15 +16,20 @@ import (
 
 // LoadConfig drives RunLoad against one server. Two generator shapes:
 //
-//   - Closed loop (Rate == 0): Clients workers each issue
+//   - Closed loop (Rate == 0, no Schedule): Clients workers each issue
 //     RequestsPerClient queries back-to-back, waiting for each answer.
 //     Offered load self-regulates to server capacity — the classic
 //     "think-time zero" closed system.
-//   - Open loop (Rate > 0): queries are launched on a fixed schedule
-//     of Rate requests/second for Duration, regardless of completions
-//     (up to MaxInFlight outstanding), spread round-robin over Clients
-//     connections. Offered load is external — the regime where
-//     admission control and the degrade ladder earn their keep.
+//   - Open loop (Rate > 0 or Schedule set): queries are launched on a
+//     fixed schedule regardless of completions (up to MaxInFlight
+//     outstanding), spread round-robin over Clients connections.
+//     Offered load is external — the regime where admission control
+//     and the degrade ladder earn their keep.
+//
+// Beyond uniform traffic, the adversarial knobs (ZipfS, HotspotFrac,
+// BatchFrac, Schedule) and the Transport/RequestTimeout pair let the
+// same generator drive skewed, bursty workloads through a chaotic
+// link — the shapes the chaos oracle sweeps.
 type LoadConfig struct {
 	D, K int
 	// Clients is the connection count (and the worker count in closed
@@ -36,6 +42,10 @@ type LoadConfig struct {
 	Rate float64
 	// Duration bounds the open loop. Default 1s.
 	Duration time.Duration
+	// Schedule, when non-empty, selects the open loop with a piecewise
+	// rate — consecutive phases replayed in order (a flash crowd is a
+	// low/high/low staircase). Mutually exclusive with Rate.
+	Schedule []RatePhase
 	// MaxInFlight bounds outstanding open-loop requests (launches
 	// beyond it are dropped client-side and reported in Unlaunched,
 	// keeping the generator itself allocation- and goroutine-bounded).
@@ -45,25 +55,59 @@ type LoadConfig struct {
 	// remainder is distance queries. Defaults 0.5 / 0.2.
 	RouteFrac   float64
 	NextHopFrac float64
-	// BatchSize, when > 0, wraps every launch into one batch request
-	// of that many scalar sub-queries (≤ MaxBatch). Batching amortizes
-	// wire and parse cost over many route computations, so it is the
-	// shape that can drive the worker shards — rather than the
-	// transport — to saturation and engage the degrade ladder.
+	// BatchSize, when > 0, wraps launches into batch requests of that
+	// many scalar sub-queries (≤ MaxBatch). Batching amortizes wire and
+	// parse cost over many route computations, so it is the shape that
+	// can drive the worker shards — rather than the transport — to
+	// saturation and engage the degrade ladder.
 	BatchSize int
+	// BatchFrac, with BatchSize > 0, makes only that fraction of
+	// launches batches; the rest stay scalar. 0 keeps every launch a
+	// batch (the pre-existing behavior), so a batch-vs-scalar mix is
+	// opt-in.
+	BatchFrac float64
 	// Mode is the network orientation queried.
 	Mode Mode
 	// DeadlineMS is carried on every request (0: server default).
 	DeadlineMS int64
 	// HotSet, when > 0, draws sources/destinations from a fixed pool
 	// of that many vertices (cache-friendly skew); 0 draws uniformly.
+	// ZipfS or HotspotFrac force a default pool of 256.
 	HotSet int
-	Seed   int64
+	// ZipfS, when > 0 (must be > 1), draws vertices Zipf-distributed
+	// over the hot pool instead of uniformly: pool rank 0 is hottest.
+	// The classic skewed-source shape.
+	ZipfS float64
+	// HotspotFrac sends that fraction of requests to one destination
+	// (pool rank 0) regardless of the source draw — a single hot key.
+	HotspotFrac float64
+	Seed        int64
 	// StampTrace stamps every request with a deterministic trace_id
 	// derived from (Seed, client, sequence). Combined with the server's
 	// deterministic sampler this makes a load run replayable: the same
 	// config samples the identical trace set, byte for byte.
 	StampTrace bool
+	// Transport, when non-nil, dials Addr through it for every client
+	// connection instead of using the server's in-process loopback —
+	// the seam a ChaosTransport plugs into. Clients whose connection
+	// dies mid-run are redialed (counted in Redials).
+	Transport Transport
+	Addr      string
+	// RequestTimeout bounds each request client-side. Mandatory in
+	// spirit whenever frames can be dropped: a request whose frame
+	// vanished would otherwise wait forever.
+	RequestTimeout time.Duration
+	// Observer, when non-nil, is called with every completed
+	// request/response pair, concurrently from generator goroutines.
+	// This is the chaos oracle's tap: it sees exactly what the client
+	// saw, for replay against a clean engine.
+	Observer func(Request, Response)
+}
+
+// RatePhase is one leg of an open-loop rate schedule.
+type RatePhase struct {
+	Rate     float64 // offered requests per second
+	Duration time.Duration
 }
 
 // LoadResult is one load-generation run, combining the client-side
@@ -77,9 +121,11 @@ type LoadResult struct {
 	// Hits is the result-cache hit delta across the run.
 	Hits int64
 	// Completed counts client-observed responses; Errors counts
-	// transport-level failures; Unlaunched counts open-loop launches
-	// skipped at the MaxInFlight cap.
-	Completed, Errors, Unlaunched int64
+	// transport-level failures (a timed-out request under chaos is one
+	// of these); Unlaunched counts open-loop launches skipped at the
+	// MaxInFlight cap; Redials counts mid-run client reconnects after
+	// a severed connection.
+	Completed, Errors, Unlaunched, Redials int64
 	// Client-observed latency quantiles and run wall-clock. Open-loop
 	// client latency includes time queued in the generator itself, so
 	// under overload it grows without bound by construction.
@@ -100,8 +146,9 @@ func (r LoadResult) Conserved() bool {
 	return r.Sent == r.Answered+r.Degraded+r.Shed
 }
 
-// RunLoad drives s with the configured workload over in-process
-// connections and returns the combined accounting.
+// RunLoad drives s with the configured workload — over in-process
+// connections, or through cfg.Transport — and returns the combined
+// accounting.
 func RunLoad(s *Server, cfg LoadConfig) (LoadResult, error) {
 	if cfg.D < 2 || cfg.K < 1 {
 		return LoadResult{}, fmt.Errorf("serve: loadgen needs d ≥ 2, k ≥ 1, got DG(%d,%d)", cfg.D, cfg.K)
@@ -124,6 +171,22 @@ func RunLoad(s *Server, cfg LoadConfig) (LoadResult, error) {
 	if cfg.BatchSize > MaxBatch {
 		return LoadResult{}, fmt.Errorf("serve: loadgen batch size %d exceeds MaxBatch %d", cfg.BatchSize, MaxBatch)
 	}
+	if cfg.ZipfS != 0 && cfg.ZipfS <= 1 {
+		return LoadResult{}, fmt.Errorf("serve: loadgen ZipfS must be > 1, got %v", cfg.ZipfS)
+	}
+	if len(cfg.Schedule) > 0 {
+		if cfg.Rate > 0 {
+			return LoadResult{}, fmt.Errorf("serve: loadgen Rate and Schedule are mutually exclusive")
+		}
+		for i, ph := range cfg.Schedule {
+			if ph.Rate <= 0 || ph.Duration <= 0 {
+				return LoadResult{}, fmt.Errorf("serve: loadgen schedule phase %d needs positive rate and duration", i)
+			}
+		}
+	}
+	if (cfg.ZipfS > 0 || cfg.HotspotFrac > 0) && cfg.HotSet == 0 {
+		cfg.HotSet = 256
+	}
 	// Materialize the hot pool once: drawing through a fresh
 	// pool-seeded rng per vertex is deterministic but far too slow to
 	// sit on the open loop's launch path.
@@ -135,15 +198,27 @@ func RunLoad(s *Server, cfg LoadConfig) (LoadResult, error) {
 		}
 	}
 
+	dial := func() (*Client, error) {
+		if cfg.Transport != nil {
+			return DialTransport(cfg.Transport, cfg.Addr)
+		}
+		return s.SelfClient()
+	}
 	clients := make([]*Client, cfg.Clients)
 	for i := range clients {
-		c, err := s.SelfClient()
+		c, err := dial()
 		if err != nil {
 			return LoadResult{}, err
 		}
 		clients[i] = c
-		defer c.Close()
 	}
+	// Workers may swap a dead client for a fresh one mid-run; the
+	// surviving connection of each slot is closed here.
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
 
 	before := s.Counts()
 	regBefore := s.cfg.Registry.Snapshot()
@@ -151,10 +226,10 @@ func RunLoad(s *Server, cfg LoadConfig) (LoadResult, error) {
 
 	var res LoadResult
 	var latencies []time.Duration
-	if cfg.Rate > 0 {
-		latencies = runOpenLoop(clients, cfg, pool, &res)
+	if cfg.Rate > 0 || len(cfg.Schedule) > 0 {
+		latencies = runOpenLoop(clients, cfg, pool, dial, &res)
 	} else {
-		latencies = runClosedLoop(clients, cfg, pool, &res)
+		latencies = runClosedLoop(clients, cfg, pool, dial, &res)
 	}
 
 	res.Elapsed = time.Since(start)
@@ -183,70 +258,120 @@ func RunLoad(s *Server, cfg LoadConfig) (LoadResult, error) {
 	return res, nil
 }
 
+// doOne issues req on c under the configured request timeout and feeds
+// the observer on success.
+func doOne(c *Client, cfg *LoadConfig, req Request) (Response, error) {
+	ctx := context.Background()
+	if cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.RequestTimeout)
+		defer cancel()
+	}
+	resp, err := c.Do(ctx, req)
+	if err == nil && cfg.Observer != nil {
+		cfg.Observer(req, resp)
+	}
+	return resp, err
+}
+
 // runClosedLoop is the Clients × RequestsPerClient think-time-zero
-// driver.
-func runClosedLoop(clients []*Client, cfg LoadConfig, pool []word.Word, res *LoadResult) []time.Duration {
+// driver. Under a transport that can sever connections, a worker whose
+// client died redials and keeps going; its request budget is fixed
+// either way.
+func runClosedLoop(clients []*Client, cfg LoadConfig, pool []word.Word, dial func() (*Client, error), res *LoadResult) []time.Duration {
 	var mu sync.Mutex
 	var all []time.Duration
-	var errs int64
+	var errs, redials int64
 	var wg sync.WaitGroup
-	for i, c := range clients {
+	for i := range clients {
 		wg.Add(1)
-		go func(i int, c *Client) {
+		go func(i int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)))
+			c := clients[i]
+			dr := newDraw(&cfg, cfg.Seed+int64(i), pool)
 			lats := make([]time.Duration, 0, cfg.RequestsPerClient)
-			nerr := int64(0)
+			var nerr, nredial int64
 			for n := 0; n < cfg.RequestsPerClient; n++ {
-				req := randomRequest(cfg, rng, pool)
+				req := dr.request()
 				if cfg.StampTrace {
 					req.TraceID = stampTraceID(cfg.Seed, i, n)
 				}
 				t0 := time.Now()
-				if _, err := c.Do(context.Background(), req); err != nil {
+				if _, err := doOne(c, &cfg, req); err != nil {
 					nerr++
+					// A timed-out request leaves a healthy connection
+					// (the frame was merely dropped); any other error
+					// means the connection died — redial.
+					if cfg.Transport != nil && !isTimeout(err) {
+						if nc, derr := dial(); derr == nil {
+							c.Close()
+							c = nc
+							nredial++
+						}
+					}
 					continue
 				}
 				lats = append(lats, time.Since(t0))
 			}
+			clients[i] = c // hand the surviving connection back for cleanup
 			mu.Lock()
 			all = append(all, lats...)
 			errs += nerr
+			redials += nredial
 			mu.Unlock()
-		}(i, c)
+		}(i)
 	}
 	wg.Wait()
 	res.Errors = errs
+	res.Redials = redials
 	return all
 }
 
-// runOpenLoop launches requests on a fixed schedule for Duration. The
-// pacing is deficit-based rather than one timer tick per request: a
+// runOpenLoop launches requests on a fixed schedule. The pacing is
+// deficit-based rather than one timer tick per request: a
 // sub-millisecond ticker silently coalesces on coarse runtime timers,
 // capping the offered rate far below the configured one, whereas
-// launching (elapsed × Rate − launched) requests per wakeup holds the
-// schedule at any rate the generator itself can sustain.
-func runOpenLoop(clients []*Client, cfg LoadConfig, pool []word.Word, res *LoadResult) []time.Duration {
+// launching (due(elapsed) − launched) requests per wakeup holds the
+// schedule at any rate the generator itself can sustain. With a
+// Schedule, due is the piecewise integral of the phase rates — the
+// flash-crowd staircase.
+func runOpenLoop(clients []*Client, cfg LoadConfig, pool []word.Word, dial func() (*Client, error), res *LoadResult) []time.Duration {
 	var mu sync.Mutex
 	var all []time.Duration
-	var errs, unlaunched int64
+	var errs, unlaunched, redials int64
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, cfg.MaxInFlight)
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	dr := newDraw(&cfg, cfg.Seed, pool)
+	total := cfg.Duration
+	if len(cfg.Schedule) > 0 {
+		total = 0
+		for _, ph := range cfg.Schedule {
+			total += ph.Duration
+		}
+	}
 	start := time.Now()
 	launched := 0
 	for {
 		elapsed := time.Since(start)
-		if elapsed >= cfg.Duration {
+		if elapsed >= total {
 			break
 		}
-		due := int(elapsed.Seconds() * cfg.Rate)
+		due := scheduleDue(&cfg, elapsed)
 		for ; launched < due; launched++ {
-			req := randomRequest(cfg, rng, pool)
+			req := dr.request()
+			idx := launched % len(clients)
 			if cfg.StampTrace {
-				req.TraceID = stampTraceID(cfg.Seed, launched%len(clients), launched)
+				req.TraceID = stampTraceID(cfg.Seed, idx, launched)
 			}
-			c := clients[launched%len(clients)]
+			c := clients[idx]
+			if cfg.Transport != nil && c.Err() != nil {
+				if nc, derr := dial(); derr == nil {
+					c.Close()
+					clients[idx] = nc
+					c = nc
+					redials++
+				}
+			}
 			select {
 			case sem <- struct{}{}:
 			default:
@@ -258,7 +383,7 @@ func runOpenLoop(clients []*Client, cfg LoadConfig, pool []word.Word, res *LoadR
 				defer wg.Done()
 				defer func() { <-sem }()
 				t0 := time.Now()
-				_, err := c.Do(context.Background(), req)
+				_, err := doOne(c, &cfg, req)
 				lat := time.Since(t0)
 				mu.Lock()
 				if err != nil {
@@ -274,45 +399,104 @@ func runOpenLoop(clients []*Client, cfg LoadConfig, pool []word.Word, res *LoadR
 	wg.Wait()
 	res.Errors = errs
 	res.Unlaunched = unlaunched
+	res.Redials = redials
 	return all
 }
 
-// randomRequest draws one request — a scalar query from the
-// configured kind mix, or a batch of BatchSize of them.
-func randomRequest(cfg LoadConfig, rng *rand.Rand, pool []word.Word) Request {
+// isTimeout reports a context-bounded request expiry — the one Do
+// failure mode that leaves the connection healthy.
+func isTimeout(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// scheduleDue is the cumulative request count owed at elapsed — the
+// flat Rate line, or the piecewise integral of the Schedule phases.
+func scheduleDue(cfg *LoadConfig, elapsed time.Duration) int {
+	if len(cfg.Schedule) == 0 {
+		return int(elapsed.Seconds() * cfg.Rate)
+	}
+	var due float64
+	for _, ph := range cfg.Schedule {
+		if elapsed <= 0 {
+			break
+		}
+		span := ph.Duration
+		if elapsed < span {
+			span = elapsed
+		}
+		due += span.Seconds() * ph.Rate
+		elapsed -= ph.Duration
+	}
+	return int(due)
+}
+
+// draw generates the configured request mix from one rng stream.
+type draw struct {
+	cfg  *LoadConfig
+	rng  *rand.Rand
+	pool []word.Word
+	zipf *rand.Zipf
+}
+
+func newDraw(cfg *LoadConfig, seed int64, pool []word.Word) *draw {
+	d := &draw{cfg: cfg, rng: rand.New(rand.NewSource(seed)), pool: pool}
+	if cfg.ZipfS > 0 && len(pool) > 1 {
+		d.zipf = rand.NewZipf(d.rng, cfg.ZipfS, 1, uint64(len(pool)-1))
+	}
+	return d
+}
+
+// request draws one launch — a scalar query from the configured kind
+// mix, or a batch of BatchSize of them (per BatchFrac).
+func (d *draw) request() Request {
 	var req Request
-	if cfg.BatchSize > 0 {
-		items := make([]Request, cfg.BatchSize)
+	batch := d.cfg.BatchSize > 0
+	if batch && d.cfg.BatchFrac > 0 {
+		batch = d.rng.Float64() < d.cfg.BatchFrac
+	}
+	if batch {
+		items := make([]Request, d.cfg.BatchSize)
 		for i := range items {
-			items[i] = randomScalar(cfg, rng, pool)
+			items[i] = d.scalar()
 		}
 		req = BatchRequest(items...)
 	} else {
-		req = randomScalar(cfg, rng, pool)
+		req = d.scalar()
 	}
-	req.DeadlineMS = cfg.DeadlineMS
+	req.DeadlineMS = d.cfg.DeadlineMS
 	return req
 }
 
-// randomScalar draws one query from the configured kind mix and
-// vertex distribution.
-func randomScalar(cfg LoadConfig, rng *rand.Rand, pool []word.Word) Request {
-	src, dst := randomPair(cfg, rng, pool)
-	switch p := rng.Float64(); {
-	case p < cfg.RouteFrac:
-		return RouteRequest(src, dst, cfg.Mode)
-	case p < cfg.RouteFrac+cfg.NextHopFrac:
-		return NextHopRequest(src, dst, cfg.Mode)
+// scalar draws one query from the configured kind mix and vertex
+// distribution.
+func (d *draw) scalar() Request {
+	src, dst := d.pair()
+	switch p := d.rng.Float64(); {
+	case p < d.cfg.RouteFrac:
+		return RouteRequest(src, dst, d.cfg.Mode)
+	case p < d.cfg.RouteFrac+d.cfg.NextHopFrac:
+		return NextHopRequest(src, dst, d.cfg.Mode)
 	default:
-		return DistanceRequest(src, dst, cfg.Mode)
+		return DistanceRequest(src, dst, d.cfg.Mode)
 	}
 }
 
-func randomPair(cfg LoadConfig, rng *rand.Rand, pool []word.Word) (word.Word, word.Word) {
-	if len(pool) > 0 {
-		return pool[rng.Intn(len(pool))], pool[rng.Intn(len(pool))]
+func (d *draw) pair() (word.Word, word.Word) {
+	src := d.vertex()
+	if d.cfg.HotspotFrac > 0 && len(d.pool) > 0 && d.rng.Float64() < d.cfg.HotspotFrac {
+		return src, d.pool[0]
 	}
-	return word.Random(cfg.D, cfg.K, rng), word.Random(cfg.D, cfg.K, rng)
+	return src, d.vertex()
+}
+
+func (d *draw) vertex() word.Word {
+	if d.zipf != nil {
+		return d.pool[d.zipf.Uint64()]
+	}
+	if len(d.pool) > 0 {
+		return d.pool[d.rng.Intn(len(d.pool))]
+	}
+	return word.Random(d.cfg.D, d.cfg.K, d.rng)
 }
 
 // stampTraceID derives the deterministic trace id of the n-th request

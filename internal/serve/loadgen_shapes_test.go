@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestLoadZipfHotspotShape: the skewed shapes must actually skew — a
+// HotspotFrac of 0.5 sends about half the scalar queries to pool rank
+// 0 — while conservation stays exact.
+func TestLoadZipfHotspotShape(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, CacheSize: 256, Registry: obs.NewRegistry()})
+	cfg := LoadConfig{
+		D: 2, K: 8,
+		Clients:           2,
+		RequestsPerClient: 200,
+		ZipfS:             1.5,
+		HotspotFrac:       0.5,
+		HotSet:            64,
+		Seed:              11,
+	}
+	hot := poolWord(cfg, 0).String()
+	var total, toHot atomic.Int64
+	cfg.Observer = func(req Request, resp Response) {
+		if req.Kind == "batch" {
+			return
+		}
+		total.Add(1)
+		if req.Dst == hot {
+			toHot.Add(1)
+		}
+	}
+	res, err := RunLoad(s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conserved() {
+		t.Fatalf("conservation broken: %+v", res)
+	}
+	if res.Completed != 400 || res.Errors != 0 {
+		t.Fatalf("completed %d, errors %d, want 400/0", res.Completed, res.Errors)
+	}
+	frac := float64(toHot.Load()) / float64(total.Load())
+	if frac < 0.4 || frac > 0.7 {
+		t.Fatalf("hotspot fraction %.2f, want ≈0.5 (plus zipf draws of rank 0)", frac)
+	}
+}
+
+// TestLoadZipfValidation: a Zipf exponent in (0, 1] is rejected (the
+// stdlib generator requires s > 1).
+func TestLoadZipfValidation(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 1})
+	if _, err := RunLoad(s, LoadConfig{D: 2, K: 4, ZipfS: 0.9}); err == nil {
+		t.Fatal("ZipfS 0.9 accepted")
+	}
+	if _, err := RunLoad(s, LoadConfig{D: 2, K: 4, Rate: 100, Schedule: []RatePhase{{Rate: 1, Duration: time.Millisecond}}}); err == nil {
+		t.Fatal("Rate and Schedule together accepted")
+	}
+}
+
+// TestLoadFlashCrowdSchedule: a low/high/low staircase runs for the
+// summed phase durations and conserves exactly; the spike phase must
+// offer visibly more than the shoulders.
+func TestLoadFlashCrowdSchedule(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, QueueDepth: 64, DefaultDeadline: 50 * time.Millisecond, Registry: obs.NewRegistry()})
+	res, err := RunLoad(s, LoadConfig{
+		D: 2, K: 8,
+		Clients: 2,
+		Schedule: []RatePhase{
+			{Rate: 200, Duration: 100 * time.Millisecond},
+			{Rate: 4000, Duration: 100 * time.Millisecond},
+			{Rate: 200, Duration: 100 * time.Millisecond},
+		},
+		MaxInFlight:    2048,
+		RequestTimeout: 2 * time.Second,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conserved() {
+		t.Fatalf("conservation broken: %+v", res)
+	}
+	if res.Elapsed < 300*time.Millisecond {
+		t.Fatalf("run ended after %v, want ≥ 300ms of schedule", res.Elapsed)
+	}
+	// 200+4000+200 req/s over 100ms each ≈ 440 requests offered; the
+	// exact count depends on pacing granularity, but the spike must
+	// dominate the shoulders.
+	if res.Sent < 250 {
+		t.Fatalf("only %d sent; flash crowd did not materialize", res.Sent)
+	}
+}
+
+// TestLoadBatchScalarMix: BatchFrac mixes batch and scalar launches in
+// one run.
+func TestLoadBatchScalarMix(t *testing.T) {
+	s := newTestServer(t, Config{Shards: 2, Registry: obs.NewRegistry()})
+	var batches, scalars atomic.Int64
+	res, err := RunLoad(s, LoadConfig{
+		D: 2, K: 8,
+		Clients:           2,
+		RequestsPerClient: 100,
+		BatchSize:         8,
+		BatchFrac:         0.5,
+		Seed:              3,
+		Observer: func(req Request, resp Response) {
+			if req.Kind == "batch" {
+				batches.Add(1)
+			} else {
+				scalars.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conserved() {
+		t.Fatalf("conservation broken: %+v", res)
+	}
+	if batches.Load() == 0 || scalars.Load() == 0 {
+		t.Fatalf("mix degenerate: %d batches, %d scalars", batches.Load(), scalars.Load())
+	}
+}
+
+// TestLoadThroughChaosTransport drives the generator through a
+// dropping, severing link: requests time out, connections die and are
+// redialed, and the server-side conservation identity still holds
+// exactly — the tentpole wired together at the smallest scale.
+func TestLoadThroughChaosTransport(t *testing.T) {
+	mem := NewMemTransport()
+	ln, err := mem.Listen("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{
+		Shards:          2,
+		QueueDepth:      256,
+		CacheSize:       256,
+		DefaultDeadline: 500 * time.Millisecond,
+		WriteTimeout:    500 * time.Millisecond,
+		Registry:        obs.NewRegistry(),
+	})
+	go s.Serve(ln)
+	ct := NewChaosTransport(mem, ChaosConfig{
+		Seed:      9,
+		DropFrac:  0.05,
+		SeverFrac: 0.02,
+		Latency:   50 * time.Microsecond,
+	})
+	ct.SetEnabled(true)
+
+	res, err := RunLoad(s, LoadConfig{
+		D: 2, K: 8,
+		Clients:           4,
+		RequestsPerClient: 150,
+		HotSet:            64,
+		Seed:              21,
+		Transport:         ct,
+		Addr:              "srv",
+		RequestTimeout:    300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Conserved() {
+		t.Fatalf("conservation broken under chaos: %+v", res)
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed through the chaotic link")
+	}
+	if res.Errors == 0 {
+		t.Fatal("a 5% drop schedule produced zero client errors — chaos not wired through")
+	}
+	st := ct.Stats()
+	if st.Dropped == 0 || st.Severed == 0 {
+		t.Fatalf("chaos stats flat: %+v", st)
+	}
+	if res.Redials == 0 {
+		t.Fatal("severed connections were never redialed")
+	}
+}

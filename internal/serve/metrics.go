@@ -6,21 +6,21 @@ import "repro/internal/obs"
 // with the Config.Registry; a nil registry degrades every instrument
 // to a nil check, per the obs contract.
 const (
-	metricSent           = "dn_serve_sent_total"      // every admitted frame
-	metricForwarded      = "dn_serve_forwarded_total" // outcomes resolved by a cluster peer
+	metricSent           = "dn_serve_sent_total"         // every admitted frame
+	metricForwarded      = "dn_serve_forwarded_total"    // outcomes resolved by a cluster peer
 	metricForwardedIn    = "dn_serve_forwarded_in_total" // admitted frames that arrived via a forward
-	metricRequests       = "dn_serve_requests_total"  // labelled {kind=...}
-	metricAnswered       = "dn_serve_answered_total"  // full-fidelity outcomes
-	metricDegraded       = "dn_serve_degraded_total"  // labelled {mode=distance|bounds}
-	metricShed           = "dn_serve_shed_total"      // labelled {reason=...}
+	metricRequests       = "dn_serve_requests_total"     // labelled {kind=...}
+	metricAnswered       = "dn_serve_answered_total"     // full-fidelity outcomes
+	metricDegraded       = "dn_serve_degraded_total"     // labelled {mode=distance|bounds}
+	metricShed           = "dn_serve_shed_total"         // labelled {reason=...}
 	metricCacheHits      = "dn_serve_cache_hits_total"
 	metricCacheMisses    = "dn_serve_cache_misses_total"
 	metricCacheEvictions = "dn_serve_cache_evictions_total"
 	metricQueueDepth     = "dn_serve_queue_depth" // gauge: tasks waiting
 	metricLatencyNs      = "dn_serve_latency_ns"  // admission → answer
 	metricConns          = "dn_serve_conns_total"
-	metricSampled        = "dn_serve_traces_sampled_total" // published ReqTraces
-	metricFlightFrozen   = "dn_serve_flight_frozen"        // gauge: 1 after a trigger
+	metricSampled        = "dn_serve_traces_sampled_total"  // published ReqTraces
+	metricFlightFrozen   = "dn_serve_flight_frozen"         // gauge: 1 after a trigger
 	metricTriggers       = "dn_serve_flight_triggers_total" // labelled {trigger=...}, fired + missed
 )
 
@@ -31,11 +31,11 @@ const (
 type shedReason uint8
 
 const (
-	shedQueueFull shedReason = iota // admission queue full at enqueue
-	shedDeadline                    // deadline expired before compute
-	shedCanceled                    // connection gone before compute
-	shedBadRequest                  // request failed validation
-	shedShutdown                    // server closing, queue drained
+	shedQueueFull  shedReason = iota // admission queue full at enqueue
+	shedDeadline                     // deadline expired before compute
+	shedCanceled                     // connection gone before compute
+	shedBadRequest                   // request failed validation
+	shedShutdown                     // server closing, queue drained
 	numShedReasons
 )
 

@@ -31,6 +31,14 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// MaxFrame bounds one wire frame. Default DefaultMaxFrame.
 	MaxFrame int
+	// WriteTimeout bounds each response frame write. A client that
+	// stops reading (or reads one byte a second) otherwise wedges its
+	// connection writer, fills the out queue, and parks worker shards
+	// in sendResponse until the connection finally dies. On a missed
+	// deadline the connection is closed: the slow reader is evicted,
+	// its queued tasks shed (reason canceled), conservation intact.
+	// Default 30s; negative disables.
+	WriteTimeout time.Duration
 	// DegradeHigh and DegradeCritical are admission-queue fill
 	// fractions (measured when a worker dequeues): at or above High,
 	// route queries degrade to distance-only; at or above Critical,
@@ -111,11 +119,11 @@ var ErrServerClosed = errors.New("serve: server closed")
 // hop-by-hop — every forwarded_out at some node is a forwarded_in at
 // another.
 type Counts struct {
-	Sent      int64
-	Answered  int64 // full-fidelity answers (cache hits included)
-	Degraded  int64 // answered at LevelDistance or LevelBounds
-	Shed      int64 // sum over ShedByReason
-	Forwarded int64 // resolved by a cluster peer (proxied or redirected)
+	Sent         int64
+	Answered     int64 // full-fidelity answers (cache hits included)
+	Degraded     int64 // answered at LevelDistance or LevelBounds
+	Shed         int64 // sum over ShedByReason
+	Forwarded    int64 // resolved by a cluster peer (proxied or redirected)
 	ShedByReason map[string]int64
 
 	ForwardedIn int64 // admissions carrying forward state (subset of Sent)
@@ -136,7 +144,7 @@ type task struct {
 	start    time.Time
 	enq      time.Time // enqueue instant: queue span start
 	id       obs.TraceID
-	tr       *obs.ReqTrace // non-nil only for sampled requests
+	tr       *obs.ReqTrace   // non-nil only for sampled requests
 	ctx      context.Context // connection context
 	out      chan<- outFrame
 	pending  *sync.WaitGroup // connection's in-flight accounting
@@ -202,6 +210,9 @@ func NewServer(cfg Config) *Server {
 	}
 	if cfg.MaxFrame <= 0 {
 		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.WriteTimeout == 0 {
+		cfg.WriteTimeout = 30 * time.Second
 	}
 	if cfg.DegradeHigh <= 0 {
 		cfg.DegradeHigh = 0.75
@@ -466,6 +477,9 @@ func (s *Server) handleConn(conn net.Conn) {
 			if fr.tr != nil {
 				t0 = time.Now()
 			}
+			if s.cfg.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			}
 			err := WriteFrame(conn, &fr.resp)
 			if fr.tr != nil {
 				if err == nil {
@@ -475,6 +489,11 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			if err != nil {
 				dead = true
+				// Evict the peer: closing the connection unsticks the
+				// reader, whose exit cancels ctx so queued tasks from
+				// this connection shed (canceled) instead of parking
+				// workers in sendResponse.
+				conn.Close()
 			}
 		}
 	}()

@@ -132,13 +132,16 @@ type Response struct {
 	TraceID obs.TraceID `json:"trace_id,omitempty"`
 }
 
+// frameHeaderLen is the length-prefix size of one wire frame.
+const frameHeaderLen = 4
+
 // WriteFrame marshals v and writes one frame.
 func WriteFrame(w io.Writer, v any) error {
 	body, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	var hdr [4]byte
+	var hdr [frameHeaderLen]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
@@ -154,7 +157,7 @@ func ReadFrame(r io.Reader, maxFrame int) ([]byte, error) {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
 	}
-	var hdr [4]byte
+	var hdr [frameHeaderLen]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) {
 			return nil, io.EOF
