@@ -236,7 +236,13 @@ func compareReports(base, cur Report, tolNs float64) (regs []string, compared in
 	return regs, compared
 }
 
-// benchCells measures the three core ops at one (d,k) point.
+// benchCells measures the core ops at one (d,k) point: the scratch
+// primitives (Router/Distance/Route), then the tiered kernel engine —
+// PackedDistance/PackedRoute on the bit-packed tier (falling back to
+// scratch where the alphabet doesn't pack), TableDistance/TableRoute
+// on the rank-table tier when (d,k) fits the default budget, and
+// BatchDistance through a batch frame that amortizes packing across
+// the pair pool.
 func benchCells(d, k int) ([]Result, error) {
 	rng := rand.New(rand.NewSource(17))
 	pairs := make([][2]word.Word, 64)
@@ -244,13 +250,24 @@ func benchCells(d, k int) ([]Result, error) {
 		pairs[i] = [2]word.Word{word.Random(d, k, rng), word.Random(d, k, rng)}
 	}
 	router := core.NewRouter(k)
-	ops := []struct {
+	packed := core.NewKernels(core.KernelConfig{TableBudget: -1})
+	tabled := core.NewKernels(core.KernelConfig{SyncTableBuild: true})
+	type coreOp struct {
 		name string
 		fn   func(x, y word.Word) error
-	}{
+	}
+	ops := []coreOp{
 		{"Router", func(x, y word.Word) error { _, err := router.Route(x, y); return err }},
 		{"Distance", func(x, y word.Word) error { _, err := core.UndirectedDistanceLinear(x, y); return err }},
 		{"Route", func(x, y word.Word) error { _, err := core.RouteUndirectedLinear(x, y); return err }},
+		{"PackedDistance", func(x, y word.Word) error { _, err := packed.UndirectedDistance(x, y); return err }},
+		{"PackedRoute", func(x, y word.Word) error { _, err := packed.RouteUndirected(x, y); return err }},
+	}
+	if tabled.TierFor(d, k) == core.TierTable {
+		ops = append(ops,
+			coreOp{"TableDistance", func(x, y word.Word) error { _, err := tabled.UndirectedDistance(x, y); return err }},
+			coreOp{"TableRoute", func(x, y word.Word) error { _, err := tabled.RouteUndirected(x, y); return err }},
+		)
 	}
 	out := make([]Result, 0, len(ops))
 	for _, op := range ops {
@@ -271,6 +288,41 @@ func benchCells(d, k int) ([]Result, error) {
 		}
 		out = append(out, Result{
 			Op: op.name, D: d, K: k,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		})
+	}
+	// BatchDistance: per-query cost through a batch frame, including the
+	// amortized cost of repacking the frame once per pass over the pool.
+	{
+		var failure error
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fr := packed.Frame()
+			for i := 0; i < b.N; i++ {
+				j := i % len(pairs)
+				if j == 0 {
+					fr = packed.Frame()
+					for _, p := range pairs {
+						if _, err := fr.Add(p[0], p[1]); err != nil {
+							failure = err
+							b.FailNow()
+						}
+					}
+				}
+				if _, err := fr.UndirectedDistance(j); err != nil {
+					failure = err
+					b.FailNow()
+				}
+			}
+		})
+		if failure != nil {
+			return nil, fmt.Errorf("BatchDistance d=%d k=%d: %w", d, k, failure)
+		}
+		out = append(out, Result{
+			Op: "BatchDistance", D: d, K: k,
 			Iterations:  br.N,
 			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
 			AllocsPerOp: br.AllocsPerOp(),
@@ -347,6 +399,45 @@ func benchServeCells(d, k int) ([]Result, error) {
 		}
 		out = append(out, Result{
 			Op: op.name, D: d, K: k,
+			Iterations:  br.N,
+			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		})
+	}
+	// ServeBatch* cells: per-query cost of the batch path — the worker
+	// calls BeginBatch once per batch (packing every query into the
+	// kernel frame) and answers each sub-query through it. The
+	// BeginBatch cost is amortized across one pass over the pool, the
+	// same shape the server's answerTask loop produces.
+	for _, kind := range []serve.Kind{serve.KindDistance, serve.KindNextHop} {
+		qs := make([]serve.Query, len(pairs))
+		for i, p := range pairs {
+			qs[i] = serve.Query{Kind: kind, Src: p[0], Dst: p[1]}
+		}
+		var failure error
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				j := i % len(qs)
+				if j == 0 {
+					cold.BeginBatch(qs)
+				}
+				if _, _, err := cold.AnswerBatchTraced(j, qs[j], serve.LevelFull, nil); err != nil {
+					failure = err
+					b.FailNow()
+				}
+			}
+		})
+		name := "ServeBatchDistance"
+		if kind == serve.KindNextHop {
+			name = "ServeBatchNextHop"
+		}
+		if failure != nil {
+			return nil, fmt.Errorf("%s d=%d k=%d: %w", name, d, k, failure)
+		}
+		out = append(out, Result{
+			Op: name, D: d, K: k,
 			Iterations:  br.N,
 			NsPerOp:     float64(br.T.Nanoseconds()) / float64(br.N),
 			AllocsPerOp: br.AllocsPerOp(),

@@ -30,9 +30,10 @@ func TestReportRoundTrip(t *testing.T) {
 	if rep.GoVersion == "" || rep.Benchtime != "1ms" {
 		t.Errorf("header incomplete: %+v", rep)
 	}
-	// 3 ops × 2 k values.
-	if len(rep.Results) != 6 {
-		t.Fatalf("got %d results, want 6", len(rep.Results))
+	// k=8: 3 scratch ops + 2 packed + 2 table + batch; k=16: the same
+	// minus the table cells (DG(2,16) is over the default table budget).
+	if len(rep.Results) != 14 {
+		t.Fatalf("got %d results, want 14", len(rep.Results))
 	}
 	seen := map[string]bool{}
 	for _, r := range rep.Results {
@@ -44,7 +45,7 @@ func TestReportRoundTrip(t *testing.T) {
 			t.Errorf("unexpected cell %+v", r)
 		}
 	}
-	for _, op := range []string{"Router", "Distance", "Route"} {
+	for _, op := range []string{"Router", "Distance", "Route", "PackedDistance", "PackedRoute", "TableDistance", "TableRoute", "BatchDistance"} {
 		if !seen[op] {
 			t.Errorf("op %s missing from report", op)
 		}
@@ -109,9 +110,9 @@ func TestServeSuiteRoundTrip(t *testing.T) {
 	if rep.Schema != SchemaServe {
 		t.Errorf("schema = %q, want %q", rep.Schema, SchemaServe)
 	}
-	// 6 ops × 2 k values.
-	if len(rep.Results) != 12 {
-		t.Fatalf("got %d results, want 12", len(rep.Results))
+	// 8 ops × 2 k values.
+	if len(rep.Results) != 16 {
+		t.Fatalf("got %d results, want 16", len(rep.Results))
 	}
 	for _, r := range rep.Results {
 		if r.NsPerOp <= 0 || r.Iterations <= 0 {
@@ -264,7 +265,7 @@ func TestCompareReadsBaselineBeforeWrite(t *testing.T) {
 	if err := json.Unmarshal(fresh, &got); err != nil {
 		t.Fatal(err)
 	}
-	if len(got.Results) != 3 || got.Results[0].NsPerOp == 1e12 {
+	if len(got.Results) != 8 || got.Results[0].NsPerOp == 1e12 {
 		t.Errorf("refreshed report not rewritten: %+v", got)
 	}
 }

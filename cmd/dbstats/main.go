@@ -15,6 +15,7 @@
 //	dbstats -table trace      # E22: flight-recorder postmortem of an overload
 //	dbstats -table cluster    # E23: multi-node cluster over its own fabric
 //	dbstats -table chaos      # E24: adversarial load through the chaos transport
+//	dbstats -table kernels    # E25: tiered kernel engine speedup grid
 //	dbstats -table all        # everything above
 package main
 
@@ -140,6 +141,14 @@ func run(args []string, out io.Writer) error {
 			// must balance in every cell.
 			return experiments.ChaosTable(experiments.ChaosRunConfig{Seed: *seed})
 		},
+		"kernels": func() (*stats.Table, error) {
+			// The tier ladder across graph scales: table tier on small
+			// graphs, packed tier through k=512 at d=2, scratch where
+			// the alphabet doesn't pack.
+			return experiments.KernelsTable([][2]int{
+				{2, 6}, {2, 8}, {3, 4}, {2, 16}, {2, 64}, {4, 32}, {2, 512}, {5, 16},
+			}, 0, *seed)
+		},
 	}
 	titles := map[string]string{
 		"eq5":       "E3 — directed average distance: equation (5) vs exact",
@@ -161,8 +170,9 @@ func run(args []string, out io.Writer) error {
 		"trace":     "E22 — flight recorder: frozen postmortem of an E21 overload run",
 		"cluster":   "E23 — multi-node cluster: load partitioned over its own de Bruijn fabric",
 		"chaos":     "E24 — adversarial serving: workload shapes × fault schedules, conservation everywhere",
+		"kernels":   "E25 — tiered routing kernels: scratch vs selected tier vs batch frame",
 	}
-	order := []string{"census", "eq5", "fig2", "crossover", "policy", "fault", "dist", "moore", "broadcast", "diversity", "latency", "dht", "loadcurve", "stretch", "deflect", "serve", "trace", "cluster", "chaos"}
+	order := []string{"census", "eq5", "fig2", "crossover", "policy", "fault", "dist", "moore", "broadcast", "diversity", "latency", "dht", "loadcurve", "stretch", "deflect", "serve", "trace", "cluster", "chaos", "kernels"}
 
 	emit := func(name string) error {
 		t, err := printers[name]()

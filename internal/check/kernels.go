@@ -1,0 +1,170 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// KernelsOptions parameterizes the kernel-tier differential oracle.
+type KernelsOptions struct {
+	// Seed drives the pair sample on graphs too large to sweep
+	// exhaustively.
+	Seed int64
+	// Pairs is the sample size above the exhaustive threshold. 0
+	// means 2048.
+	Pairs int
+	// SampleAbove is the vertex count beyond which ordered pairs are
+	// sampled instead of enumerated. 0 means 128 (exhaustive pair
+	// sweeps are quadratic in N).
+	SampleAbove int
+	// MaxFindings caps the findings per report. 0 means 32.
+	MaxFindings int
+}
+
+func (o *KernelsOptions) defaults() {
+	if o.Pairs == 0 {
+		o.Pairs = 2048
+	}
+	if o.SampleAbove == 0 {
+		o.SampleAbove = 128
+	}
+}
+
+// Kernels runs the tier-differential oracle on DG(d,k): the same
+// query evaluated by every rung of the kernel ladder must produce
+// byte-identical answers. Four evaluators run side by side — the
+// scratch-forced engine (T3, the reference), the packed engine (T2
+// where the alphabet packs), the table-admitting engine (T1 where the
+// pair matrix fits the default budget, built synchronously), and the
+// packed engine's batch frame — and every directed distance,
+// undirected distance, canonical route (hop for hop) and next hop is
+// compared across them. The ladder's contract is exact equality, not
+// mere optimality: tier selection must be semantically invisible.
+func Kernels(d, k int, opt KernelsOptions) (Report, error) {
+	opt.defaults()
+	rep := Report{Mode: "kernels", D: d, K: k}
+	n, err := word.Count(d, k)
+	if err != nil {
+		return rep, fmt.Errorf("check: DG(%d,%d): %w", d, k, err)
+	}
+	engines := []struct {
+		name string
+		kn   *core.Kernels
+	}{
+		{"packed", core.NewKernels(core.KernelConfig{TableBudget: -1})},
+		{"table", core.NewKernels(core.KernelConfig{SyncTableBuild: true})},
+	}
+	ref := core.NewKernels(core.KernelConfig{TableBudget: -1, DisablePacked: true})
+	f := newFindings(opt.MaxFindings)
+
+	var pairs [][2]word.Word
+	if n <= opt.SampleAbove {
+		words := make([]word.Word, 0, n)
+		word.ForEach(d, k, func(w word.Word) bool {
+			words = append(words, w)
+			return true
+		})
+		for _, x := range words {
+			for _, y := range words {
+				pairs = append(pairs, [2]word.Word{x, y})
+			}
+		}
+	} else {
+		rep.Sampled = true
+		rng := rand.New(rand.NewSource(opt.Seed))
+		for i := 0; i < opt.Pairs; i++ {
+			pairs = append(pairs, [2]word.Word{word.Random(d, k, rng), word.Random(d, k, rng)})
+		}
+	}
+
+	for _, p := range pairs {
+		if f.full() {
+			rep.Truncated = true
+			break
+		}
+		x, y := p[0], p[1]
+		wantU, err := ref.UndirectedDistance(x, y)
+		if err != nil {
+			return rep, fmt.Errorf("check: reference UndirectedDistance(%v,%v): %w", x, y, err)
+		}
+		wantD, err := ref.DirectedDistance(x, y)
+		if err != nil {
+			return rep, fmt.Errorf("check: reference DirectedDistance(%v,%v): %w", x, y, err)
+		}
+		wantP, err := ref.RouteUndirected(x, y)
+		if err != nil {
+			return rep, fmt.Errorf("check: reference RouteUndirected(%v,%v): %w", x, y, err)
+		}
+		wantH, wantOK, err := ref.NextHopUndirected(x, y)
+		if err != nil {
+			return rep, fmt.Errorf("check: reference NextHopUndirected(%v,%v): %w", x, y, err)
+		}
+		for _, e := range engines {
+			compareKernel(f, e.name, e.kn, x, y, wantU, wantD, wantP, wantH, wantOK)
+			compareFrame(f, e.name, e.kn, x, y, wantU, wantD, wantP, wantH, wantOK)
+		}
+		rep.Checked++
+	}
+	rep.Findings = f.result()
+	rep.Truncated = rep.Truncated || f.full()
+	return rep, nil
+}
+
+func compareKernel(f *findings, name string, kn *core.Kernels, x, y word.Word, wantU, wantD int, wantP core.Path, wantH core.Hop, wantOK bool) {
+	gotU, err := kn.UndirectedDistance(x, y)
+	if err != nil || gotU != wantU {
+		f.addf("kernel-udist", "%s: D(%v,%v) = %d (err %v), scratch %d", name, x, y, gotU, err, wantU)
+	}
+	gotD, err := kn.DirectedDistance(x, y)
+	if err != nil || gotD != wantD {
+		f.addf("kernel-ddist", "%s: D→(%v,%v) = %d (err %v), scratch %d", name, x, y, gotD, err, wantD)
+	}
+	gotP, err := kn.RouteUndirected(x, y)
+	if err != nil || !pathsEqual(gotP, wantP) {
+		f.addf("kernel-route", "%s: route(%v,%v) = %v (err %v), scratch %v", name, x, y, gotP, err, wantP)
+	}
+	gotH, gotOK, err := kn.NextHopUndirected(x, y)
+	if err != nil || gotOK != wantOK || gotH != wantH {
+		f.addf("kernel-nexthop", "%s: hop(%v,%v) = %v,%v (err %v), scratch %v,%v", name, x, y, gotH, gotOK, err, wantH, wantOK)
+	}
+}
+
+func compareFrame(f *findings, name string, kn *core.Kernels, x, y word.Word, wantU, wantD int, wantP core.Path, wantH core.Hop, wantOK bool) {
+	fr := kn.Frame()
+	i, err := fr.Add(x, y)
+	if err != nil {
+		f.addf("frame-add", "%s: Add(%v,%v): %v", name, x, y, err)
+		return
+	}
+	gotU, err := fr.UndirectedDistance(i)
+	if err != nil || gotU != wantU {
+		f.addf("frame-udist", "%s: D(%v,%v) = %d (err %v), scratch %d", name, x, y, gotU, err, wantU)
+	}
+	gotD, err := fr.DirectedDistance(i)
+	if err != nil || gotD != wantD {
+		f.addf("frame-ddist", "%s: D→(%v,%v) = %d (err %v), scratch %d", name, x, y, gotD, err, wantD)
+	}
+	gotP, err := fr.RouteUndirected(i)
+	if err != nil || !pathsEqual(gotP, wantP) {
+		f.addf("frame-route", "%s: route(%v,%v) = %v (err %v), scratch %v", name, x, y, gotP, err, wantP)
+	}
+	gotH, gotOK, err := fr.NextHopUndirected(i)
+	if err != nil || gotOK != wantOK || gotH != wantH {
+		f.addf("frame-nexthop", "%s: hop(%v,%v) = %v,%v (err %v), scratch %v,%v", name, x, y, gotH, gotOK, err, wantH, wantOK)
+	}
+}
+
+func pathsEqual(a, b core.Path) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"slices"
 	"testing"
 
 	"repro/internal/graph"
@@ -93,6 +94,86 @@ func FuzzDirectedAgainstBFS(f *testing.F) {
 		}
 		if got != want {
 			t.Fatalf("D(%v,%v) = %d, BFS %d", x, y, got, want)
+		}
+	})
+}
+
+// FuzzKernelTierEquivalence throws arbitrary digit material at the
+// tier ladder: a scratch-forced, a packed-forced, and a table-admitting
+// engine (plus the packed engine's batch frame) must return identical
+// distances, paths, and next hops for every input.
+func FuzzKernelTierEquivalence(f *testing.F) {
+	f.Add(uint8(2), []byte{0, 1, 1, 0, 1, 0}, []byte{1, 0, 0, 1, 1, 1})
+	f.Add(uint8(3), []byte{0, 1, 2, 2}, []byte{2, 1, 0, 0})
+	f.Add(uint8(4), []byte{0, 3, 1, 2}, []byte{2, 0, 3, 1})
+	f.Add(uint8(2), []byte{0}, []byte{1})
+	f.Fuzz(func(t *testing.T, base uint8, xd, yd []byte) {
+		if len(xd) != len(yd) || len(xd) == 0 || len(xd) > 96 {
+			return
+		}
+		if base < 2 || base > 6 {
+			return
+		}
+		x, err := word.New(int(base), xd)
+		if err != nil {
+			return
+		}
+		y, err := word.New(int(base), yd)
+		if err != nil {
+			return
+		}
+		engines := map[string]*Kernels{
+			"scratch": NewKernels(KernelConfig{TableBudget: -1, DisablePacked: true}),
+			"packed":  NewKernels(KernelConfig{TableBudget: -1}),
+			"table":   NewKernels(KernelConfig{SyncTableBuild: true}),
+		}
+		ref := engines["scratch"]
+		wantU, err := ref.UndirectedDistance(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantD, err := ref.DirectedDistance(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantP, err := ref.RouteUndirected(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantH, wantOK, err := ref.NextHopUndirected(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, kn := range engines {
+			gotU, err := kn.UndirectedDistance(x, y)
+			if err != nil || gotU != wantU {
+				t.Fatalf("%s: UndirectedDistance(%v,%v) = %d,%v want %d", name, x, y, gotU, err, wantU)
+			}
+			gotD, err := kn.DirectedDistance(x, y)
+			if err != nil || gotD != wantD {
+				t.Fatalf("%s: DirectedDistance(%v,%v) = %d,%v want %d", name, x, y, gotD, err, wantD)
+			}
+			gotP, err := kn.RouteUndirected(x, y)
+			if err != nil || !slices.Equal(gotP, wantP) {
+				t.Fatalf("%s: RouteUndirected(%v,%v) = %v,%v want %v", name, x, y, gotP, err, wantP)
+			}
+			gotH, gotOK, err := kn.NextHopUndirected(x, y)
+			if err != nil || gotOK != wantOK || gotH != wantH {
+				t.Fatalf("%s: NextHopUndirected(%v,%v) = %v,%v,%v want %v,%v", name, x, y, gotH, gotOK, err, wantH, wantOK)
+			}
+			fr := kn.Frame()
+			i, err := fr.Add(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotU, err = fr.UndirectedDistance(i)
+			if err != nil || gotU != wantU {
+				t.Fatalf("%s frame: UndirectedDistance(%v,%v) = %d,%v want %d", name, x, y, gotU, err, wantU)
+			}
+			gotH, gotOK, err = fr.NextHopUndirected(i)
+			if err != nil || gotOK != wantOK || gotH != wantH {
+				t.Fatalf("%s frame: NextHopUndirected(%v,%v) = %v,%v,%v want %v,%v", name, x, y, gotH, gotOK, err, wantH, wantOK)
+			}
 		}
 	})
 }

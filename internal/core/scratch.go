@@ -54,17 +54,10 @@ type aframe struct {
 }
 
 // loadDigits fills sc.xd/sc.yd with the digits of x and y without
-// allocating (word.Digits copies; Digit does not).
+// allocating (word.Digits copies; AppendDigits reuses the buffer).
 func (sc *Scratch) loadDigits(x, y word.Word) {
-	sc.xd = appendDigits(sc.xd[:0], x)
-	sc.yd = appendDigits(sc.yd[:0], y)
-}
-
-func appendDigits(buf []byte, w word.Word) []byte {
-	for i, k := 0, w.Len(); i < k; i++ {
-		buf = append(buf, w.Digit(i))
-	}
-	return buf
+	sc.xd = x.AppendDigits(sc.xd[:0])
+	sc.yd = y.AppendDigits(sc.yd[:0])
 }
 
 // DirectedDistance is Property 1 (see the package-level function)

@@ -46,8 +46,19 @@ func nextHopFailure(dst word.Word, herr error, more bool) error {
 }
 
 // Build computes the table of one site in O(N·k): one next-hop
-// computation per destination.
+// computation per destination, through a tiered kernel engine
+// (core.Kernels) so small alphabets run on the bit-packed kernels.
+// The rank-table tier is left off here — a single site doesn't
+// amortize a full pair-matrix build; BuildAll, which does, turns it
+// on.
 func Build(site word.Word, unidirectional bool) (*Table, error) {
+	return buildWith(site, unidirectional, core.NewKernels(core.KernelConfig{TableBudget: -1}))
+}
+
+// buildWith is Build on a caller-owned kernel engine, so BuildAll can
+// share one engine — and, on table-eligible graphs, the one shared
+// rank table — across every site.
+func buildWith(site word.Word, unidirectional bool, kn *core.Kernels) (*Table, error) {
 	if site.IsZero() {
 		return nil, errors.New("routetable: zero-value site")
 	}
@@ -71,9 +82,9 @@ func Build(site word.Word, unidirectional bool) (*Table, error) {
 		var more bool
 		var herr error
 		if unidirectional {
-			h, more, herr = core.NextHopDirected(site, dst)
+			h, more, herr = kn.NextHopDirected(site, dst)
 		} else {
-			h, more, herr = core.NextHopUndirected(site, dst)
+			h, more, herr = kn.NextHopUndirected(site, dst)
 		}
 		if herr != nil || !more {
 			err = nextHopFailure(dst, herr, more)
@@ -117,15 +128,19 @@ type Network struct {
 	tables []*Table
 }
 
-// BuildAll computes every site's table: O(N²·k) total.
+// BuildAll computes every site's table: O(N²·k) total on the packed
+// and scratch tiers. On table-eligible graphs the shared engine builds
+// one rank table and every site's entries become O(1) lookups into it,
+// so the whole network costs one pair-matrix pass.
 func BuildAll(d, k int, unidirectional bool) (*Network, error) {
 	n, err := word.Count(d, k)
 	if err != nil {
 		return nil, fmt.Errorf("routetable: %w", err)
 	}
+	kn := core.NewKernels(core.KernelConfig{SyncTableBuild: true})
 	net := &Network{d: d, k: k, tables: make([]*Table, n)}
 	if _, err := word.ForEach(d, k, func(site word.Word) bool {
-		t, berr := Build(site, unidirectional)
+		t, berr := buildWith(site, unidirectional, kn)
 		if berr != nil {
 			err = berr
 			return false

@@ -10,6 +10,10 @@ import (
 
 func TestTableEntriesMatchNextHopFunctions(t *testing.T) {
 	site := word.MustParse(2, "0110")
+	// Canonical next-hop oracle on the scratch-forced tier: tables are
+	// built through the tiered kernels, so the reference must share
+	// their canonical tie-break while exercising a different tier.
+	refKn := core.NewKernels(core.KernelConfig{TableBudget: -1, DisablePacked: true})
 	for _, uni := range []bool{true, false} {
 		tbl, err := Build(site, uni)
 		if err != nil {
@@ -28,7 +32,7 @@ func TestTableEntriesMatchNextHopFunctions(t *testing.T) {
 			if uni {
 				want, wantMore, err = core.NextHopDirected(site, dst)
 			} else {
-				want, wantMore, err = core.NextHopUndirected(site, dst)
+				want, wantMore, err = refKn.NextHopUndirected(site, dst)
 			}
 			if err != nil {
 				t.Fatal(err)
@@ -156,4 +160,56 @@ func TestTableSiteAccessor(t *testing.T) {
 	if !tbl.Site().Equal(site) {
 		t.Error("Site accessor wrong")
 	}
+}
+
+// buildLegacy is the pre-kernel Build: one pooled one-shot next-hop
+// computation per destination, kept as the benchmark baseline for the
+// tiered rebuild.
+func buildLegacy(b *testing.B, site word.Word, unidirectional bool) {
+	b.Helper()
+	d, k := site.Base(), site.Len()
+	if _, err := word.ForEach(d, k, func(dst word.Word) bool {
+		if dst.Equal(site) {
+			return true
+		}
+		var err error
+		var more bool
+		if unidirectional {
+			_, more, err = core.NextHopDirected(site, dst)
+		} else {
+			_, more, err = core.NextHopUndirected(site, dst)
+		}
+		if err != nil || !more {
+			b.Fatalf("next hop for %v: more=%v err=%v", dst, more, err)
+		}
+		return true
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBuild is the regression benchmark of the tiered rebuild:
+// Build (packed kernels) and BuildAll (shared rank table) against the
+// legacy per-destination one-shot loop.
+func BenchmarkBuild(b *testing.B) {
+	site := word.MustParse(2, "01101001")
+	b.Run("legacy/site-2-8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			buildLegacy(b, site, false)
+		}
+	})
+	b.Run("kernels/site-2-8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Build(site, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("kernels/all-2-8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := BuildAll(2, 8, false); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

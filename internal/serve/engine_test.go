@@ -15,6 +15,9 @@ import (
 func TestEngineEquivalence(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	eng := NewEngine(nil)
+	// Canonical hop oracle on the scratch-forced tier: independent of
+	// whatever tier the engine picks, but same canonical tie-break.
+	refKn := core.NewKernels(core.KernelConfig{TableBudget: -1, DisablePacked: true})
 	for _, dk := range [][2]int{{2, 3}, {2, 8}, {3, 4}, {4, 3}, {2, 16}} {
 		d, k := dk[0], dk[1]
 		for p := 0; p < 40; p++ {
@@ -55,7 +58,7 @@ func TestEngineEquivalence(t *testing.T) {
 					if mode == Directed {
 						wantHop, more, err = core.NextHopDirected(x, y)
 					} else {
-						wantHop, more, err = core.NextHopUndirected(x, y)
+						wantHop, more, err = refKn.NextHopUndirected(x, y)
 					}
 					if err != nil || !more {
 						t.Fatalf("oracle nexthop(%v,%v,%v): more=%v err=%v", x, y, mode, more, err)
@@ -218,5 +221,69 @@ func TestEngineAllocBudgets(t *testing.T) {
 		if allocs > b.max {
 			t.Errorf("%s: %.1f allocs/op, budget %.0f", b.name, allocs, b.max)
 		}
+	}
+}
+
+// TestEngineBatchFrame pins the batch path to the scalar path: after
+// BeginBatch, AnswerBatchTraced must return byte-identical answers —
+// and a warm batch of distance/next-hop misses allocates nothing.
+func TestEngineBatchFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, dk := range [][2]int{{2, 64}, {2, 100}, {2, 8}, {5, 4}} {
+		d, k := dk[0], dk[1]
+		batch := NewEngine(nil)
+		scalar := NewEngine(nil)
+		src := word.Random(d, k, rng)
+		qs := make([]Query, 0, 24)
+		for i := 0; i < 8; i++ {
+			dst := word.Random(d, k, rng)
+			for _, kind := range []Kind{KindDistance, KindRoute, KindNextHop} {
+				qs = append(qs, Query{Kind: kind, Src: src, Dst: dst})
+			}
+		}
+		qs = append(qs, Query{Kind: KindDistance, Mode: Directed, Src: src, Dst: word.Random(d, k, rng)})
+		batch.BeginBatch(qs)
+		for i, q := range qs {
+			got, _, err := batch.AnswerBatchTraced(i, q, LevelFull, nil)
+			if err != nil {
+				t.Fatalf("DG(%d,%d) batch[%d]: %v", d, k, i, err)
+			}
+			want, _, err := scalar.Answer(q, LevelFull)
+			if err != nil {
+				t.Fatalf("DG(%d,%d) scalar[%d]: %v", d, k, i, err)
+			}
+			if got.Distance != want.Distance || got.Hop != want.Hop || got.HasHop != want.HasHop ||
+				len(got.Path) != len(want.Path) {
+				t.Fatalf("DG(%d,%d) batch[%d] %+v != scalar %+v", d, k, i, got, want)
+			}
+			for j := range got.Path {
+				if got.Path[j] != want.Path[j] {
+					t.Fatalf("DG(%d,%d) batch[%d] path hop %d: %v != %v", d, k, i, j, got.Path[j], want.Path[j])
+				}
+			}
+		}
+	}
+
+	// Allocation budget: a warm distance/next-hop batch is 0 allocs
+	// end to end (BeginBatch included).
+	eng := NewEngine(nil)
+	src := word.Random(2, 64, rng)
+	qs := make([]Query, 0, 16)
+	for i := 0; i < 8; i++ {
+		dst := word.Random(2, 64, rng)
+		qs = append(qs, Query{Kind: KindDistance, Src: src, Dst: dst},
+			Query{Kind: KindNextHop, Src: src, Dst: dst})
+	}
+	run := func() {
+		eng.BeginBatch(qs)
+		for i, q := range qs {
+			if _, _, err := eng.AnswerBatchTraced(i, q, LevelFull, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run() // warm frame and kernel buffers
+	if allocs := testing.AllocsPerRun(100, run); allocs != 0 {
+		t.Errorf("warm batch: %.1f allocs/run, want 0", allocs)
 	}
 }

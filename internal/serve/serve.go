@@ -196,23 +196,77 @@ func appendKey(b []byte, q Query) []byte {
 // bytes decides which node owns the query's cache line.
 func (q Query) AppendKey(b []byte) []byte { return appendKey(b, q) }
 
-// Engine is the per-worker compute core: one routing Scratch plus an
-// optional shared result cache. Not safe for concurrent use — the
-// server gives each worker shard its own Engine (the Cache itself is
-// concurrency-safe). The benchmarks (dbbench -suite serve) and the
-// AllocsPerRun tests drive Engine directly: a cache hit is 0 allocs/op
-// and a miss stays within the PR 4 kernel budget (0 for distance and
-// next-hop, 1 — the returned path — for route).
+// Engine is the per-worker compute core: one tiered kernel engine
+// (core.Kernels — rank-indexed tables, bit-packed kernels, or the
+// byte-digit scratch, selected per (d,k)) plus an optional shared
+// result cache. Not safe for concurrent use — the server gives each
+// worker shard its own Engine (the Cache itself is concurrency-safe).
+// The benchmarks (dbbench -suite serve) and the AllocsPerRun tests
+// drive Engine directly: a cache hit is 0 allocs/op and a miss stays
+// within the PR 4 kernel budget (0 for distance and next-hop, 1 — the
+// returned path — for route).
 type Engine struct {
-	sc    *core.Scratch
+	kn    *core.Kernels
 	cache *Cache
 	key   []byte
+
+	// Batch state: fr holds the packed operands of the current batch
+	// (BeginBatch), slot maps batch index to frame slot (-1 when the
+	// sub-query failed validation and will be rejected downstream),
+	// and curSlot routes the kernel calls of the sub-query being
+	// answered through the frame. Scalar Answer calls leave curSlot
+	// at -1 and take the exact pre-batch path.
+	fr      *core.Frame
+	slot    []int32
+	curSlot int32
 }
 
-// NewEngine returns an Engine computing on its own Scratch, consulting
-// cache when non-nil.
+// NewEngine returns an Engine with the default kernel configuration,
+// consulting cache when non-nil.
 func NewEngine(cache *Cache) *Engine {
-	return &Engine{sc: core.NewScratch(), cache: cache}
+	return NewEngineKernels(cache, core.KernelConfig{})
+}
+
+// NewEngineKernels is NewEngine with an explicit kernel-tier
+// configuration (Config.Kernel hands it to every worker shard).
+func NewEngineKernels(cache *Cache, cfg core.KernelConfig) *Engine {
+	return &Engine{kn: core.NewKernels(cfg), cache: cache, curSlot: -1}
+}
+
+// Kernels exposes the engine's tier dispatcher (dbstats and tests
+// inspect tier selection through it).
+func (e *Engine) Kernels() *core.Kernels { return e.kn }
+
+// BeginBatch prepares the engine for a batch of sub-queries: every
+// valid pair's operands are packed into the kernel frame once, up
+// front, with consecutive repeats of a source or destination shared —
+// so a batch that walks one destination set pays one packing pass,
+// not one per sub-query. Answering then reuses the packed forms via
+// AnswerBatchTraced. The frame state lives until the next BeginBatch.
+func (e *Engine) BeginBatch(qs []Query) {
+	e.fr = e.kn.Frame()
+	e.slot = e.slot[:0]
+	for _, q := range qs {
+		s := int32(-1)
+		if q.Validate() == nil {
+			if i, err := e.fr.Add(q.Src, q.Dst); err == nil {
+				s = int32(i)
+			}
+		}
+		e.slot = append(e.slot, s)
+	}
+}
+
+// AnswerBatchTraced is AnswerTraced for sub-query i of the batch given
+// to BeginBatch: identical answers, but kernel calls reuse the batch
+// frame's packed operands.
+func (e *Engine) AnswerBatchTraced(i int, q Query, level Level, tr *obs.ReqTrace) (Answer, bool, error) {
+	if e.fr != nil && i < len(e.slot) {
+		e.curSlot = e.slot[i]
+	}
+	a, cached, err := e.AnswerTraced(q, level, tr)
+	e.curSlot = -1
+	return a, cached, err
 }
 
 // Answer resolves q at the given degrade level. The boolean reports a
@@ -361,16 +415,22 @@ func (e *Engine) compute(q Query, level Level) (Answer, error) {
 
 func (e *Engine) distance(q Query) (int, error) {
 	if q.Mode == Directed {
-		return e.sc.DirectedDistance(q.Src, q.Dst)
+		if s := e.curSlot; s >= 0 {
+			return e.fr.DirectedDistance(int(s))
+		}
+		return e.kn.DirectedDistance(q.Src, q.Dst)
 	}
-	return e.sc.UndirectedDistanceLinear(q.Src, q.Dst)
+	if s := e.curSlot; s >= 0 {
+		return e.fr.UndirectedDistance(int(s))
+	}
+	return e.kn.UndirectedDistance(q.Src, q.Dst)
 }
 
 func (e *Engine) route(q Query) (core.Path, error) {
 	if q.Mode == Directed {
 		// Property 1: distance k-l leaves the digit sequence
 		// y_{l+1..k}; one exactly-sized allocation for the path.
-		dist, err := e.sc.DirectedDistance(q.Src, q.Dst)
+		dist, err := e.distance(q)
 		if err != nil {
 			return nil, err
 		}
@@ -381,16 +441,22 @@ func (e *Engine) route(q Query) (core.Path, error) {
 		}
 		return p, nil
 	}
-	return e.sc.RouteUndirectedLinear(q.Src, q.Dst)
+	if s := e.curSlot; s >= 0 {
+		return e.fr.RouteUndirected(int(s))
+	}
+	return e.kn.RouteUndirected(q.Src, q.Dst)
 }
 
 func (e *Engine) nextHop(q Query) (core.Hop, bool, error) {
 	if q.Mode == Directed {
-		dist, err := e.sc.DirectedDistance(q.Src, q.Dst)
+		dist, err := e.distance(q)
 		if err != nil || dist == 0 {
 			return core.Hop{}, false, err
 		}
 		return core.L(q.Dst.Digit(q.Dst.Len() - dist)), true, nil
 	}
-	return e.sc.NextHopUndirected(q.Src, q.Dst)
+	if s := e.curSlot; s >= 0 {
+		return e.fr.NextHopUndirected(int(s))
+	}
+	return e.kn.NextHopUndirected(q.Src, q.Dst)
 }

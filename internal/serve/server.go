@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/obs"
 )
 
@@ -17,8 +18,12 @@ import (
 // NewServer.
 type Config struct {
 	// Shards is the number of worker goroutines, each owning one
-	// Engine (and hence one core.Scratch). Default GOMAXPROCS.
+	// Engine (and hence one core.Kernels). Default GOMAXPROCS.
 	Shards int
+	// Kernel configures each worker Engine's kernel tiers (table
+	// budget, packed kernels, build synchrony). The zero value is the
+	// default ladder; see core.KernelConfig.
+	Kernel core.KernelConfig
 	// QueueDepth bounds the admission queue; a request arriving while
 	// the queue is full is shed immediately (reason queue_full), never
 	// blocking the connection reader or the accept loop. Default 1024.
@@ -636,7 +641,7 @@ func (s *Server) publishTrace(tr *obs.ReqTrace) {
 // worker is one shard: a loop around a private Engine.
 func (s *Server) worker() {
 	defer s.workers.Done()
-	eng := NewEngine(s.cache)
+	eng := NewEngineKernels(s.cache, s.cfg.Kernel)
 	for t := range s.queue {
 		s.m.queue.Set(float64(len(s.queue)))
 		s.process(eng, t)
@@ -735,6 +740,9 @@ func (s *Server) answerTask(eng *Engine, t *task) {
 	maxLevel := LevelFull
 	if t.batch != nil {
 		resp = Response{ID: t.req.ID, Status: StatusOK, Batch: make([]Response, len(t.batch))}
+		// One packing pass over the whole batch: the frame shares
+		// packed operands across sub-queries before any cache lookup.
+		eng.BeginBatch(t.batch)
 		for i, q := range t.batch {
 			if time.Now().After(t.deadline) {
 				// Deadline hit mid-batch: the whole request resolves to
@@ -752,7 +760,7 @@ func (s *Server) answerTask(eng *Engine, t *task) {
 				// One wire trace id for the frame; spans tag the sub-query.
 				t.tr.CurSub = i + 1
 			}
-			a, cached, err := eng.AnswerTraced(q, level, t.tr)
+			a, cached, err := eng.AnswerBatchTraced(i, q, level, t.tr)
 			if err != nil {
 				if t.tr != nil {
 					t.tr.CurSub = 0

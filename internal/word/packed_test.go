@@ -1,0 +1,128 @@
+package word
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestPackedBits(t *testing.T) {
+	cases := map[int]int{2: 1, 3: 2, 4: 2, 5: 0, 10: 0, 36: 0}
+	for base, want := range cases {
+		if got := PackedBits(base); got != want {
+			t.Errorf("PackedBits(%d) = %d, want %d", base, got, want)
+		}
+	}
+	if got := PackedWords(2, 64); got != 1 {
+		t.Errorf("PackedWords(2,64) = %d, want 1", got)
+	}
+	if got := PackedWords(2, 65); got != 2 {
+		t.Errorf("PackedWords(2,65) = %d, want 2", got)
+	}
+	if got := PackedWords(4, 32); got != 1 {
+		t.Errorf("PackedWords(4,32) = %d, want 1", got)
+	}
+	if got := PackedWords(4, 33); got != 2 {
+		t.Errorf("PackedWords(4,33) = %d, want 2", got)
+	}
+	if got := PackedWords(7, 10); got != 0 {
+		t.Errorf("PackedWords(7,10) = %d, want 0", got)
+	}
+}
+
+// TestPackedRoundTrip packs and unpacks words across the packable
+// bases, exhaustively for small k and randomly for the sizes that
+// exercise the d=2 whole-element and 8-at-a-time fast paths.
+func TestPackedRoundTrip(t *testing.T) {
+	for _, d := range []int{2, 3, 4} {
+		for k := 1; k <= 8; k++ {
+			if _, err := ForEach(d, k, func(w Word) bool {
+				packed := w.AppendPacked(nil)
+				got, err := UnpackPacked(d, k, packed)
+				if err != nil {
+					t.Fatalf("UnpackPacked(%d,%d,%v): %v", d, k, w, err)
+				}
+				if !got.Equal(w) {
+					t.Fatalf("round trip DG(%d,%d): %v != %v", d, k, got, w)
+				}
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, tc := range []struct{ d, k int }{
+		{2, 63}, {2, 64}, {2, 65}, {2, 100}, {2, 128}, {2, 200}, {2, 1024},
+		{3, 31}, {3, 32}, {3, 33}, {3, 100},
+		{4, 32}, {4, 33}, {4, 512},
+	} {
+		for trial := 0; trial < 20; trial++ {
+			w := Random(tc.d, tc.k, rng)
+			packed := w.AppendPacked(nil)
+			if want := PackedWords(tc.d, tc.k); len(packed) != want {
+				t.Fatalf("DG(%d,%d): packed length %d, want %d", tc.d, tc.k, len(packed), want)
+			}
+			got, err := UnpackPacked(tc.d, tc.k, packed)
+			if err != nil {
+				t.Fatalf("UnpackPacked(%d,%d): %v", tc.d, tc.k, err)
+			}
+			if !got.Equal(w) {
+				t.Fatalf("round trip DG(%d,%d): %v != %v", tc.d, tc.k, got, w)
+			}
+		}
+	}
+}
+
+// TestPackedLayout pins the bit layout: digit i occupies bits
+// [i·b, (i+1)·b) counting from bit 0 of element 0.
+func TestPackedLayout(t *testing.T) {
+	w := MustParse(2, "1101")
+	packed := w.AppendPacked(nil)
+	if len(packed) != 1 || packed[0] != 0b1011 {
+		t.Fatalf("pack(1101 base 2) = %b, want 1011", packed)
+	}
+	w = MustParse(4, "123")
+	packed = w.AppendPacked(nil)
+	if len(packed) != 1 || packed[0] != 1|2<<2|3<<4 {
+		t.Fatalf("pack(123 base 4) = %b, want %b", packed, 1|2<<2|3<<4)
+	}
+}
+
+func TestPackedErrors(t *testing.T) {
+	if _, err := UnpackPacked(5, 4, []uint64{0}); err == nil {
+		t.Error("UnpackPacked accepted unpackable base 5")
+	}
+	if _, err := UnpackPacked(2, 0, nil); err == nil {
+		t.Error("UnpackPacked accepted k = 0")
+	}
+	if _, err := UnpackPacked(2, 65, []uint64{0}); err == nil {
+		t.Error("UnpackPacked accepted short vector")
+	}
+	// Base 3 digit value 3 is representable in 2 bits but invalid.
+	if _, err := UnpackPacked(3, 2, []uint64{3}); err == nil {
+		t.Error("UnpackPacked accepted out-of-base digit")
+	}
+	// Set bits past k·b are corruption, not padding.
+	if _, err := UnpackPacked(2, 4, []uint64{1 << 4}); err == nil {
+		t.Error("UnpackPacked accepted set padding bits")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AppendPacked did not panic on unpackable base")
+		}
+	}()
+	MustParse(5, "1234").AppendPacked(nil)
+}
+
+func TestAppendDigits(t *testing.T) {
+	w := MustParse(4, "3210")
+	buf := make([]byte, 0, 8)
+	got := w.AppendDigits(buf)
+	if string(got) != string([]byte{3, 2, 1, 0}) {
+		t.Fatalf("AppendDigits = %v", got)
+	}
+	got2 := w.AppendDigits(got)
+	if len(got2) != 8 || &got2[0] != &got[0] {
+		t.Fatalf("AppendDigits did not extend in place")
+	}
+}

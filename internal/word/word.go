@@ -138,6 +138,15 @@ func (w Word) Digits() []byte {
 	return d
 }
 
+// AppendDigits appends the word's digits to buf and returns the
+// extended slice — the zero-allocation alternative to Digits for hot
+// paths: once the caller's buffer has grown to length k, reloading a
+// word is a single copy with no fresh slice. The appended bytes are a
+// copy; mutating them cannot reach the word's backing storage.
+func (w Word) AppendDigits(buf []byte) []byte {
+	return append(buf, w.digits...)
+}
+
 // String renders the word with the characters 0-9a-z.
 func (w Word) String() string {
 	var b strings.Builder
