@@ -80,6 +80,7 @@ serve-check:
 fuzz:
 	$(GO) test -fuzz=FuzzDistanceEquivalence -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzKernelTierEquivalence -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzFaultReroute -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzUnmarshalMessage -fuzztime=30s ./internal/network/
 	$(GO) test -fuzz=FuzzParseRoundTrip -fuzztime=30s ./internal/word/
 	$(GO) test -fuzz=FuzzDeflectInvariant -fuzztime=30s ./internal/deflect/

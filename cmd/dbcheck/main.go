@@ -4,6 +4,7 @@
 //	dbcheck -d 2 -k 5                    # per-graph oracles on DG(2,5)
 //	dbcheck -d 2 -k 5 -mode routes       # just the route oracle
 //	dbcheck -d 2 -k 5 -mode kernels      # just the kernel-tier oracle
+//	dbcheck -d 2 -k 5 -mode faultroutes  # the fault-routing oracle
 //	dbcheck -mode cluster                # the cluster conservation oracle
 //	dbcheck -mode chaos                  # the adversarial serving oracle
 //	dbcheck -mode all                    # sweep every DG(d,k) ≤ 4096 vertices
@@ -70,7 +71,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("dbcheck", flag.ContinueOnError)
 	d := fs.Int("d", 0, "alphabet size (0 with -k 0: sweep all graphs under -max-vertices)")
 	k := fs.Int("k", 0, "word length")
-	mode := fs.String("mode", "all", "oracle selection: routes | engines | invariants | kernels | cluster | chaos | all")
+	mode := fs.String("mode", "all", "oracle selection: routes | engines | invariants | kernels | faultroutes | cluster | chaos | all")
 	maxVertices := fs.Int("max-vertices", 4096, "sweep bound on d^k when -d/-k are not given")
 	seed := fs.Int64("seed", 1, "seed for sampling, workloads and fault plans")
 	samplePairs := fs.Int("sample-pairs", 4096, "route-oracle pairs sampled per graph above -sample-above vertices")
@@ -86,9 +87,9 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("give both -d and -k, or neither (sweep)")
 	}
 	switch *mode {
-	case "routes", "engines", "invariants", "kernels", "cluster", "chaos", "all":
+	case "routes", "engines", "invariants", "kernels", "faultroutes", "cluster", "chaos", "all":
 	default:
-		return fmt.Errorf("unknown -mode %q (routes | engines | invariants | kernels | cluster | chaos | all)", *mode)
+		return fmt.Errorf("unknown -mode %q (routes | engines | invariants | kernels | faultroutes | cluster | chaos | all)", *mode)
 	}
 
 	var graphs [][2]int
@@ -146,6 +147,9 @@ func run(args []string, out io.Writer) error {
 			Seed:        *seed,
 			Pairs:       *samplePairs,
 			MaxFindings: *maxFindings,
+		}, check.FaultRoutesOptions{
+			Seed:        *seed,
+			MaxFindings: *maxFindings,
 		})
 		if err != nil {
 			return err
@@ -172,7 +176,7 @@ func run(args []string, out io.Writer) error {
 }
 
 // runGraph runs the selected oracles on one DG(d,k).
-func runGraph(d, k int, mode string, ro check.RoutesOptions, eo check.EnginesOptions, vo check.InvariantsOptions, ko check.KernelsOptions) ([]check.Report, error) {
+func runGraph(d, k int, mode string, ro check.RoutesOptions, eo check.EnginesOptions, vo check.InvariantsOptions, ko check.KernelsOptions, fo check.FaultRoutesOptions) ([]check.Report, error) {
 	var reps []check.Report
 	if mode == "routes" || mode == "all" {
 		r, err := check.Routes(d, k, ro)
@@ -197,6 +201,13 @@ func runGraph(d, k int, mode string, ro check.RoutesOptions, eo check.EnginesOpt
 	}
 	if mode == "kernels" || mode == "all" {
 		r, err := check.Kernels(d, k, ko)
+		if err != nil {
+			return nil, err
+		}
+		reps = append(reps, r)
+	}
+	if mode == "faultroutes" || mode == "all" {
+		r, err := check.FaultRoutes(d, k, fo)
 		if err != nil {
 			return nil, err
 		}

@@ -9,8 +9,15 @@
 //
 // The server owns one routing engine (and one reusable scratch state)
 // per shard, shares an LRU result cache across shards, sheds instead
-// of queueing unboundedly, and degrades route answers to distance-only
-// and then to layer-bound estimates as the admission queue fills.
+// of queueing unboundedly, and degrades route answers to fault-avoiding
+// detour paths, then distance-only, then layer-bound estimates as the
+// admission queue fills.
+//
+// Link failures can be injected at startup with repeated -fail-link
+// flags ("d:srcword:dstword"); route answers then carry arborescence
+// detour paths around the failed links, labelled degrade="detour" on
+// the wire. -degrade-detour tunes the queue-fill fraction where the
+// detour rung engages on its own.
 //
 // With -trace-sample N, one request in N records a full span trace
 // (admission, queue wait, cache, kernel, response write) served on
@@ -64,6 +71,9 @@ func run(args []string, out io.Writer) error {
 	traceSeed := fs.Uint64("trace-seed", 1, "seed of the deterministic trace sampler")
 	traceBuffer := fs.Int("trace-buffer", 256, "sampled traces retained for /debug/traces")
 	flightSize := fs.Int("flight-size", 0, "flight-recorder ring capacity in events (0 disables)")
+	degradeDetour := fs.Float64("degrade-detour", 0, "queue-fill fraction that degrades routes to detour paths (0: default 0.60)")
+	var failLinks failLinkFlags
+	fs.Var(&failLinks, "fail-link", "fail the link d:srcword:dstword (repeatable); route answers detour around failed links")
 	selfcheck := fs.Bool("selfcheck", false, "run an in-process load sweep instead of listening")
 	probe := fs.Bool("probe", false, "connect to -addr as a client, send traced smoke queries, exit")
 	d := fs.Int("d", 2, "selfcheck: alphabet size")
@@ -83,6 +93,16 @@ func run(args []string, out io.Writer) error {
 		return runProbe(*addr, out)
 	}
 
+	var faults *serve.FaultSet
+	if len(failLinks) > 0 {
+		faults = serve.NewFaultSet()
+		for _, l := range failLinks {
+			if err := faults.FailLink(l[0], l[1]); err != nil {
+				return err
+			}
+		}
+	}
+
 	reg := obs.NewRegistry()
 	srv := serve.NewServer(serve.Config{
 		Shards:          *shards,
@@ -95,6 +115,8 @@ func run(args []string, out io.Writer) error {
 		TraceSeed:       *traceSeed,
 		TraceBufferSize: *traceBuffer,
 		FlightSize:      *flightSize,
+		DegradeDetour:   *degradeDetour,
+		Faults:          faults,
 	})
 	defer srv.Close()
 
@@ -314,6 +336,33 @@ func checkCountsMatch(m map[string]int64, c serve.Counts) error {
 			return fmt.Errorf("%s: wire %d != in-process %d", ch.name, ch.wire, ch.mem)
 		}
 	}
+	return nil
+}
+
+// failLinkFlags collects repeated -fail-link values, each parsed as
+// "d:srcword:dstword" into the link's two endpoint words.
+type failLinkFlags [][2]word.Word
+
+func (f *failLinkFlags) String() string { return fmt.Sprintf("%d link(s)", len(*f)) }
+
+func (f *failLinkFlags) Set(s string) error {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("want d:srcword:dstword, got %q", s)
+	}
+	base, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return fmt.Errorf("bad base in %q: %w", s, err)
+	}
+	u, err := word.Parse(base, parts[1])
+	if err != nil {
+		return fmt.Errorf("bad link endpoint in %q: %w", s, err)
+	}
+	v, err := word.Parse(base, parts[2])
+	if err != nil {
+		return fmt.Errorf("bad link endpoint in %q: %w", s, err)
+	}
+	*f = append(*f, [2]word.Word{u, v})
 	return nil
 }
 

@@ -16,6 +16,7 @@
 //	dbstats -table cluster    # E23: multi-node cluster over its own fabric
 //	dbstats -table chaos      # E24: adversarial load through the chaos transport
 //	dbstats -table kernels    # E25: tiered kernel engine speedup grid
+//	dbstats -table faultroutes # E26: arborescence failover vs BFS recompute
 //	dbstats -table all        # everything above
 package main
 
@@ -141,6 +142,12 @@ func run(args []string, out io.Writer) error {
 			// must balance in every cell.
 			return experiments.ChaosTable(experiments.ChaosRunConfig{Seed: *seed})
 		},
+		"faultroutes": func() (*stats.Table, error) {
+			// Arborescence failover vs offline recompute: delivery must
+			// stay 1.0 for every failure count below the tree count, and
+			// the meanStretch − bfsStretch gap prices the O(1) failover.
+			return experiments.FaultRoutesTable([][2]int{{2, 4}, {2, 6}, {3, 3}, {4, 2}}, 4, 120, *seed)
+		},
 		"kernels": func() (*stats.Table, error) {
 			// The tier ladder across graph scales: table tier on small
 			// graphs, packed tier through k=512 at d=2, scratch where
@@ -170,9 +177,10 @@ func run(args []string, out io.Writer) error {
 		"trace":     "E22 — flight recorder: frozen postmortem of an E21 overload run",
 		"cluster":   "E23 — multi-node cluster: load partitioned over its own de Bruijn fabric",
 		"chaos":     "E24 — adversarial serving: workload shapes × fault schedules, conservation everywhere",
-		"kernels":   "E25 — tiered routing kernels: scratch vs selected tier vs batch frame",
+		"kernels":     "E25 — tiered routing kernels: scratch vs selected tier vs batch frame",
+		"faultroutes": "E26 — fault routing: arborescence failover vs BFS recompute under arc failures",
 	}
-	order := []string{"census", "eq5", "fig2", "crossover", "policy", "fault", "dist", "moore", "broadcast", "diversity", "latency", "dht", "loadcurve", "stretch", "deflect", "serve", "trace", "cluster", "chaos", "kernels"}
+	order := []string{"census", "eq5", "fig2", "crossover", "policy", "fault", "dist", "moore", "broadcast", "diversity", "latency", "dht", "loadcurve", "stretch", "deflect", "serve", "trace", "cluster", "chaos", "kernels", "faultroutes"}
 
 	emit := func(name string) error {
 		t, err := printers[name]()

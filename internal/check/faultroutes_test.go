@@ -1,0 +1,59 @@
+package check
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFaultRoutesClean: the oracle passes on representative graphs —
+// every decomposition validates and every reachable pair delivers
+// within the bound under every sampled failure set of size < Trees.
+func TestFaultRoutesClean(t *testing.T) {
+	for _, dk := range [][2]int{{2, 3}, {2, 6}, {3, 3}, {4, 2}, {5, 1}} {
+		d, k := dk[0], dk[1]
+		rep, err := FaultRoutes(d, k, FaultRoutesOptions{Seed: 1})
+		if err != nil {
+			t.Fatalf("DG(%d,%d): %v", d, k, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("DG(%d,%d) findings: %v", d, k, rep.Findings)
+		}
+		if rep.Mode != "faultroutes" || rep.Checked == 0 {
+			t.Fatalf("DG(%d,%d) report: %+v", d, k, rep)
+		}
+	}
+}
+
+// TestFaultRoutesDeterministic: the verdict is a pure function of
+// (d, k, options) — byte-identical JSON across runs, the property the
+// CI job diffs on.
+func TestFaultRoutesDeterministic(t *testing.T) {
+	opt := FaultRoutesOptions{Seed: 42, Roots: 4, Sources: 12}
+	a, err := FaultRoutes(3, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FaultRoutes(3, 4, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, _ := json.Marshal(a)
+	jb, _ := json.Marshal(b)
+	if string(ja) != string(jb) {
+		t.Fatalf("verdicts differ:\n%s\n%s", ja, jb)
+	}
+	if a.Sampled != (3*3*3*3 > 64) {
+		t.Fatalf("Sampled = %v on %d vertices", a.Sampled, 81)
+	}
+}
+
+// TestFaultRoutesOversize: graphs beyond the fault-routing bound are
+// a hard error (the sweep driver skips them), wrapping ErrFaultRoute.
+func TestFaultRoutesOversize(t *testing.T) {
+	if _, err := FaultRoutes(2, 17, FaultRoutesOptions{}); !errors.Is(err, core.ErrFaultRoute) {
+		t.Fatalf("DG(2,17) error = %v, want ErrFaultRoute", err)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math/rand"
 	"slices"
 	"testing"
 
@@ -174,6 +175,83 @@ func FuzzKernelTierEquivalence(f *testing.F) {
 			if err != nil || gotOK != wantOK || gotH != wantH {
 				t.Fatalf("%s frame: NextHopUndirected(%v,%v) = %v,%v,%v want %v,%v", name, x, y, gotH, gotOK, err, wantH, wantOK)
 			}
+		}
+	})
+}
+
+// FuzzFaultReroute drives the arborescence fault router with
+// arbitrary failure sets strictly smaller than the tree count: no
+// such set may strand a pair. Delivered walks must stay within the
+// hop bound, cross only live real arcs, and convert to a concrete
+// detour path that replays src→dst.
+func FuzzFaultReroute(f *testing.F) {
+	f.Add(uint8(2), uint8(4), uint16(3), uint16(9), int64(1))
+	f.Add(uint8(3), uint8(3), uint16(0), uint16(25), int64(7))
+	f.Add(uint8(4), uint8(2), uint16(15), uint16(1), int64(-3))
+	f.Add(uint8(5), uint8(1), uint16(2), uint16(4), int64(11))
+	f.Fuzz(func(t *testing.T, d, k uint8, srcRaw, dstRaw uint16, seed int64) {
+		if d < 2 || d > 6 || k < 1 || k > 6 {
+			return
+		}
+		fr, err := NewFaultRouter(int(d), int(k))
+		if err != nil {
+			return // oversize (d,k), not a finding
+		}
+		n := fr.NumVertices()
+		src, dst := int(srcRaw)%n, int(dstRaw)%n
+		g := fr.Graph()
+
+		// Derive a failure set of size < Trees from the seed.
+		rng := rand.New(rand.NewSource(seed))
+		fcount := 0
+		if fr.Trees() > 1 {
+			fcount = rng.Intn(fr.Trees())
+		}
+		set := map[[2]int]bool{}
+		for len(set) < fcount {
+			u := rng.Intn(n)
+			nbrs := g.OutNeighbors(u)
+			if len(nbrs) == 0 {
+				return
+			}
+			set[[2]int{u, int(nbrs[rng.Intn(len(nbrs))])}] = true
+		}
+		failed := func(u, v int) bool { return set[[2]int{u, v}] }
+
+		w, err := fr.Walk(src, dst, failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !w.Delivered {
+			t.Fatalf("DG(%d,%d) %d→%d stranded by %d < %d failures: %s", d, k, src, dst, fcount, fr.Trees(), w.Reason)
+		}
+		if w.Hops > fr.HopBound() {
+			t.Fatalf("walk took %d hops, bound %d", w.Hops, fr.HopBound())
+		}
+		for i := 1; i < len(w.Verts); i++ {
+			u, v := int(w.Verts[i-1]), int(w.Verts[i])
+			if !g.HasEdge(u, v) || failed(u, v) {
+				t.Fatalf("walk crossed dead arc %d→%d", u, v)
+			}
+		}
+		sw, err := word.Unrank(int(d), int(k), uint64(src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dw, err := word.Unrank(int(d), int(k), uint64(dst))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, _, err := fr.DetourPath(sw, dw, failed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		end, err := p.Apply(sw, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !end.Equal(dw) {
+			t.Fatalf("detour path ends at %v, want %v", end, dw)
 		}
 	})
 }

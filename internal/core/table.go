@@ -28,9 +28,11 @@ import (
 const tableEntryBytes = 7
 
 // tableStoreCap bounds the total bytes of all tables in the process,
-// whatever the per-engine budgets say; beyond it new (d,k)s simply
-// stay on the lower tiers.
-const tableStoreCap = 64 << 20
+// whatever the per-engine budgets say. When a new (d,k) would
+// overflow it, completed tables are evicted least-recently-used
+// first; a table too large to ever fit stays on the lower tiers. A
+// variable (not a const) so the eviction tests can shrink it.
+var tableStoreCap = int64(64 << 20)
 
 // Path-side encoding of rankTable.uside.
 const (
@@ -172,10 +174,15 @@ func buildRankTable(d, k int) (*rankTable, error) {
 }
 
 // tableEntry is one (d,k) slot of the shared store: done closes when
-// the build finishes; t stays nil if it failed.
+// the build finishes; t stays nil if it failed. size, lastUse, and
+// built are guarded by the store mutex; t is published by the close
+// of done.
 type tableEntry struct {
-	done chan struct{}
-	t    *rankTable
+	done    chan struct{}
+	t       *rankTable
+	size    int64
+	lastUse int64
+	built   bool
 }
 
 type tableKey struct{ d, k int }
@@ -184,34 +191,66 @@ var tableStore = struct {
 	sync.Mutex
 	m     map[tableKey]*tableEntry
 	bytes int64
+	clock int64
 }{m: map[tableKey]*tableEntry{}}
 
+// evictTablesLocked frees space for need more bytes by removing
+// completed entries in least-recently-used order. In-flight builds
+// are never evicted (their goroutine still owns the slot). Reports
+// whether the store now has room; callers hold the store mutex.
+func evictTablesLocked(need int64) bool {
+	for tableStore.bytes+need > tableStoreCap {
+		var victimKey tableKey
+		var victim *tableEntry
+		for key, e := range tableStore.m {
+			if !e.built {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim, victimKey = e, key
+			}
+		}
+		if victim == nil {
+			return false
+		}
+		delete(tableStore.m, victimKey)
+		tableStore.bytes -= victim.size
+	}
+	return true
+}
+
 // getTable returns the shared DG(d,k) table, starting a build if none
-// exists and the global cap admits it. The second result reports a
-// build still in flight (the caller should not memoize its fallback).
-// With wait set, a pending build is waited for instead.
+// exists and the global cap (after LRU eviction of idle tables)
+// admits it. The second result reports a build still in flight (the
+// caller should not memoize its fallback). With wait set, a pending
+// build is waited for instead.
 func getTable(d, k int, size int64, wait bool) (*rankTable, bool) {
 	key := tableKey{d, k}
 	tableStore.Lock()
 	e := tableStore.m[key]
 	if e == nil {
-		if tableStore.bytes+size > tableStoreCap {
+		if size > tableStoreCap || !evictTablesLocked(size) {
 			tableStore.Unlock()
 			return nil, false
 		}
-		e = &tableEntry{done: make(chan struct{})}
+		tableStore.clock++
+		e = &tableEntry{done: make(chan struct{}), size: size, lastUse: tableStore.clock}
 		tableStore.m[key] = e
 		tableStore.bytes += size
 		tableStore.Unlock()
 		build := func() {
 			t, err := buildRankTable(d, k)
+			tableStore.Lock()
 			if err == nil {
 				e.t = t
 			} else {
-				tableStore.Lock()
+				// A failed build keeps its slot as a zero-byte
+				// negative cache so the size isn't charged twice.
 				tableStore.bytes -= size
-				tableStore.Unlock()
+				e.size = 0
 			}
+			e.built = true
+			tableStore.Unlock()
 			close(e.done)
 		}
 		if wait {
@@ -221,6 +260,8 @@ func getTable(d, k int, size int64, wait bool) (*rankTable, bool) {
 		go build()
 		return nil, true
 	}
+	tableStore.clock++
+	e.lastUse = tableStore.clock
 	tableStore.Unlock()
 	select {
 	case <-e.done:

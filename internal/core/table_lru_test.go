@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/word"
+)
+
+// resetTableStore empties the process-wide table store and sets the
+// cap, returning a restore func. The store is package-global, so
+// these tests must not run in parallel with anything that builds
+// tables — none of the core tests use t.Parallel.
+func resetTableStore(t *testing.T, cap int64) {
+	t.Helper()
+	tableStore.Lock()
+	oldCap := tableStoreCap
+	tableStore.m = map[tableKey]*tableEntry{}
+	tableStore.bytes = 0
+	tableStore.clock = 0
+	tableStoreCap = cap
+	tableStore.Unlock()
+	t.Cleanup(func() {
+		tableStore.Lock()
+		tableStore.m = map[tableKey]*tableEntry{}
+		tableStore.bytes = 0
+		tableStore.clock = 0
+		tableStoreCap = oldCap
+		tableStore.Unlock()
+	})
+}
+
+func tableStoreState() (keys map[tableKey]bool, bytes int64) {
+	tableStore.Lock()
+	defer tableStore.Unlock()
+	keys = make(map[tableKey]bool, len(tableStore.m))
+	for k := range tableStore.m {
+		keys[k] = true
+	}
+	return keys, tableStore.bytes
+}
+
+// Cycling through more (d,k) pairs than the cap can hold must stay
+// bounded (evicting the least recently used table) and keep serving
+// correct tables for whatever is asked, rebuilding evicted ones.
+func TestTableStoreLRUCycling(t *testing.T) {
+	// Sizes (n²·7): (2,3)=448, (3,2)=567, (2,4)=1792, (2,5)=7168.
+	s23, _ := tableSize(2, 3)
+	s32, _ := tableSize(3, 2)
+	s24, _ := tableSize(2, 4)
+	s25, _ := tableSize(2, 5)
+	// Room for the three small tables together, or for (2,5) plus
+	// only the smallest — admitting (2,5) must force eviction.
+	resetTableStore(t, s23+s25)
+
+	get := func(d, k int) *rankTable {
+		t.Helper()
+		size, ok := tableSize(d, k)
+		if !ok {
+			t.Fatalf("tableSize(%d,%d) unrepresentable", d, k)
+		}
+		tab, pending := getTable(d, k, size, true)
+		if pending {
+			t.Fatalf("getTable(%d,%d, wait) reported pending", d, k)
+		}
+		if tab == nil {
+			t.Fatalf("getTable(%d,%d) returned no table", d, k)
+		}
+		if tab.d != d || tab.k != k {
+			t.Fatalf("getTable(%d,%d) returned table for (%d,%d)", d, k, tab.d, tab.k)
+		}
+		return tab
+	}
+
+	get(2, 3)
+	get(3, 2)
+	get(2, 4)
+	keys, bytes := tableStoreState()
+	if want := s23 + s32 + s24; bytes != want {
+		t.Fatalf("store bytes = %d, want %d", bytes, want)
+	}
+
+	// Touch (2,3) so (3,2) becomes the LRU victim, then admit (2,5):
+	// it needs more room than any single table, so (3,2) and (2,4)
+	// both go, in that order.
+	get(2, 3)
+	get(2, 5)
+	keys, bytes = tableStoreState()
+	if keys[tableKey{3, 2}] || keys[tableKey{2, 4}] {
+		t.Fatalf("LRU victims not evicted, store has %v", keys)
+	}
+	if !keys[tableKey{2, 3}] || !keys[tableKey{2, 5}] {
+		t.Fatalf("recently used tables evicted, store has %v", keys)
+	}
+	if want := s23 + s25; bytes != want {
+		t.Fatalf("store bytes = %d, want %d", bytes, want)
+	}
+
+	// Evicted tables rebuild on demand and answer correctly.
+	tab := get(3, 2)
+	x := word.MustNew(3, []byte{0, 1})
+	y := word.MustNew(3, []byte{1, 2})
+	if d := tab.udist[tab.index(x, y)]; d == 0 {
+		t.Fatalf("rebuilt (3,2) table has zero distance for distinct vertices")
+	}
+
+	// Many cycles: bytes never exceed the cap.
+	for i := 0; i < 6; i++ {
+		for _, dk := range [][2]int{{2, 3}, {3, 2}, {2, 4}, {2, 5}} {
+			get(dk[0], dk[1])
+			if _, b := tableStoreState(); b > tableStoreCap {
+				t.Fatalf("store bytes %d exceed cap %d", b, tableStoreCap)
+			}
+		}
+	}
+}
+
+// A table larger than the whole cap must be refused without trashing
+// the resident tables.
+func TestTableStoreOversizeRefused(t *testing.T) {
+	s23, _ := tableSize(2, 3)
+	resetTableStore(t, s23)
+
+	if tab, pending := getTable(2, 3, s23, true); tab == nil || pending {
+		t.Fatalf("(2,3) should fit exactly: tab=%v pending=%v", tab, pending)
+	}
+	s25, _ := tableSize(2, 5)
+	if tab, _ := getTable(2, 5, s25, true); tab != nil {
+		t.Fatalf("oversize table admitted")
+	}
+	keys, _ := tableStoreState()
+	if !keys[tableKey{2, 3}] {
+		t.Fatalf("resident table evicted for an oversize request")
+	}
+}

@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultRouteSweepContract(t *testing.T) {
+	rows, err := FaultRouteSweep(3, 3, 4, 60, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 { // Trees(3,3) = 3 → failure sizes 0..2
+		t.Fatalf("got %d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.Pairs == 0 {
+			t.Fatalf("failures=%d measured no pairs", r.Failures)
+		}
+		// The paper-level contract: every pair delivers below Trees
+		// failures, with stretch at least 1.
+		if r.DeliveryRate != 1.0 {
+			t.Fatalf("failures=%d delivery rate %v, want 1.0", r.Failures, r.DeliveryRate)
+		}
+		if r.MeanStretch < 1 || r.MaxStretch < r.MeanStretch {
+			t.Fatalf("failures=%d stretch out of order: %+v", r.Failures, r)
+		}
+		if r.BaselineStretch < 1 {
+			t.Fatalf("failures=%d baseline stretch %v < 1", r.Failures, r.BaselineStretch)
+		}
+	}
+	// No failures → no switches, optimal-length walks are possible but
+	// tree walks need not be shortest; only the zero-switch claim holds.
+	if rows[0].MeanSwitches != 0 {
+		t.Fatalf("failures=0 had %v switches", rows[0].MeanSwitches)
+	}
+}
+
+func TestFaultRoutesTable(t *testing.T) {
+	tab, err := FaultRoutesTable([][2]int{{2, 4}, {3, 3}}, 2, 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tab.String()
+	if !strings.Contains(s, "bfsStretch") || !strings.Contains(s, "delivered") {
+		t.Fatalf("table missing columns:\n%s", s)
+	}
+	// 2 rows for DG(2,4) (Trees=2) + 3 for DG(3,3), plus header/rules.
+	if got := strings.Count(s, "\n"); got < 5 {
+		t.Fatalf("table too short:\n%s", s)
+	}
+}

@@ -1,0 +1,106 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// TestStretchVsArborescenceFailover reconciles the two failure models
+// that now coexist: RerouteStretch counts a pair `disconnected` when
+// BFS avoiding the failed vertices finds no path, while the failover
+// kernel walks the arc-disjoint arborescences, treating a failed site
+// as every arc into it being dead. Their verdicts must never cross in
+// the direction that would mark one of them wrong:
+//
+//   - a walk that delivers traverses only live vertices, so the pair
+//     is BFS-reachable — it must NOT be counted disconnected;
+//   - a BFS-disconnected pair has no surviving path at all, so the
+//     walk must NOT claim delivery.
+//
+// The converse (reachable ⟹ delivered) is deliberately not asserted:
+// one failed site kills up to 2d arcs, which can exceed the walk's
+// arc-disjointness tolerance while leaving the pair BFS-reachable.
+func TestStretchVsArborescenceFailover(t *testing.T) {
+	for _, dk := range [][2]int{{2, 4}, {2, 5}, {3, 3}, {4, 2}} {
+		d, k := dk[0], dk[1]
+		g := deBruijn(t, graph.Undirected, d, k)
+		fr, err := core.NewFaultRouter(d, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := g.NumVertices()
+		rng := rand.New(rand.NewSource(int64(100*d + k)))
+		for trial := 0; trial < 6; trial++ {
+			nfail := 1 + trial%3
+			blocked := make(map[int]bool, nfail)
+			for len(blocked) < nfail {
+				blocked[rng.Intn(n)] = true
+			}
+			failedArc := func(u, v int) bool { return blocked[u] || blocked[v] }
+
+			var delivered, reachable, disagree int
+			for s := 0; s < n; s++ {
+				if blocked[s] {
+					continue
+				}
+				avoid, err := g.BFSFromAvoiding(s, blocked)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for u := 0; u < n; u++ {
+					if u == s || blocked[u] {
+						continue
+					}
+					w, err := fr.Walk(s, u, failedArc)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if w.Delivered {
+						delivered++
+					}
+					if avoid[u] >= 0 {
+						reachable++
+					}
+					if w.Delivered && avoid[u] < 0 {
+						disagree++
+						t.Errorf("DG(%d,%d) failures %v: pair (%d,%d) delivered by failover but counted disconnected by stretch sweep",
+							d, k, keys(blocked), s, u)
+					}
+					if disagree > 3 {
+						t.Fatalf("too many disagreements, aborting sweep")
+					}
+				}
+			}
+			if reachable < delivered {
+				t.Fatalf("DG(%d,%d) failures %v: %d delivered > %d reachable",
+					d, k, keys(blocked), delivered, reachable)
+			}
+		}
+	}
+}
+
+// TestStretchAccountingExact pins RerouteStretch's conservation:
+// measured + disconnected pairs sum exactly to the requested count,
+// and single-site failure sweeps on the undirected network (vertex
+// connectivity 2d−2 ≥ 2) never report a disconnection at all.
+func TestStretchAccountingExact(t *testing.T) {
+	g := deBruijn(t, graph.Undirected, 3, 3)
+	for v := 0; v < 9; v++ {
+		res, err := RerouteStretch(g, []int{v * 3}, 64, int64(v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Pairs+res.Disconnected != 64 {
+			t.Fatalf("failed {%d}: %d measured + %d disconnected ≠ 64", v*3, res.Pairs, res.Disconnected)
+		}
+		if res.Disconnected != 0 {
+			t.Fatalf("failed {%d}: single site disconnected %d pairs on a 2d-2 connected graph", v*3, res.Disconnected)
+		}
+		if res.MaxStretch < 1 || res.MeanStretch < 1 {
+			t.Fatalf("failed {%d}: stretch below 1: %+v", v*3, res)
+		}
+	}
+}

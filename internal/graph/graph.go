@@ -222,6 +222,69 @@ func (g *Graph) BFSFromAvoiding(src int, blocked map[int]bool) ([]int, error) {
 	return dist, nil
 }
 
+// BFSFromAvoidingArcs returns the distance from src to every vertex
+// using only arcs u→v for which failed(u, v) is false, with -1 for
+// unreachable vertices. For undirected graphs each edge {u,v} is two
+// independent arcs, matching the fault-routing failure model: failing
+// u→v does not fail v→u unless the caller's predicate says so. A nil
+// predicate makes this BFSFrom.
+func (g *Graph) BFSFromAvoidingArcs(src int, failed func(u, v int) bool) ([]int, error) {
+	n := len(g.adj)
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("%w: %d", ErrVertexRange, src)
+	}
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 && (failed == nil || !failed(int(u), int(v))) {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist, nil
+}
+
+// BFSToAvoidingArcs returns, for every vertex u, the length of the
+// shortest path from u to dst using only arcs the predicate allows
+// (-1 when no such path exists). One call answers "how far is every
+// source from this destination on the faulted graph", which is how
+// the faultroutes oracle prices a whole failure set with a single
+// search instead of one BFS per source.
+func (g *Graph) BFSToAvoidingArcs(dst int, failed func(u, v int) bool) ([]int, error) {
+	n := len(g.adj)
+	if dst < 0 || dst >= n {
+		return nil, fmt.Errorf("%w: %d", ErrVertexRange, dst)
+	}
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[dst] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, int32(dst))
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		// u reaches dst through v via the arc u→v.
+		for _, u := range g.InNeighbors(int(v)) {
+			if dist[u] < 0 && (failed == nil || !failed(int(u), int(v))) {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist, nil
+}
+
 // ShortestPath returns one shortest vertex path from src to dst
 // (inclusive of both), or nil if dst is unreachable.
 func (g *Graph) ShortestPath(src, dst int) ([]int, error) {

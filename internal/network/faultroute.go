@@ -1,0 +1,139 @@
+package network
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/word"
+)
+
+// Link-failure injection and the arborescence failover mode. Links
+// fail as undirected cables: FailLink takes down both directed arcs
+// of the edge {u,v}. The failover walk itself is arc-granular (see
+// core.FaultRouter), so the delivery guarantee — fewer than
+// core.FaultTrees(d,k) failed arcs never strand a message — counts
+// each failed link as two arcs, and a failed site as all arcs into
+// it.
+
+// FailLink marks the link {u,v} as failed in both directions.
+// Messages meeting it are dropped (DropLinkFailed), or detoured along
+// the destination's arc-disjoint arborescences when Config.FaultRoute
+// is set.
+func (n *Network) FailLink(u, v word.Word) error {
+	uv, vv, err := n.linkVertices(u, v)
+	if err != nil {
+		return err
+	}
+	n.failedLinks[[2]int{uv, vv}] = true
+	n.failedLinks[[2]int{vv, uv}] = true
+	n.faultInject.Inc()
+	n.failedLinksG.Set(float64(len(n.failedLinks)))
+	return nil
+}
+
+// RepairLink clears a link failure in both directions.
+func (n *Network) RepairLink(u, v word.Word) error {
+	uv, vv, err := n.linkVertices(u, v)
+	if err != nil {
+		return err
+	}
+	delete(n.failedLinks, [2]int{uv, vv})
+	delete(n.failedLinks, [2]int{vv, uv})
+	n.failedLinksG.Set(float64(len(n.failedLinks)))
+	return nil
+}
+
+// FailedLinks returns the number of currently failed directed arcs
+// (two per failed link).
+func (n *Network) FailedLinks() int { return len(n.failedLinks) }
+
+func (n *Network) linkVertices(u, v word.Word) (int, int, error) {
+	uv, err := n.vertex(u)
+	if err != nil {
+		return 0, 0, err
+	}
+	vv, err := n.vertex(v)
+	if err != nil {
+		return 0, 0, err
+	}
+	if !n.g.HasEdge(uv, vv) {
+		return 0, 0, fmt.Errorf("network: %v and %v are not linked", u, v)
+	}
+	return uv, vv, nil
+}
+
+func (n *Network) linkFailed(u, v int) bool { return n.failedLinks[[2]int{u, v}] }
+
+// arcDead is the failover walk's failure predicate: an arc is dead if
+// its link is failed or it enters a failed site.
+func (n *Network) arcDead(u, v int) bool {
+	return n.failedLinks[[2]int{u, v}] || n.failed[v]
+}
+
+// faultDetour computes the arborescence failover path from cur to dst
+// under the current failure set. A nil path with a nil error means
+// the walk could not deliver; the returned walk carries the reason
+// and the tree-switch count.
+func (n *Network) faultDetour(cur, dst word.Word) (core.Path, core.FaultWalk, error) {
+	path, walk, err := n.frouter.DetourPath(cur, dst, n.arcDead)
+	if err != nil {
+		return nil, walk, fmt.Errorf("network: %w", err)
+	}
+	if !walk.Delivered {
+		return nil, walk, nil
+	}
+	return path, walk, nil
+}
+
+// SendFaultRouted routes one message from src to dst entirely along
+// the destination's arc-disjoint arborescences under the current
+// failure set — the pure fault-routing mode, as opposed to Send,
+// which uses the optimal route and fails over only on contact with a
+// failure. Requires Config.FaultRoute.
+func (n *Network) SendFaultRouted(src, dst word.Word, payload string) (Delivery, error) {
+	if !n.cfg.FaultRoute {
+		return Delivery{}, fmt.Errorf("network: SendFaultRouted needs Config.FaultRoute")
+	}
+	srcV, err := n.vertex(src)
+	if err != nil {
+		return Delivery{}, err
+	}
+	dstV, err := n.vertex(dst)
+	if err != nil {
+		return Delivery{}, err
+	}
+	n.m.sent.Inc()
+	msg := Message{Control: ControlData, Source: src, Dest: dst, Payload: payload}
+	if n.failed[srcV] {
+		del := Delivery{Msg: msg}
+		n.drop(&del, src, DropSourceFailed, "")
+		return del, nil
+	}
+	if n.failed[dstV] {
+		del := Delivery{Msg: msg}
+		n.drop(&del, src, DropSiteFailed, fmt.Sprintf("destination %v failed", dst))
+		return del, nil
+	}
+	path, walk, err := n.faultDetour(src, dst)
+	if err != nil {
+		return Delivery{}, err
+	}
+	if path == nil && !src.Equal(dst) {
+		del := Delivery{Msg: msg}
+		n.drop(&del, src, DropNoDetour, walk.Reason)
+		return del, nil
+	}
+	n.treeSwitches.Add(int64(walk.Switches))
+	msg.Route = path
+	del, err := n.forward(msg)
+	if err != nil {
+		return del, err
+	}
+	del.Rerouted += walk.Switches
+	return del, nil
+}
+
+// FaultRouter exposes the engine's arborescence router (nil unless
+// Config.FaultRoute); experiments read tree counts and hop bounds
+// from it.
+func (n *Network) FaultRouter() *core.FaultRouter { return n.frouter }

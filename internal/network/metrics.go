@@ -27,6 +27,13 @@ const (
 	// DropInvalidHop: a hop with an invalid type byte (Cluster engine;
 	// the synchronous engine reports it as an error).
 	DropInvalidHop = "invalid hop"
+	// DropLinkFailed: the next link is failed and the engine has no
+	// fault-routing mode to switch structures (Config.FaultRoute off).
+	DropLinkFailed = "link failed"
+	// DropNoDetour: fault-routing mode could not deliver — the failure
+	// set exceeds the tolerance (≥ FaultTrees arcs down around some
+	// vertex) or mutated mid-walk; the detail carries the walk reason.
+	DropNoDetour = "no detour"
 )
 
 // Registry metric names of the synchronous engine (prefix dn_) and
@@ -43,7 +50,9 @@ const (
 	metricRouteNs      = "dn_route_ns"
 	metricLinkGini     = "dn_link_load_gini"
 	metricFailedSites  = "dn_failed_sites"
+	metricFailedLinks  = "dn_failed_links"
 	metricFaultInject  = "dn_fault_injections_total"
+	metricTreeSwitches = "dn_tree_switches_total"
 
 	metricClusterSent         = "dn_cluster_messages_sent_total"
 	metricClusterDelivered    = "dn_cluster_messages_delivered_total"
@@ -58,6 +67,7 @@ const (
 var dropReasons = []string{
 	DropSourceFailed, DropRouteExhausted, DropTTLExceeded,
 	DropSiteFailed, DropNoReroute, DropTypeRUnidirectional, DropInvalidHop,
+	DropLinkFailed, DropNoDetour,
 }
 
 // engineMetrics are the pre-resolved instrument handles of one engine.

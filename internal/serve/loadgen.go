@@ -110,6 +110,65 @@ type RatePhase struct {
 	Duration time.Duration
 }
 
+// ErrLoadConfig marks a LoadConfig rejected at validation time —
+// every shape knob outside its documented range fails here, before
+// any connection is dialed or goroutine started, rather than panicking
+// mid-run (rand.NewZipf, for one, aborts the process on s ≤ 1).
+var ErrLoadConfig = errors.New("serve: invalid load config")
+
+// Validate checks every LoadConfig knob against its documented range.
+// RunLoad calls it first; callers building configs programmatically
+// (sweep drivers, CLI flag parsers) can call it directly to fail fast.
+// All violations wrap ErrLoadConfig.
+func (cfg LoadConfig) Validate() error {
+	fail := func(format string, a ...any) error {
+		return fmt.Errorf("%w: %s", ErrLoadConfig, fmt.Sprintf(format, a...))
+	}
+	if cfg.D < 2 || cfg.K < 1 {
+		return fail("needs d ≥ 2, k ≥ 1, got DG(%d,%d)", cfg.D, cfg.K)
+	}
+	if cfg.Clients < 0 || cfg.RequestsPerClient < 0 || cfg.MaxInFlight < 0 || cfg.HotSet < 0 {
+		return fail("negative count knob (Clients %d, RequestsPerClient %d, MaxInFlight %d, HotSet %d)",
+			cfg.Clients, cfg.RequestsPerClient, cfg.MaxInFlight, cfg.HotSet)
+	}
+	if cfg.Rate < 0 {
+		return fail("Rate must be ≥ 0, got %v", cfg.Rate)
+	}
+	if cfg.BatchSize < 0 || cfg.BatchSize > MaxBatch {
+		return fail("batch size %d outside [0, %d]", cfg.BatchSize, MaxBatch)
+	}
+	if cfg.RouteFrac < 0 || cfg.NextHopFrac < 0 || cfg.RouteFrac+cfg.NextHopFrac > 1 {
+		return fail("kind mix RouteFrac %v + NextHopFrac %v must be non-negative and sum ≤ 1",
+			cfg.RouteFrac, cfg.NextHopFrac)
+	}
+	if cfg.BatchFrac < 0 || cfg.BatchFrac > 1 {
+		return fail("BatchFrac %v outside [0,1]", cfg.BatchFrac)
+	}
+	if cfg.HotspotFrac < 0 || cfg.HotspotFrac > 1 {
+		return fail("HotspotFrac %v outside [0,1]", cfg.HotspotFrac)
+	}
+	// The documented "when > 0 (must be > 1)" contract: a ZipfS in
+	// (0, 1] used to sail through to rand.NewZipf and panic the
+	// generator mid-run. Negative values are equally meaningless.
+	if cfg.ZipfS != 0 && cfg.ZipfS <= 1 {
+		return fail("ZipfS must be > 1 (or 0 to disable), got %v", cfg.ZipfS)
+	}
+	if len(cfg.Schedule) > 0 {
+		if cfg.Rate > 0 {
+			return fail("Rate and Schedule are mutually exclusive")
+		}
+		for i, ph := range cfg.Schedule {
+			if ph.Rate <= 0 || ph.Duration <= 0 {
+				return fail("schedule phase %d needs positive rate and duration, got %v over %v", i, ph.Rate, ph.Duration)
+			}
+		}
+	}
+	if cfg.Transport != nil && cfg.Addr == "" {
+		return fail("Transport set without Addr to dial")
+	}
+	return nil
+}
+
 // LoadResult is one load-generation run, combining the client-side
 // view (latencies, transport errors) with the server-side conservation
 // counters (diffed across the run, so a shared server is fine).
@@ -150,8 +209,8 @@ func (r LoadResult) Conserved() bool {
 // connections, or through cfg.Transport — and returns the combined
 // accounting.
 func RunLoad(s *Server, cfg LoadConfig) (LoadResult, error) {
-	if cfg.D < 2 || cfg.K < 1 {
-		return LoadResult{}, fmt.Errorf("serve: loadgen needs d ≥ 2, k ≥ 1, got DG(%d,%d)", cfg.D, cfg.K)
+	if err := cfg.Validate(); err != nil {
+		return LoadResult{}, err
 	}
 	if cfg.Clients < 1 {
 		cfg.Clients = 4
@@ -167,22 +226,6 @@ func RunLoad(s *Server, cfg LoadConfig) (LoadResult, error) {
 	}
 	if cfg.RouteFrac == 0 && cfg.NextHopFrac == 0 {
 		cfg.RouteFrac, cfg.NextHopFrac = 0.5, 0.2
-	}
-	if cfg.BatchSize > MaxBatch {
-		return LoadResult{}, fmt.Errorf("serve: loadgen batch size %d exceeds MaxBatch %d", cfg.BatchSize, MaxBatch)
-	}
-	if cfg.ZipfS != 0 && cfg.ZipfS <= 1 {
-		return LoadResult{}, fmt.Errorf("serve: loadgen ZipfS must be > 1, got %v", cfg.ZipfS)
-	}
-	if len(cfg.Schedule) > 0 {
-		if cfg.Rate > 0 {
-			return LoadResult{}, fmt.Errorf("serve: loadgen Rate and Schedule are mutually exclusive")
-		}
-		for i, ph := range cfg.Schedule {
-			if ph.Rate <= 0 || ph.Duration <= 0 {
-				return LoadResult{}, fmt.Errorf("serve: loadgen schedule phase %d needs positive rate and duration", i)
-			}
-		}
 	}
 	if (cfg.ZipfS > 0 || cfg.HotspotFrac > 0) && cfg.HotSet == 0 {
 		cfg.HotSet = 256

@@ -11,7 +11,7 @@ const (
 	metricForwardedIn    = "dn_serve_forwarded_in_total" // admitted frames that arrived via a forward
 	metricRequests       = "dn_serve_requests_total"     // labelled {kind=...}
 	metricAnswered       = "dn_serve_answered_total"     // full-fidelity outcomes
-	metricDegraded       = "dn_serve_degraded_total"     // labelled {mode=distance|bounds}
+	metricDegraded       = "dn_serve_degraded_total"     // labelled {mode=detour|distance|bounds}
 	metricShed           = "dn_serve_shed_total"         // labelled {reason=...}
 	metricCacheHits      = "dn_serve_cache_hits_total"
 	metricCacheMisses    = "dn_serve_cache_misses_total"
@@ -91,7 +91,7 @@ func newServeMetrics(reg *obs.Registry) serveMetrics {
 		m.requests[k] = reg.Counter(obs.Label(metricRequests, "kind", k.String()))
 	}
 	m.answered = reg.Counter(metricAnswered)
-	for l := LevelDistance; l <= LevelBounds; l++ {
+	for l := LevelDetour; l <= LevelBounds; l++ {
 		m.degraded[l] = reg.Counter(obs.Label(metricDegraded, "mode", l.DegradeString()))
 	}
 	for r := shedReason(0); r < numShedReasons; r++ {

@@ -100,11 +100,23 @@ func (m Mode) String() string {
 type Level uint8
 
 // The ladder, mildest first. Under sustained overload the server
-// climbs: route queries lose their paths (LevelDistance), then all
-// queries collapse to layer-bound estimates (LevelBounds).
+// climbs: route queries trade the optimal path for the fault-aware
+// detour path (LevelDetour), then lose their paths entirely
+// (LevelDistance), then all queries collapse to layer-bound estimates
+// (LevelBounds).
 const (
 	// LevelFull answers every kind completely.
 	LevelFull Level = iota
+	// LevelDetour answers undirected route queries with the exact
+	// distance plus the arborescence detour path around the server's
+	// failed-link set (stretch ≤ the fault router's hop bound) instead
+	// of the optimal path. The rung exists for two reasons: under
+	// known link failures it is the answer that actually works, and
+	// under mild overload the tree walk is O(path) with no anchor
+	// search. Detour answers are labelled on the wire and never
+	// cached. Other kinds, and directed route queries (arborescences
+	// live on the undirected graph), are answered as at LevelFull.
+	LevelDetour
 	// LevelDistance answers route queries with the exact distance but
 	// no path (the path construction and its allocation are skipped);
 	// distance and next-hop queries are unaffected (they are already
@@ -120,6 +132,8 @@ const (
 // DegradeString returns the wire label of a level ("" for full).
 func (l Level) DegradeString() string {
 	switch l {
+	case LevelDetour:
+		return "detour"
 	case LevelDistance:
 		return "distance"
 	case LevelBounds:
@@ -143,7 +157,8 @@ type Query struct {
 type Answer struct {
 	// Distance is D(src,dst); exact at LevelFull/LevelDistance.
 	Distance int
-	// Path is the shortest routing path (KindRoute at LevelFull only).
+	// Path is the routing path (KindRoute): the shortest path at
+	// LevelFull, the fault-avoiding detour path at LevelDetour.
 	Path core.Path
 	// Hop is the optimal next hop and HasHop its validity flag
 	// (KindNextHop; HasHop false means src == dst).
@@ -219,6 +234,14 @@ type Engine struct {
 	fr      *core.Frame
 	slot    []int32
 	curSlot int32
+
+	// Fault state for the LevelDetour rung: the shared failed-link set
+	// (SetFaults; nil means no faults and detour answers degenerate to
+	// tree paths) and the per-(d,k) fault routers, built lazily. A
+	// (d,k) too large for fault routing memoizes nil and the rung
+	// falls through to LevelDistance.
+	faults  *FaultSet
+	routers map[[2]int]*core.FaultRouter
 }
 
 // NewEngine returns an Engine with the default kernel configuration,
@@ -272,9 +295,11 @@ func (e *Engine) AnswerBatchTraced(i int, q Query, level Level, tr *obs.ReqTrace
 // Answer resolves q at the given degrade level. The boolean reports a
 // cache hit (hits always return the full-fidelity stored answer, even
 // when level asks for less — serving cached answers under overload is
-// the cheap path, not a degradation). Only LevelFull computations are
-// inserted into the cache, so a degraded answer can never masquerade
-// as a full one later.
+// the cheap path, not a degradation). The one exception is an
+// undirected route query at LevelDetour, which skips the cache both
+// ways: a stored optimal path may cross a link that has since failed.
+// Only LevelFull computations are inserted into the cache, so a
+// degraded answer can never masquerade as a full one later.
 func (e *Engine) Answer(q Query, level Level) (Answer, bool, error) {
 	return e.AnswerTraced(q, level, nil)
 }
@@ -290,7 +315,12 @@ func (e *Engine) AnswerTraced(q Query, level Level, tr *obs.ReqTrace) (Answer, b
 	if err := q.Validate(); err != nil {
 		return Answer{}, false, err
 	}
-	if e.cache != nil {
+	// A cached optimal path may cross a link that has since failed, so
+	// detour-level route lookups skip the cache read. (They can never
+	// reach the cache put either: the detour branch answers at
+	// LevelDetour or LevelDistance, never LevelFull.)
+	detourRoute := level == LevelDetour && q.Kind == KindRoute && q.Mode == Undirected
+	if e.cache != nil && !detourRoute {
 		var t0 time.Time
 		if tr != nil {
 			t0 = time.Now()
@@ -378,7 +408,7 @@ func boundsAnswer(q Query) Answer {
 	return a
 }
 
-// compute runs the routing kernels at LevelFull or LevelDistance.
+// compute runs the routing kernels at the requested degrade level.
 func (e *Engine) compute(q Query, level Level) (Answer, error) {
 	var a Answer
 	switch q.Kind {
@@ -395,6 +425,18 @@ func (e *Engine) compute(q Query, level Level) (Answer, error) {
 		}
 		a.Distance = d
 		if level >= LevelDistance {
+			a.Level = LevelDistance
+			break
+		}
+		if level == LevelDetour && q.Mode == Undirected {
+			if p, ok := e.detour(q); ok {
+				a.Path = p
+				a.Level = LevelDetour
+				break
+			}
+			// No fault router for this (d,k) or the failure set
+			// exceeds the tolerance: degrade one rung further rather
+			// than serve a path that crosses known-dead links.
 			a.Level = LevelDistance
 			break
 		}

@@ -44,12 +44,20 @@ type Config struct {
 	// its queued tasks shed (reason canceled), conservation intact.
 	// Default 30s; negative disables.
 	WriteTimeout time.Duration
-	// DegradeHigh and DegradeCritical are admission-queue fill
-	// fractions (measured when a worker dequeues): at or above High,
-	// route queries degrade to distance-only; at or above Critical,
-	// every query degrades to layer bounds. Defaults 0.75 and 0.90.
+	// DegradeDetour, DegradeHigh and DegradeCritical are
+	// admission-queue fill fractions (measured when a worker
+	// dequeues): at or above Detour, undirected route queries answer
+	// with the fault-aware detour path instead of the optimal path; at
+	// or above High, route queries degrade to distance-only; at or
+	// above Critical, every query degrades to layer bounds. Defaults
+	// 0.60, 0.75 and 0.90.
+	DegradeDetour   float64
 	DegradeHigh     float64
 	DegradeCritical float64
+	// Faults is the failed-link set detour answers route around
+	// (shared across shards; mutate it live via FailLink/RepairLink).
+	// Nil is valid — the detour rung still serves tree paths.
+	Faults *FaultSet
 	// Registry receives the dn_serve_* instruments; nil disables
 	// metrics (the conservation Counts are kept regardless).
 	Registry *obs.Registry
@@ -126,7 +134,7 @@ var ErrServerClosed = errors.New("serve: server closed")
 type Counts struct {
 	Sent         int64
 	Answered     int64 // full-fidelity answers (cache hits included)
-	Degraded     int64 // answered at LevelDistance or LevelBounds
+	Degraded     int64 // answered below full fidelity (detour, distance, bounds)
 	Shed         int64 // sum over ShedByReason
 	Forwarded    int64 // resolved by a cluster peer (proxied or redirected)
 	ShedByReason map[string]int64
@@ -218,6 +226,9 @@ func NewServer(cfg Config) *Server {
 	}
 	if cfg.WriteTimeout == 0 {
 		cfg.WriteTimeout = 30 * time.Second
+	}
+	if cfg.DegradeDetour <= 0 {
+		cfg.DegradeDetour = 0.60
 	}
 	if cfg.DegradeHigh <= 0 {
 		cfg.DegradeHigh = 0.75
@@ -642,6 +653,7 @@ func (s *Server) publishTrace(tr *obs.ReqTrace) {
 func (s *Server) worker() {
 	defer s.workers.Done()
 	eng := NewEngineKernels(s.cache, s.cfg.Kernel)
+	eng.SetFaults(s.cfg.Faults)
 	for t := range s.queue {
 		s.m.queue.Set(float64(len(s.queue)))
 		s.process(eng, t)
@@ -656,6 +668,8 @@ func (s *Server) degradeLevel() Level {
 		return LevelBounds
 	case fill >= s.cfg.DegradeHigh:
 		return LevelDistance
+	case fill >= s.cfg.DegradeDetour:
+		return LevelDetour
 	default:
 		return LevelFull
 	}
@@ -736,6 +750,11 @@ func (s *Server) forwardTask(t *task) bool {
 // records the answered/degraded outcome.
 func (s *Server) answerTask(eng *Engine, t *task) {
 	level := s.degradeLevel()
+	if level < LevelDetour && s.cfg.Faults != nil && s.cfg.Faults.Len() > 0 {
+		// Known link failures: optimal paths may cross dead links, so
+		// route answers take the detour rung even with a quiet queue.
+		level = LevelDetour
+	}
 	var resp Response
 	maxLevel := LevelFull
 	if t.batch != nil {

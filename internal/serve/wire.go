@@ -108,13 +108,13 @@ const (
 type Response struct {
 	ID     uint64 `json:"id"`
 	Status string `json:"status"`
-	// Degrade is "" (full), "distance" or "bounds".
+	// Degrade is "" (full), "detour", "distance" or "bounds".
 	Degrade string `json:"degrade,omitempty"`
 	// Cached reports the answer came from the result cache.
 	Cached   bool `json:"cached,omitempty"`
 	Distance int  `json:"distance"`
 	// Path holds the route hops ("L3", "R*", ...) for kind route at
-	// full fidelity.
+	// full fidelity, or the fault-avoiding hops of a detour answer.
 	Path []string `json:"path,omitempty"`
 	// NextHop is the optimal next hop for kind nexthop; Done true
 	// means src == dst (no hop needed).
@@ -334,7 +334,9 @@ func answerResponse(id uint64, kind Kind, a Answer, cached bool) Response {
 	resp.Distance = a.Distance
 	switch kind {
 	case KindRoute:
-		if a.Level == LevelFull {
+		// Detour answers carry their (stretch-bounded, fault-avoiding)
+		// path too — that path is the point of the rung.
+		if a.Level == LevelFull || a.Level == LevelDetour {
 			resp.Path = make([]string, len(a.Path))
 			for i, h := range a.Path {
 				resp.Path[i] = FormatHop(h)
